@@ -1,0 +1,78 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures with a
+reduced-but-representative budget (single-digit minutes for the whole suite on
+a laptop), prints the reproduced numbers and writes them to
+``benchmarks/results/<experiment>.txt`` so ``bench_output.txt`` plus that
+directory together document the reproduction.
+
+The budgets live here so they can be tightened or relaxed in one place:
+
+* ``bench_config_connected`` — fully connected sweeps (fast slotted simulator,
+  so more node counts are affordable);
+* ``bench_config_hidden`` — hidden-node sweeps (event-driven simulator, so
+  fewer node counts and shorter runs).
+
+For paper-scale budgets use :data:`repro.experiments.PAPER` instead (hours).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_result
+from repro.experiments.runner import ExperimentResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Budget for fully connected experiments (slotted simulator).
+BENCH_CONNECTED = ExperimentConfig(
+    node_counts=(10, 20, 40, 60),
+    seeds=(1,),
+    measure_duration=1.5,
+    warmup=0.3,
+    adaptive_warmup=8.0,
+    update_period=0.05,
+    report_interval=0.5,
+    dynamic_segment_duration=6.0,
+)
+
+#: Budget for hidden-node experiments (event-driven simulator).
+BENCH_HIDDEN = ExperimentConfig(
+    node_counts=(10, 20),
+    seeds=(1,),
+    measure_duration=1.0,
+    warmup=0.3,
+    adaptive_warmup=4.0,
+    update_period=0.05,
+    report_interval=0.5,
+    dynamic_segment_duration=6.0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config_connected() -> ExperimentConfig:
+    return BENCH_CONNECTED
+
+
+@pytest.fixture(scope="session")
+def bench_config_hidden() -> ExperimentConfig:
+    return BENCH_HIDDEN
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Print an experiment result and persist it under benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _record(result: ExperimentResult, filename: str) -> ExperimentResult:
+        text = format_result(result)
+        print("\n" + text + "\n")
+        (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+        return result
+
+    return _record

@@ -1,0 +1,36 @@
+"""Benchmark: Figure 12 — RandomReset fixed-point structure.
+
+Shape to reproduce: tau_c(0; p0) decreases in the conditional collision
+probability, increases in p0, and the resulting fixed points (intersections
+with c = 1 - (1 - tau)^(N-1)) move to higher attempt probabilities as p0
+grows (Lemma 5's monotonicity through the fixed point).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig12 import run_fig12
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_fixed_point(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig12,
+        kwargs={"num_stations": 10, "cw_min": 2, "num_stages": 5},
+        rounds=1, iterations=1,
+    )
+    record_result(result, "fig12.txt")
+
+    reset_probabilities = (0.0, 0.2, 0.4, 0.6, 0.8)
+    # tau_c decreasing in c for every p0 curve.
+    for p0 in reset_probabilities:
+        curve = np.array(result.column(f"tau_c(p0={p0:g})"))
+        assert np.all(np.diff(curve) <= 1e-12)
+    # tau_c increasing in p0 at every sampled c.
+    for row in result.rows:
+        values = [row.values[f"tau_c(p0={p0:g})"] for p0 in reset_probabilities]
+        assert values == sorted(values)
+    # Fixed points increase with p0 (paper: intersection moves up-right).
+    fixed = result.metadata["fixed_point_tau"]
+    ordered = [fixed[f"p0={p0:g}"] for p0 in reset_probabilities]
+    assert ordered == sorted(ordered)

@@ -1,0 +1,24 @@
+"""Benchmark: Table I — simulation parameters.
+
+Regenerates the parameter listing every other experiment relies on and checks
+the derived frame durations are self-consistent.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.phy.constants import PhyParameters
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_parameters(benchmark, record_result):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record_result(result, "table1.txt")
+
+    labels = dict((row.label, row.values["value"]) for row in result.rows)
+    assert labels["CWmin"] == 8
+    assert labels["CWmax"] == 1024
+    assert "54" in str(labels["Bit Rate"])
+    # Ts > Tc and both are fractions of a millisecond for an 8000-bit payload.
+    phy = PhyParameters()
+    assert 0.0001 < phy.tc < phy.ts < 0.001

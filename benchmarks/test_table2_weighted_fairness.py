@@ -1,0 +1,40 @@
+"""Benchmark: Table II — weighted fairness of wTOP-CSMA (10 stations).
+
+Shape to reproduce: per-station throughput proportional to the weight
+(normalised throughput nearly equal across stations) while total throughput
+stays near the fully connected optimum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistent import optimal_attempt_probability, system_throughput_weighted
+from repro.experiments.table2 import PAPER_WEIGHTS, run_table2
+from repro.phy.constants import PhyParameters
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_weighted_fairness(benchmark, bench_config_connected, record_result):
+    config = bench_config_connected.evolve(adaptive_warmup=12.0, measure_duration=3.0)
+    result = benchmark.pedantic(
+        run_table2, kwargs={"config": config, "seed": 1}, rounds=1, iterations=1
+    )
+    record_result(result, "table2.txt")
+
+    normalized = np.array(result.column("normalized (Mbps)"))
+    weights = np.array(result.column("weight"))
+    throughputs = np.array(result.column("throughput (Mbps)"))
+
+    # Normalised throughput nearly equal across stations (Jain ~ 1).
+    assert result.metadata["jain_index_normalized"] > 0.995
+    assert result.metadata["max_relative_deviation"] < 0.15
+    # Higher-weight stations really do get proportionally more.
+    mean_w1 = throughputs[weights == 1].mean()
+    mean_w3 = throughputs[weights == 3].mean()
+    assert mean_w3 / mean_w1 == pytest.approx(3.0, rel=0.2)
+    # Total throughput near the weighted optimum of Eq. (3).
+    phy = PhyParameters()
+    p_star = optimal_attempt_probability(len(PAPER_WEIGHTS), phy,
+                                         weights=list(map(float, PAPER_WEIGHTS)))
+    optimum = system_throughput_weighted(p_star, PAPER_WEIGHTS, phy) / 1e6
+    assert result.metadata["total_throughput_mbps"] >= 0.85 * optimum

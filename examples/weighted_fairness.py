@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Weighted fairness with wTOP-CSMA (the paper's Table II).
+
+Ten stations with weights (1, 1, 1, 2, 2, 2, 3, 3, 3, 3) share a fully
+connected channel.  Each station maps the AP-broadcast control variable ``p``
+through its weight (Lemma 1), so its throughput ends up proportional to the
+weight while the AP's Kiefer-Wolfowitz loop keeps the *total* throughput near
+the optimum.
+
+Run with::
+
+    python examples/weighted_fairness.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import weighted_fairness_report
+from repro.experiments import format_table
+from repro.mac import wtop_csma_scheme
+from repro.phy import PhyParameters
+from repro.sim import run_slotted
+
+WEIGHTS = (1, 1, 1, 2, 2, 2, 3, 3, 3, 3)
+
+
+def main() -> None:
+    phy = PhyParameters()
+    scheme = wtop_csma_scheme(phy, weights=WEIGHTS, update_period=0.05)
+    result = run_slotted(
+        scheme, num_stations=len(WEIGHTS), duration=3.0, warmup=10.0,
+        phy=phy, seed=1,
+    )
+
+    report = weighted_fairness_report(result.per_station_throughput_bps, WEIGHTS)
+    rows = [
+        [f"station {station}", weight, throughput, normalized]
+        for station, weight, throughput, normalized in report.rows()
+    ]
+    print("wTOP-CSMA weighted fairness (fully connected, 10 stations)\n")
+    print(format_table(
+        ["station", "weight", "throughput (Mbps)", "throughput / weight (Mbps)"], rows
+    ))
+    print(f"\nTotal throughput: {report.total_throughput_bps / 1e6:.2f} Mbps")
+    print(f"Jain index of normalised throughput: {report.jain_index_normalized:.4f}")
+    print(f"Worst relative deviation from weighted fairness: "
+          f"{100 * report.max_relative_deviation:.1f}%")
+    print("\nExpected: the last column is (nearly) identical across stations "
+          "(paper, Table II).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` works on environments whose setuptools/pip lack
+PEP 660 editable-install support (e.g. offline machines without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

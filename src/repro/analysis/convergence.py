@@ -1,0 +1,158 @@
+"""Convergence and short-term behaviour diagnostics.
+
+The paper's dynamic experiments (Figures 8-11) show throughput and the control
+variable as time series; the interesting quantities are *how fast* the
+controller re-converges after a change and *how stable* it is afterwards.
+This module extracts those quantities from the time lines the simulators
+record, and adds the sliding-window (short-term) fairness metric that the
+IdleSense line of work emphasises.
+
+Functions operate on plain ``(time, value)`` sequences so they work equally on
+:class:`~repro.sim.metrics.SimulationResult` time lines and on controller
+histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .fairness import jain_index
+
+__all__ = [
+    "settling_time",
+    "steady_state_statistics",
+    "segment_settling_times",
+    "sliding_window_jain",
+    "ConvergenceReport",
+    "analyze_convergence",
+]
+
+
+def _split(series: Sequence[Tuple[float, float]]) -> Tuple[np.ndarray, np.ndarray]:
+    if not series:
+        raise ValueError("series must be non-empty")
+    times = np.array([t for t, _ in series], dtype=float)
+    values = np.array([v for _, v in series], dtype=float)
+    if np.any(np.diff(times) < 0):
+        raise ValueError("series times must be non-decreasing")
+    return times, values
+
+
+def settling_time(series: Sequence[Tuple[float, float]],
+                  target: float,
+                  tolerance: float = 0.1,
+                  start: Optional[float] = None) -> Optional[float]:
+    """Time (relative to ``start``) after which the series stays near ``target``.
+
+    "Near" means within ``tolerance * |target|`` for every later sample.
+    Returns None if the series never settles.
+    """
+    if target == 0:
+        raise ValueError("target must be non-zero")
+    times, values = _split(series)
+    if start is not None:
+        mask = times >= start
+        times, values = times[mask], values[mask]
+        if times.size == 0:
+            return None
+        offset = start
+    else:
+        offset = times[0]
+    within = np.abs(values - target) <= tolerance * abs(target)
+    for index in range(len(values)):
+        if np.all(within[index:]):
+            return float(times[index] - offset)
+    return None
+
+
+def steady_state_statistics(series: Sequence[Tuple[float, float]],
+                            tail_fraction: float = 0.5) -> Tuple[float, float]:
+    """Mean and standard deviation of the last ``tail_fraction`` of a series."""
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must lie in (0, 1]")
+    _, values = _split(series)
+    tail = values[int(len(values) * (1.0 - tail_fraction)):]
+    if tail.size == 0:
+        tail = values[-1:]
+    return float(np.mean(tail)), float(np.std(tail))
+
+
+def segment_settling_times(series: Sequence[Tuple[float, float]],
+                           change_times: Sequence[float],
+                           tolerance: float = 0.1,
+                           ) -> Tuple[Optional[float], ...]:
+    """Settling time after each change point, against that segment's own tail mean.
+
+    For each segment (between consecutive change times) the target is the mean
+    of the segment's second half; the settling time is how long after the
+    change the series first stays within ``tolerance`` of that target.
+    """
+    times, values = _split(series)
+    boundaries = [times[0], *sorted(change_times), times[-1] + 1e-9]
+    results = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        mask = (times >= start) & (times < end)
+        segment = list(zip(times[mask], values[mask]))
+        if len(segment) < 2:
+            results.append(None)
+            continue
+        target, _ = steady_state_statistics(segment, tail_fraction=0.5)
+        if target == 0:
+            results.append(None)
+            continue
+        results.append(settling_time(segment, target, tolerance=tolerance, start=start))
+    return tuple(results)
+
+
+def sliding_window_jain(per_station_bits: Sequence[Sequence[float]],
+                        window: int) -> np.ndarray:
+    """Short-term fairness: Jain index over sliding windows of service.
+
+    ``per_station_bits[t][i]`` is the number of bits station ``i`` received in
+    reporting interval ``t``; the result holds the Jain index of the per-station
+    totals over each length-``window`` span of intervals.
+    """
+    matrix = np.asarray(per_station_bits, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("per_station_bits must be a 2-D array-like")
+    if window < 1 or window > matrix.shape[0]:
+        raise ValueError("window must lie in [1, number of intervals]")
+    indices = range(matrix.shape[0] - window + 1)
+    return np.array([
+        jain_index(matrix[start:start + window].sum(axis=0))
+        for start in indices
+    ])
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of a controller's throughput time line."""
+
+    steady_state_mean: float
+    steady_state_std: float
+    settling_time_s: Optional[float]
+    worst_dip: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        if self.steady_state_mean == 0:
+            return 0.0
+        return self.steady_state_std / self.steady_state_mean
+
+
+def analyze_convergence(series: Sequence[Tuple[float, float]],
+                        tolerance: float = 0.1) -> ConvergenceReport:
+    """Produce a :class:`ConvergenceReport` for a throughput time line."""
+    times, values = _split(series)
+    mean, std = steady_state_statistics(series, tail_fraction=0.5)
+    settle = settling_time(series, mean, tolerance=tolerance) if mean else None
+    worst_dip = float(mean - values.min()) if values.size else 0.0
+    return ConvergenceReport(
+        steady_state_mean=mean,
+        steady_state_std=std,
+        settling_time_s=settle,
+        worst_dip=worst_dip,
+    )

@@ -1,0 +1,107 @@
+"""Fairness metrics for throughput allocations.
+
+The paper evaluates *weighted* fairness (Definition 2, Table II): every
+station's throughput divided by its weight should be (nearly) equal.  The
+metrics here quantify that:
+
+* :func:`jain_index` — Jain's fairness index of a vector (1 = perfectly
+  fair), applied to *normalised* throughputs for the weighted case;
+* :func:`normalized_throughputs` — the per-station ``throughput / weight``
+  column of Table II;
+* :func:`weighted_fairness_report` — the full Table II style summary;
+* :func:`max_relative_deviation` — worst-case deviation of normalised
+  throughput from the mean, the acceptance criterion used by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "jain_index",
+    "normalized_throughputs",
+    "max_relative_deviation",
+    "WeightedFairnessReport",
+    "weighted_fairness_report",
+]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` in (0, 1]."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(arr < 0):
+        raise ValueError("values must be non-negative")
+    total_sq = float(np.sum(arr)) ** 2
+    denom = arr.size * float(np.sum(arr ** 2))
+    if denom == 0:
+        return 1.0
+    return total_sq / denom
+
+
+def normalized_throughputs(throughputs: Sequence[float],
+                           weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Per-station ``throughput / weight`` (Table II's last column)."""
+    thr = np.asarray(throughputs, dtype=float)
+    if weights is None:
+        return thr.copy()
+    w = np.asarray(weights, dtype=float)
+    if w.shape != thr.shape:
+        raise ValueError("weights and throughputs must have the same shape")
+    if np.any(w <= 0):
+        raise ValueError("weights must be positive")
+    return thr / w
+
+
+def max_relative_deviation(throughputs: Sequence[float],
+                           weights: Optional[Sequence[float]] = None) -> float:
+    """Worst relative deviation of normalised throughput from its mean.
+
+    0 means perfectly weighted-fair; the paper's Table II exhibits about 2-3%.
+    """
+    normalized = normalized_throughputs(throughputs, weights)
+    mean = float(np.mean(normalized))
+    if mean == 0:
+        return 0.0 if np.allclose(normalized, 0) else float("inf")
+    return float(np.max(np.abs(normalized - mean)) / mean)
+
+
+@dataclass(frozen=True)
+class WeightedFairnessReport:
+    """Summary of a weighted-fairness experiment (Table II)."""
+
+    weights: Tuple[float, ...]
+    throughputs_bps: Tuple[float, ...]
+    normalized_bps: Tuple[float, ...]
+    total_throughput_bps: float
+    jain_index_normalized: float
+    max_relative_deviation: float
+
+    def rows(self) -> Tuple[Tuple[int, float, float, float], ...]:
+        """Table II rows: (station, weight, throughput Mbps, normalised Mbps)."""
+        return tuple(
+            (index + 1, weight, thr / 1e6, norm / 1e6)
+            for index, (weight, thr, norm) in enumerate(
+                zip(self.weights, self.throughputs_bps, self.normalized_bps)
+            )
+        )
+
+
+def weighted_fairness_report(throughputs: Sequence[float],
+                             weights: Sequence[float]) -> WeightedFairnessReport:
+    """Build a :class:`WeightedFairnessReport` from raw per-station data."""
+    thr = np.asarray(throughputs, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    normalized = normalized_throughputs(thr, w)
+    return WeightedFairnessReport(
+        weights=tuple(float(x) for x in w),
+        throughputs_bps=tuple(float(x) for x in thr),
+        normalized_bps=tuple(float(x) for x in normalized),
+        total_throughput_bps=float(np.sum(thr)),
+        jain_index_normalized=jain_index(normalized),
+        max_relative_deviation=max_relative_deviation(thr, w),
+    )

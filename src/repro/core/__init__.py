@@ -1,0 +1,62 @@
+"""Core contribution: Kiefer-Wolfowitz optimisation and the wTOP-CSMA /
+TORA-CSMA access-point controllers."""
+
+from .controller import (
+    AccessPointController,
+    ControlUpdate,
+    SegmentThroughputMeter,
+    StaticController,
+)
+from .kiefer_wolfowitz import (
+    GainSchedule,
+    KieferWolfowitzOptimizer,
+    OptimizationTrace,
+    PAPER_GAIN_SCHEDULE,
+    ProbeSide,
+    TwoSidedGradientTracker,
+)
+from .mapping import ControlMapping, LinearMapping, LogMapping
+from .tora import (
+    DEFAULT_HIGH_THRESHOLD,
+    DEFAULT_LOW_THRESHOLD,
+    ToraCsmaController,
+)
+from .weighted_fairness import (
+    attempt_probabilities,
+    base_probability_from_station,
+    station_attempt_probability,
+    validate_weights,
+)
+from .wtop import (
+    CONTROLLER_GAIN_SCHEDULE,
+    DEFAULT_P_MAX,
+    DEFAULT_UPDATE_PERIOD,
+    WTopCsmaController,
+)
+
+__all__ = [
+    "ControlMapping",
+    "LinearMapping",
+    "LogMapping",
+    "CONTROLLER_GAIN_SCHEDULE",
+    "AccessPointController",
+    "ControlUpdate",
+    "SegmentThroughputMeter",
+    "StaticController",
+    "GainSchedule",
+    "KieferWolfowitzOptimizer",
+    "OptimizationTrace",
+    "PAPER_GAIN_SCHEDULE",
+    "ProbeSide",
+    "TwoSidedGradientTracker",
+    "DEFAULT_HIGH_THRESHOLD",
+    "DEFAULT_LOW_THRESHOLD",
+    "ToraCsmaController",
+    "attempt_probabilities",
+    "base_probability_from_station",
+    "station_attempt_probability",
+    "validate_weights",
+    "DEFAULT_P_MAX",
+    "DEFAULT_UPDATE_PERIOD",
+    "WTopCsmaController",
+]

@@ -1,0 +1,206 @@
+"""Access-point controller interface.
+
+The paper's algorithms are *centralised*: the AP measures throughput over
+fixed-length segments (``UPDATE_PERIOD``), runs the Kiefer-Wolfowitz update
+and broadcasts the resulting control values in ACK frames.  Both the
+event-driven and the slotted simulators (and, in principle, a real AP) drive
+a controller through the same minimal interface:
+
+* :meth:`AccessPointController.on_packet_received` — called once per
+  successfully received data frame with its payload size and the reception
+  time (seconds);
+* :meth:`AccessPointController.control` — the parameter mapping currently
+  advertised in ACKs (e.g. ``{"p": 0.07}`` or ``{"p0": 0.4, "stage": 1}``).
+
+:class:`SegmentThroughputMeter` factors out the shared bookkeeping of
+accumulating ``bytes_recd`` and closing a segment when ``UPDATE_PERIOD``
+elapses, exactly as in the pseudo code of Algorithms 1 and 2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "ControlUpdate",
+    "AccessPointController",
+    "StaticController",
+    "SegmentThroughputMeter",
+]
+
+
+@dataclass(frozen=True)
+class ControlUpdate:
+    """A record of one controller update, kept for convergence plots.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds) at which the update happened.
+    control:
+        The advertised control values immediately after the update.
+    throughput_bps:
+        Throughput measured over the segment that triggered the update.
+    """
+
+    time: float
+    control: Mapping[str, float]
+    throughput_bps: float
+
+
+class AccessPointController(ABC):
+    """Base class of AP-side adaptation algorithms."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "controller"
+
+    @abstractmethod
+    def on_packet_received(self, source: int, payload_bits: int, now: float) -> None:
+        """Notify the controller of a successfully received data frame."""
+
+    @abstractmethod
+    def control(self) -> Dict[str, float]:
+        """Control values to piggy-back on the next ACK."""
+
+    def on_tick(self, now: float) -> bool:
+        """Periodic timer hook (e.g. at beacon intervals).
+
+        Adaptive controllers use this to close a measurement segment even when
+        no packet arrives — otherwise a probe value that starves the channel
+        (e.g. a collision-saturating attempt probability) would never be
+        revisited.  Returns True when the control values changed so the caller
+        can re-broadcast them (the paper notes the parameters may equally be
+        carried in beacon frames).
+        """
+        return False
+
+    @property
+    def tick_interval(self) -> Optional[float]:
+        """Suggested period (seconds) for :meth:`on_tick`; None to disable."""
+        return None
+
+    def history(self) -> Tuple[ControlUpdate, ...]:
+        """Updates performed so far (empty for non-adaptive controllers)."""
+        return ()
+
+    def reset(self) -> None:
+        """Return the controller to its initial state."""
+
+
+class StaticController(AccessPointController):
+    """A controller that always advertises the same values.
+
+    Used for open-loop sweeps (Figures 2, 4, 5, 13) where the control
+    variable is fixed externally, and as the no-op controller for standard
+    802.11 runs.
+    """
+
+    name = "static"
+
+    def __init__(self, control: Optional[Mapping[str, float]] = None) -> None:
+        self._control = dict(control or {})
+
+    def on_packet_received(self, source: int, payload_bits: int, now: float) -> None:
+        # Nothing to adapt.
+        return None
+
+    def control(self) -> Dict[str, float]:
+        return dict(self._control)
+
+    def set_control(self, control: Mapping[str, float]) -> None:
+        """Replace the advertised values (e.g. between sweep points)."""
+        self._control = dict(control)
+
+
+class SegmentThroughputMeter:
+    """Accumulates received bytes and closes fixed-length measurement segments.
+
+    Mirrors lines 3-14 of Algorithm 1: every successful packet adds its
+    length to ``bytes_recd``; once ``UPDATE_PERIOD`` has elapsed since the
+    segment started, the segment's throughput ``bytes_recd / UPDATE_PERIOD``
+    is reported and the accumulator restarts.
+
+    The meter is deliberately clock-driven by the caller (times are passed
+    in), so it works identically under simulated and wall-clock time.
+    """
+
+    def __init__(self, update_period: float) -> None:
+        if update_period <= 0:
+            raise ValueError("update_period must be positive")
+        self._update_period = float(update_period)
+        self._bits_received = 0
+        self._segment_start: Optional[float] = None
+        self._segments: List[Tuple[float, float]] = []
+
+    @property
+    def update_period(self) -> float:
+        return self._update_period
+
+    @property
+    def bits_pending(self) -> int:
+        """Bits accumulated in the currently open segment."""
+        return self._bits_received
+
+    def observe(self, payload_bits: int, now: float) -> Optional[float]:
+        """Add a successful reception; return the segment throughput if closed.
+
+        Returns
+        -------
+        Throughput in bits/s of the segment that just completed, or None if
+        the current segment is still open.
+        """
+        if payload_bits < 0:
+            raise ValueError("payload_bits must be non-negative")
+        if self._segment_start is None:
+            self._segment_start = now
+        self._bits_received += payload_bits
+        if now - self._segment_start < self._update_period:
+            return None
+        throughput = self._bits_received / self._update_period
+        self._segments.append((now, throughput))
+        self._bits_received = 0
+        self._segment_start = now
+        return throughput
+
+    def maybe_close(self, now: float) -> Optional[float]:
+        """Close the current segment if ``UPDATE_PERIOD`` has elapsed.
+
+        Unlike :meth:`observe` this does not require a packet arrival, so a
+        segment with zero receptions still reports 0 bits/s once its period
+        is over.  Returns the segment throughput or None if the segment is
+        still open.
+        """
+        if self._segment_start is None:
+            self._segment_start = now
+            return None
+        if now - self._segment_start < self._update_period:
+            return None
+        throughput = self._bits_received / self._update_period
+        self._segments.append((now, throughput))
+        self._bits_received = 0
+        self._segment_start = now
+        return throughput
+
+    def force_close(self, now: float) -> Optional[float]:
+        """Close the current segment early (used at end of simulation)."""
+        if self._segment_start is None:
+            return None
+        elapsed = now - self._segment_start
+        if elapsed <= 0:
+            return None
+        throughput = self._bits_received / elapsed
+        self._segments.append((now, throughput))
+        self._bits_received = 0
+        self._segment_start = now
+        return throughput
+
+    def segments(self) -> Tuple[Tuple[float, float], ...]:
+        """Completed segments as ``(end_time, throughput_bps)`` tuples."""
+        return tuple(self._segments)
+
+    def reset(self) -> None:
+        self._bits_received = 0
+        self._segment_start = None
+        self._segments.clear()

@@ -1,0 +1,316 @@
+"""Kiefer-Wolfowitz stochastic approximation (paper Section III-B).
+
+The Kiefer-Wolfowitz (KW) scheme maximises a function ``S(x)`` that can only
+be observed through noisy measurements ``y`` with ``E[y | x] = S(x)``.  Two
+gain sequences ``a_k`` and ``b_k`` drive the recursion::
+
+    x_{k+1} = x_k + a_k * (y(x_k + b_k) - y(x_k - b_k)) / b_k
+
+with the classical conditions ``b_k -> 0``, ``sum a_k = inf``,
+``sum a_k b_k < inf`` and ``sum (a_k / b_k)^2 < inf``.  The paper uses
+``a_k = 1/k`` and ``b_k = 1/k^(1/3)``, which satisfies all four.
+
+Three layers are provided:
+
+* :class:`GainSchedule` — the ``(a_k, b_k)`` sequences plus a numerical
+  validator of the convergence conditions;
+* :class:`TwoSidedGradientTracker` — the *incremental* form used by the AP
+  controllers: it alternates probes at ``x + b_k`` and ``x - b_k``, accepts
+  one noisy measurement per probe and updates ``x`` after each +/- pair.
+  This is exactly the state machine inside Algorithm 1 and Algorithm 2;
+* :class:`KieferWolfowitzOptimizer` — a batch driver that repeatedly queries
+  a noisy objective callable; used in tests, examples and ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+__all__ = [
+    "GainSchedule",
+    "PAPER_GAIN_SCHEDULE",
+    "ProbeSide",
+    "TwoSidedGradientTracker",
+    "KieferWolfowitzOptimizer",
+    "OptimizationTrace",
+]
+
+
+@dataclass(frozen=True)
+class GainSchedule:
+    """The gain sequences ``a_k = a0 / k^alpha`` and ``b_k = b0 / k^gamma``.
+
+    The paper's choice is ``a0 = b0 = 1``, ``alpha = 1``, ``gamma = 1/3``.
+    The classical sufficient conditions translate to
+
+    * ``gamma > 0``                      (``b_k -> 0``),
+    * ``alpha <= 1``                     (``sum a_k`` diverges),
+    * ``alpha + gamma > 1``              (``sum a_k b_k`` converges),
+    * ``2 * (alpha - gamma) > 1``        (``sum (a_k/b_k)^2`` converges).
+    """
+
+    a0: float = 1.0
+    b0: float = 1.0
+    alpha: float = 1.0
+    gamma: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.a0 <= 0 or self.b0 <= 0:
+            raise ValueError("gain scales a0 and b0 must be positive")
+        if self.alpha <= 0 or self.gamma <= 0:
+            raise ValueError("gain exponents must be positive")
+
+    def a(self, k: int) -> float:
+        """Step size ``a_k`` (``k`` counts from 1)."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        return self.a0 / (k ** self.alpha)
+
+    def b(self, k: int) -> float:
+        """Perturbation half-width ``b_k`` (``k`` counts from 1)."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        return self.b0 / (k ** self.gamma)
+
+    def satisfies_kw_conditions(self) -> bool:
+        """Check the classical sufficient conditions on the exponents."""
+        diverges = self.alpha <= 1.0
+        ab_summable = self.alpha + self.gamma > 1.0
+        ratio_summable = 2.0 * (self.alpha - self.gamma) > 1.0
+        return diverges and ab_summable and ratio_summable and self.gamma > 0
+
+    def partial_sums(self, horizon: int) -> Tuple[float, float, float]:
+        """Partial sums of ``a_k``, ``a_k b_k`` and ``(a_k/b_k)^2`` up to ``horizon``.
+
+        Useful for demonstrating the divergence/convergence behaviour in tests
+        without symbolic analysis.
+        """
+        if horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        sum_a = 0.0
+        sum_ab = 0.0
+        sum_ratio_sq = 0.0
+        for k in range(1, horizon + 1):
+            ak = self.a(k)
+            bk = self.b(k)
+            sum_a += ak
+            sum_ab += ak * bk
+            sum_ratio_sq += (ak / bk) ** 2
+        return sum_a, sum_ab, sum_ratio_sq
+
+
+#: The gain schedule used by the paper's Algorithms 1 and 2.
+PAPER_GAIN_SCHEDULE = GainSchedule(a0=1.0, b0=1.0, alpha=1.0, gamma=1.0 / 3.0)
+
+
+class ProbeSide:
+    """Enumeration of the two perturbation sides (kept simple on purpose)."""
+
+    PLUS = "+"
+    MINUS = "-"
+
+
+class TwoSidedGradientTracker:
+    """Incremental Kiefer-Wolfowitz state machine.
+
+    The tracker maintains the centre point ``x`` (``pval`` in the paper's
+    pseudo code) and the iteration counter ``k``.  Client code repeatedly
+
+    1. reads :attr:`probe` — the value to apply to the system during the next
+       measurement segment (``x + b_k`` first, then ``x - b_k``);
+    2. calls :meth:`observe` with the measured objective for that segment.
+
+    After observing a (+, -) pair the centre moves by
+    ``a_k * (y_plus - y_minus) / b_k`` (clipped to ``bounds``), ``k``
+    increments and the probe returns to the + side.
+
+    Parameters
+    ----------
+    initial:
+        Starting centre value (the paper uses 0.5).
+    schedule:
+        Gain sequences; defaults to the paper's.
+    bounds:
+        Inclusive clipping range for the *centre*; the paper clips the
+        transmitted probability to [0, 0.9] for wTOP and [0, 1] for TORA.
+    probe_bounds:
+        Optional separate clipping range for the probe values (defaults to
+        ``bounds``); Algorithm 1 clips ``pval + b_k`` to at most 0.9 and
+        ``pval - b_k`` to at least 0.
+    initial_k:
+        First iteration index; the paper starts at ``k = 2`` so that the
+        perturbation ``b_k`` is already below 1.
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.5,
+        schedule: GainSchedule = PAPER_GAIN_SCHEDULE,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        probe_bounds: Optional[Tuple[float, float]] = None,
+        initial_k: int = 2,
+    ) -> None:
+        low, high = bounds
+        if low >= high:
+            raise ValueError("bounds must satisfy low < high")
+        if not low <= initial <= high:
+            raise ValueError("initial value must lie within bounds")
+        if initial_k < 1:
+            raise ValueError("initial_k must be at least 1")
+        self._schedule = schedule
+        self._bounds = (float(low), float(high))
+        self._probe_bounds = tuple(map(float, probe_bounds or bounds))
+        self._initial = float(initial)
+        self._initial_k = int(initial_k)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self, center: Optional[float] = None, k: Optional[int] = None) -> None:
+        """Reset the tracker (optionally to a new centre / iteration index).
+
+        TORA-CSMA uses this when it shifts the backoff stage: ``pval`` is
+        reset to 0.5 but the iteration counter keeps increasing, so the reset
+        accepts either value independently.
+        """
+        self._center = self._initial if center is None else float(center)
+        low, high = self._bounds
+        self._center = min(max(self._center, low), high)
+        if k is not None:
+            if k < 1:
+                raise ValueError("k must be at least 1")
+            self._k = int(k)
+        elif not hasattr(self, "_k"):
+            self._k = self._initial_k
+        self._side = ProbeSide.PLUS
+        self._plus_measurement: Optional[float] = None
+        self._updates = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def center(self) -> float:
+        """Current centre estimate (``pval``)."""
+        return self._center
+
+    @property
+    def iteration(self) -> int:
+        """Current iteration counter ``k``."""
+        return self._k
+
+    @property
+    def updates(self) -> int:
+        """Number of completed (+, -) update pairs."""
+        return self._updates
+
+    @property
+    def side(self) -> str:
+        """Which perturbation side the next observation belongs to."""
+        return self._side
+
+    @property
+    def perturbation(self) -> float:
+        """Current half-width ``b_k``."""
+        return self._schedule.b(self._k)
+
+    @property
+    def step_size(self) -> float:
+        """Current step size ``a_k``."""
+        return self._schedule.a(self._k)
+
+    @property
+    def probe(self) -> float:
+        """The control value to apply during the next measurement segment."""
+        low, high = self._probe_bounds
+        if self._side == ProbeSide.PLUS:
+            return min(self._center + self.perturbation, high)
+        return max(self._center - self.perturbation, low)
+
+    # ------------------------------------------------------------------
+    def observe(self, measurement: float) -> bool:
+        """Record the measured objective for the current probe.
+
+        Returns True when this observation completed a (+, -) pair and the
+        centre was updated.
+        """
+        if not math.isfinite(measurement):
+            raise ValueError("measurement must be finite")
+        if self._side == ProbeSide.PLUS:
+            self._plus_measurement = float(measurement)
+            self._side = ProbeSide.MINUS
+            return False
+
+        assert self._plus_measurement is not None
+        gradient = (self._plus_measurement - float(measurement)) / self.perturbation
+        low, high = self._bounds
+        self._center = min(max(self._center + self.step_size * gradient, low), high)
+        self._k += 1
+        self._side = ProbeSide.PLUS
+        self._plus_measurement = None
+        self._updates += 1
+        return True
+
+    def gradient_estimate(self, plus: float, minus: float) -> float:
+        """The stochastic gradient ``(y+ - y-) / b_k`` at the current ``k``."""
+        return (plus - minus) / self.perturbation
+
+
+@dataclass(frozen=True)
+class OptimizationTrace:
+    """History of a batch Kiefer-Wolfowitz run."""
+
+    centers: Tuple[float, ...]
+    probes: Tuple[float, ...]
+    measurements: Tuple[float, ...]
+
+    @property
+    def final(self) -> float:
+        return self.centers[-1]
+
+
+class KieferWolfowitzOptimizer:
+    """Batch driver that optimises a noisy scalar objective.
+
+    Parameters
+    ----------
+    objective:
+        Callable returning a *noisy* observation of the objective at a point.
+    initial, schedule, bounds:
+        As in :class:`TwoSidedGradientTracker`.
+    """
+
+    def __init__(
+        self,
+        objective: Callable[[float], float],
+        initial: float = 0.5,
+        schedule: GainSchedule = PAPER_GAIN_SCHEDULE,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        probe_bounds: Optional[Tuple[float, float]] = None,
+    ) -> None:
+        self._objective = objective
+        self._tracker = TwoSidedGradientTracker(
+            initial=initial, schedule=schedule, bounds=bounds, probe_bounds=probe_bounds
+        )
+
+    @property
+    def tracker(self) -> TwoSidedGradientTracker:
+        return self._tracker
+
+    def run(self, iterations: int) -> OptimizationTrace:
+        """Run ``iterations`` complete (+, -) update pairs."""
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        centers: List[float] = [self._tracker.center]
+        probes: List[float] = []
+        measurements: List[float] = []
+        for _ in range(iterations):
+            for _ in range(2):
+                probe = self._tracker.probe
+                value = float(self._objective(probe))
+                probes.append(probe)
+                measurements.append(value)
+                self._tracker.observe(value)
+            centers.append(self._tracker.center)
+        return OptimizationTrace(
+            centers=tuple(centers), probes=tuple(probes), measurements=tuple(measurements)
+        )

@@ -1,0 +1,231 @@
+"""TORA-CSMA: Throughput-Optimal RandomReset CSMA (Algorithm 2).
+
+On transmission failures, stations perform standard binary exponential
+backoff.  On a success they reset to backoff stage ``j`` with probability
+``p0`` and to a uniformly chosen stage in ``{j+1, ..., m}`` otherwise
+(Definition 4).  The AP tunes ``p0`` with the same Kiefer-Wolfowitz scheme as
+wTOP-CSMA; when the tuned centre saturates near 0 the optimum lies at a lower
+attempt probability and ``j`` is incremented, when it saturates near 1 the
+optimum lies at a higher attempt probability and ``j`` is decremented.  The
+iteration counter is *not* advanced on a stage shift (Algorithm 2, lines
+12-18), so the perturbation width stays large enough to keep exploring the
+new stage.
+
+The stage/probability pair is broadcast in ACK frames; stations apply it on
+their next successful transmission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..phy.constants import DEFAULT_BIT_RATE, PhyParameters
+from .controller import AccessPointController, ControlUpdate, SegmentThroughputMeter
+from .kiefer_wolfowitz import GainSchedule, TwoSidedGradientTracker
+from .wtop import CONTROLLER_GAIN_SCHEDULE
+
+__all__ = [
+    "ToraCsmaController",
+    "DEFAULT_LOW_THRESHOLD",
+    "DEFAULT_HIGH_THRESHOLD",
+]
+
+#: Threshold ``delta_l`` below which the backoff stage is incremented.
+DEFAULT_LOW_THRESHOLD = 0.05
+
+#: Threshold ``delta_h`` above which the backoff stage is decremented.
+DEFAULT_HIGH_THRESHOLD = 0.95
+
+
+class ToraCsmaController(AccessPointController):
+    """AP-side TORA-CSMA controller (Algorithm 2).
+
+    Parameters
+    ----------
+    phy:
+        PHY parameters; only ``cw_min`` and the number of backoff stages
+        ``m`` are used.
+    update_period:
+        Measurement segment length in seconds (paper: 250 ms).
+    initial_p0 / initial_stage:
+        Starting reset probability and stage (paper: 0.5 after the first
+        update frame, stage 0).
+    low_threshold / high_threshold:
+        ``delta_l`` (~0) and ``delta_h`` (~1) stage-shift thresholds.
+    throughput_scale:
+        Divisor applied to measured throughput before the gradient step so
+        the Kiefer-Wolfowitz update has O(1) magnitude (default: the channel
+        bit rate); the same calibration as in
+        :class:`~repro.core.wtop.WTopCsmaController`.
+    """
+
+    name = "TORA-CSMA"
+
+    def __init__(
+        self,
+        phy: Optional[PhyParameters] = None,
+        update_period: float = 0.25,
+        initial_p0: float = 0.5,
+        initial_stage: int = 0,
+        low_threshold: float = DEFAULT_LOW_THRESHOLD,
+        high_threshold: float = DEFAULT_HIGH_THRESHOLD,
+        schedule: GainSchedule = CONTROLLER_GAIN_SCHEDULE,
+        throughput_scale: float = DEFAULT_BIT_RATE,
+        initial_k: int = 2,
+    ) -> None:
+        self._phy = phy or PhyParameters()
+        self._num_stages = self._phy.num_backoff_stages
+        if not 0 <= initial_stage <= max(self._num_stages - 1, 0):
+            raise ValueError(
+                f"initial_stage must lie in [0, {self._num_stages - 1}]"
+            )
+        if not 0.0 <= low_threshold < high_threshold <= 1.0:
+            raise ValueError("require 0 <= low_threshold < high_threshold <= 1")
+        if throughput_scale <= 0:
+            raise ValueError("throughput_scale must be positive")
+        self._throughput_scale = float(throughput_scale)
+        self._update_period = float(update_period)
+        self._initial_p0 = float(initial_p0)
+        self._initial_stage = int(initial_stage)
+        self._low_threshold = float(low_threshold)
+        self._high_threshold = float(high_threshold)
+        self._schedule = schedule
+        self._initial_k = int(initial_k)
+        self._meter = SegmentThroughputMeter(update_period)
+        self._tracker = TwoSidedGradientTracker(
+            initial=initial_p0,
+            schedule=schedule,
+            bounds=(0.0, 1.0),
+            probe_bounds=(0.0, 1.0),
+            initial_k=initial_k,
+        )
+        self._stage = int(initial_stage)
+        self._history: List[ControlUpdate] = []
+        self._stage_shifts: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # AccessPointController interface
+    # ------------------------------------------------------------------
+    def on_packet_received(self, source: int, payload_bits: int, now: float) -> None:
+        """Accumulate received bits; close segments, update ``p0`` and ``j``."""
+        throughput = self._meter.observe(payload_bits, now)
+        if throughput is not None:
+            self._apply_measurement(throughput, now)
+
+    def on_tick(self, now: float) -> bool:
+        """Close an expired segment even if no packet arrived during it."""
+        throughput = self._meter.maybe_close(now)
+        if throughput is None:
+            return False
+        self._apply_measurement(throughput, now)
+        return True
+
+    @property
+    def tick_interval(self) -> Optional[float]:
+        return self._update_period
+
+    def _apply_measurement(self, throughput_bps: float, now: float) -> None:
+        pair_completed = self._tracker.observe(throughput_bps / self._throughput_scale)
+        if pair_completed:
+            self._maybe_shift_stage(now)
+        self._history.append(
+            ControlUpdate(time=now, control=self.control(), throughput_bps=throughput_bps)
+        )
+
+    def control(self) -> Dict[str, float]:
+        """Control values advertised in ACKs.
+
+        ``p0`` is the probe reset probability, ``stage`` the reset stage
+        ``j`` and ``cw`` the corresponding contention window
+        ``2^j * CWmin`` (the paper broadcasts the latter two together).
+        """
+        return {
+            "p0": self._tracker.probe,
+            "stage": float(self._stage),
+            "cw": float(self._phy.contention_window(self._stage)),
+        }
+
+    def history(self) -> Tuple[ControlUpdate, ...]:
+        return tuple(self._history)
+
+    def reset(self) -> None:
+        self._meter = SegmentThroughputMeter(self._update_period)
+        self._tracker = TwoSidedGradientTracker(
+            initial=self._initial_p0,
+            schedule=self._schedule,
+            bounds=(0.0, 1.0),
+            probe_bounds=(0.0, 1.0),
+            initial_k=self._initial_k,
+        )
+        self._stage = self._initial_stage
+        self._history.clear()
+        self._stage_shifts.clear()
+
+    # ------------------------------------------------------------------
+    # Stage-shift logic (Algorithm 2, lines 12-18)
+    # ------------------------------------------------------------------
+    def _maybe_shift_stage(self, now: float) -> None:
+        center = self._tracker.center
+        max_stage = max(self._num_stages - 1, 0)
+        if center <= self._low_threshold and self._stage < max_stage:
+            self._stage += 1
+            self._restart_tracker_after_shift(now)
+        elif center >= self._high_threshold and self._stage > 0:
+            self._stage -= 1
+            self._restart_tracker_after_shift(now)
+
+    def _restart_tracker_after_shift(self, now: float) -> None:
+        """Reset ``pval`` to 0.5 without advancing the iteration counter."""
+        # ``observe`` already advanced ``k`` for the pair that triggered the
+        # shift; the paper keeps ``k`` unchanged on a shift, so step it back.
+        previous_k = max(self._tracker.iteration - 1, 1)
+        self._tracker.reset(center=0.5, k=previous_k)
+        self._stage_shifts.append((now, self._stage))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def phy(self) -> PhyParameters:
+        return self._phy
+
+    @property
+    def update_period(self) -> float:
+        return self._update_period
+
+    @property
+    def stage(self) -> int:
+        """Current reset stage ``j``."""
+        return self._stage
+
+    @property
+    def center(self) -> float:
+        """Current centre estimate of the reset probability ``p0``."""
+        return self._tracker.center
+
+    @property
+    def advertised_p0(self) -> float:
+        """Reset probability currently advertised to stations."""
+        return self._tracker.probe
+
+    @property
+    def iteration(self) -> int:
+        return self._tracker.iteration
+
+    @property
+    def updates(self) -> int:
+        return self._tracker.updates
+
+    def stage_shifts(self) -> Tuple[Tuple[float, int], ...]:
+        """``(time, new_stage)`` records of every stage shift."""
+        return tuple(self._stage_shifts)
+
+    def segments(self) -> Tuple[Tuple[float, float], ...]:
+        return self._meter.segments()
+
+    def convergence_trace(self) -> Tuple[Tuple[float, float, int], ...]:
+        """``(time, p0, stage)`` samples for Figure 11 style plots."""
+        return tuple(
+            (update.time, update.control["p0"], int(update.control["stage"]))
+            for update in self._history
+        )

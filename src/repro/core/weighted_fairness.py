@@ -1,0 +1,77 @@
+"""Weighted-fairness mapping between the shared control variable and stations.
+
+Lemma 1 / Theorem 1: in p-persistent CSMA, if every station ``t`` maps the
+shared control value ``p`` through its weight ``w_t``::
+
+    p_t = w_t * p / (1 + (w_t - 1) * p)
+
+then station throughputs are proportional to weights *regardless of what the
+other stations do*, and the N-dimensional weighted-fair optimisation problem
+collapses to the scalar problem ``max_p S(p, W)`` that wTOP-CSMA solves.
+
+The functions here implement the forward map, its inverse, and vectorised
+helpers used by the station-side MAC and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "station_attempt_probability",
+    "base_probability_from_station",
+    "attempt_probabilities",
+    "validate_weights",
+]
+
+
+def validate_weights(weights: Sequence[float]) -> np.ndarray:
+    """Check that weights are positive finite numbers; return as an array."""
+    arr = np.asarray(weights, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one weight")
+    if np.any(~np.isfinite(arr)) or np.any(arr <= 0):
+        raise ValueError("weights must be positive and finite")
+    return arr
+
+
+def station_attempt_probability(weight: float, p: float) -> float:
+    """Forward map ``p -> p_t`` of Lemma 1.
+
+    Properties (all exercised by tests):
+
+    * ``p_t = p`` when ``weight == 1``;
+    * ``p_t`` is increasing in both ``p`` and ``weight``;
+    * ``p_t / (1 - p_t) = weight * p / (1 - p)`` — the odds scale linearly
+      with the weight, which is what makes throughput proportional to it.
+    """
+    if weight <= 0:
+        raise ValueError("weight must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    if p == 1.0:
+        return 1.0
+    return weight * p / (1.0 + (weight - 1.0) * p)
+
+
+def base_probability_from_station(weight: float, station_probability: float) -> float:
+    """Inverse map ``p_t -> p``; useful for diagnostics and tests."""
+    if weight <= 0:
+        raise ValueError("weight must be positive")
+    if not 0.0 <= station_probability <= 1.0:
+        raise ValueError("station probability must lie in [0, 1]")
+    if station_probability == 1.0:
+        return 1.0
+    # Solve p_t = w p / (1 + (w-1) p) for p.
+    pt = station_probability
+    return pt / (weight - (weight - 1.0) * pt)
+
+
+def attempt_probabilities(weights: Sequence[float], p: float) -> np.ndarray:
+    """Vectorised forward map for a whole network."""
+    arr = validate_weights(weights)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    return arr * p / (1.0 + (arr - 1.0) * p)

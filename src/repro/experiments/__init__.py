@@ -1,0 +1,87 @@
+"""Experiment runners regenerating every figure and table of the paper.
+
+Each ``run_*`` function returns an :class:`~repro.experiments.runner.ExperimentResult`
+that can be rendered with :func:`~repro.experiments.reporting.format_result`.
+``EXPERIMENT_REGISTRY`` maps experiment ids to their runners so the benchmark
+harness and the examples can iterate over them uniformly.
+"""
+
+from .config import PAPER, QUICK, ExperimentConfig
+from .fig1 import run_fig1
+from .fig2 import default_probability_grid, run_fig2
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6_7 import run_fig6, run_fig7, run_hidden_comparison
+from .fig8_9 import default_station_steps, run_fig8_9
+from .fig10_11 import run_fig10_11
+from .fig12 import run_fig12
+from .fig13 import run_fig13
+from .reporting import format_result, format_table, summarize_series
+from .runner import (
+    ExperimentResult,
+    ExperimentRow,
+    average_throughput_mbps,
+    make_connected_topology,
+    make_hidden_topology,
+    paper_scheme_factories,
+    run_scheme_connected,
+    run_scheme_on_topology,
+)
+from .table1 import run_table1
+from .table2 import PAPER_WEIGHTS, run_table2
+from .table3 import run_table3
+
+#: Mapping from experiment id (as used in DESIGN.md / EXPERIMENTS.md) to runner.
+EXPERIMENT_REGISTRY = {
+    "table1": run_table1,
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8_9": run_fig8_9,
+    "fig10_11": run_fig10_11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "table2": run_table2,
+    "table3": run_table3,
+}
+
+__all__ = [
+    "PAPER",
+    "QUICK",
+    "ExperimentConfig",
+    "run_fig1",
+    "default_probability_grid",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_hidden_comparison",
+    "default_station_steps",
+    "run_fig8_9",
+    "run_fig10_11",
+    "run_fig12",
+    "run_fig13",
+    "format_result",
+    "format_table",
+    "summarize_series",
+    "ExperimentResult",
+    "ExperimentRow",
+    "average_throughput_mbps",
+    "make_connected_topology",
+    "make_hidden_topology",
+    "paper_scheme_factories",
+    "run_scheme_connected",
+    "run_scheme_on_topology",
+    "run_table1",
+    "PAPER_WEIGHTS",
+    "run_table2",
+    "run_table3",
+    "EXPERIMENT_REGISTRY",
+]

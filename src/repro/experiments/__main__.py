@@ -1,0 +1,99 @@
+"""Command-line entry point for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig3
+    python -m repro.experiments table2 fig12 --preset quick
+    python -m repro.experiments fig6 --preset paper --output results/
+
+Each experiment id corresponds to one table or figure of the paper (see
+DESIGN.md section 4).  Results are printed as text tables and optionally
+written to ``<output>/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from . import EXPERIMENT_REGISTRY, PAPER, QUICK
+from .config import ExperimentConfig
+from .reporting import format_result
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {"quick": QUICK, "paper": PAPER}
+
+#: Experiments whose runners take no ExperimentConfig (purely analytical).
+_ANALYTICAL = {"table1", "fig12"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables and figures from the paper.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (e.g. fig3 table2); omit with --list to enumerate",
+    )
+    parser.add_argument("--list", action="store_true", dest="list_experiments",
+                        help="list available experiment ids and exit")
+    parser.add_argument("--preset", choices=sorted(_PRESETS), default="quick",
+                        help="simulation budget preset (default: quick)")
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help="directory to write <experiment>.txt files into")
+    parser.add_argument("--precision", type=int, default=3,
+                        help="decimal places in printed tables (default: 3)")
+    return parser
+
+
+def _run_one(name: str, config: ExperimentConfig) -> str:
+    runner = EXPERIMENT_REGISTRY[name]
+    if name in _ANALYTICAL:
+        result = runner()
+    else:
+        result = runner(config)
+    return format_result(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        for name in sorted(EXPERIMENT_REGISTRY):
+            print(name)
+        return 0
+
+    if not args.experiments:
+        parser.error("no experiments given (use --list to see the available ids)")
+
+    unknown = [name for name in args.experiments if name not in EXPERIMENT_REGISTRY]
+    if unknown:
+        parser.error(
+            f"unknown experiment id(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(EXPERIMENT_REGISTRY))}"
+        )
+
+    config = _PRESETS[args.preset]
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+
+    for name in args.experiments:
+        started = time.perf_counter()
+        text = _run_one(name, config)
+        elapsed = time.perf_counter() - started
+        print(text)
+        print(f"[{name} regenerated in {elapsed:.1f} s]\n")
+        if args.output is not None:
+            (args.output / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Experiment configuration presets.
+
+Every experiment runner accepts an :class:`ExperimentConfig` controlling how
+long simulations run, how many seeds are averaged and which node counts are
+swept.  Two presets are provided:
+
+* :data:`QUICK` — small budgets so the full benchmark suite finishes in
+  minutes on a laptop; used by ``benchmarks/`` and the test suite.
+* :data:`PAPER` — budgets comparable to the paper's ns-3 runs (long
+  adaptation warm-ups, 20 repetitions); used when regenerating the numbers in
+  EXPERIMENTS.md with more statistical weight.
+
+The paper's absolute settings (250 ms update period, 20 iterations, hundreds
+of simulated seconds) are reachable by constructing a custom config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["ExperimentConfig", "QUICK", "PAPER"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Budgets and sweep ranges shared by the experiment runners.
+
+    Attributes
+    ----------
+    node_counts:
+        Station counts for throughput-vs-N figures (paper: 10..60).
+    seeds:
+        Random seeds; results are averaged across them (paper: 20 runs).
+    measure_duration / warmup:
+        Measurement window and warm-up for *non-adaptive* schemes (seconds).
+    adaptive_warmup:
+        Warm-up for adaptive schemes (wTOP/TORA/IdleSense) so the controller
+        converges before measuring.
+    update_period:
+        Controller UPDATE_PERIOD (paper: 0.25 s; the quick preset shrinks it
+        together with the warm-up so the same number of Kiefer-Wolfowitz
+        updates happen in less simulated time).
+    report_interval:
+        Sampling period of the convergence time lines (Figures 8-11).
+    hidden_disc_radius_small / hidden_disc_radius_large:
+        Disc radii of the two hidden-node placements (paper: 16 and 20).
+    dynamic_segment_duration:
+        Length of each constant-N segment in the dynamic scenarios.
+    """
+
+    node_counts: Tuple[int, ...] = (10, 20, 30, 40, 50, 60)
+    seeds: Tuple[int, ...] = (1, 2, 3)
+    measure_duration: float = 2.0
+    warmup: float = 0.5
+    adaptive_warmup: float = 10.0
+    update_period: float = 0.05
+    report_interval: float = 0.25
+    hidden_disc_radius_small: float = 16.0
+    hidden_disc_radius_large: float = 20.0
+    dynamic_segment_duration: float = 10.0
+
+    def evolve(self, **changes: object) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: Fast preset used by the benchmark harness (minutes, not hours).
+QUICK = ExperimentConfig(
+    node_counts=(10, 20, 40, 60),
+    seeds=(1, 2),
+    measure_duration=1.0,
+    warmup=0.3,
+    adaptive_warmup=6.0,
+    update_period=0.05,
+    report_interval=0.25,
+    dynamic_segment_duration=6.0,
+)
+
+#: Heavier preset closer to the paper's simulation budgets.
+PAPER = ExperimentConfig(
+    node_counts=(10, 20, 30, 40, 50, 60),
+    seeds=tuple(range(1, 11)),
+    measure_duration=5.0,
+    warmup=1.0,
+    adaptive_warmup=60.0,
+    update_period=0.25,
+    report_interval=1.0,
+    dynamic_segment_duration=100.0,
+)

@@ -1,0 +1,83 @@
+"""Figure 1 — motivation: IdleSense vs standard 802.11, with and without
+hidden nodes, as a function of the number of stations.
+
+Expected shape (paper):
+
+* without hidden nodes IdleSense clearly beats standard 802.11 and stays
+  roughly flat with N while 802.11 degrades;
+* with hidden nodes IdleSense drops *below* standard 802.11 — the motivating
+  observation of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mac.schemes import idlesense_scheme, standard_80211_scheme
+from ..phy.constants import PhyParameters
+from .config import ExperimentConfig, QUICK
+from .runner import (
+    ExperimentResult,
+    ExperimentRow,
+    average_throughput_mbps,
+    make_connected_topology,
+    make_hidden_topology,
+    run_scheme_connected,
+    run_scheme_on_topology,
+)
+
+__all__ = ["run_fig1"]
+
+
+def run_fig1(config: ExperimentConfig = QUICK,
+             phy: Optional[PhyParameters] = None) -> ExperimentResult:
+    """Reproduce Figure 1 (throughput vs N for 802.11/IdleSense, +- hidden)."""
+    columns = (
+        "IdleSense (no hidden)",
+        "802.11 (no hidden)",
+        "802.11 (hidden)",
+        "IdleSense (hidden)",
+    )
+    rows = []
+    for num_stations in config.node_counts:
+        values = {}
+        # Fully connected cases: slotted simulator.
+        for name, factory in (
+            ("IdleSense (no hidden)", lambda: idlesense_scheme(phy)),
+            ("802.11 (no hidden)", lambda: standard_80211_scheme(phy)),
+        ):
+            results = [
+                run_scheme_connected(factory, num_stations, config, seed, phy=phy)
+                for seed in config.seeds
+            ]
+            values[name] = average_throughput_mbps(results)
+        # Hidden-node cases: event-driven simulator on random disc placements.
+        for name, factory in (
+            ("802.11 (hidden)", lambda: standard_80211_scheme(phy)),
+            ("IdleSense (hidden)", lambda: idlesense_scheme(phy)),
+        ):
+            results = []
+            for seed in config.seeds:
+                topology = make_hidden_topology(
+                    num_stations, config.hidden_disc_radius_small, seed
+                )
+                results.append(
+                    run_scheme_on_topology(factory, topology, config, seed, phy=phy)
+                )
+            values[name] = average_throughput_mbps(results)
+        rows.append(ExperimentRow(label=f"N={num_stations}", values=values))
+    return ExperimentResult(
+        name="Figure 1",
+        description=(
+            "Throughput (Mbps) of IdleSense and standard 802.11, without and "
+            "with hidden nodes"
+        ),
+        columns=columns,
+        rows=tuple(rows),
+        metadata={
+            "node_counts": config.node_counts,
+            "seeds": config.seeds,
+            "hidden_disc_radius": config.hidden_disc_radius_small,
+            "measure_duration_s": config.measure_duration,
+        },
+    )

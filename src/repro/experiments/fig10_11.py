@@ -1,0 +1,92 @@
+"""Figures 10 and 11 — TORA-CSMA under a time-varying number of stations.
+
+Same protocol as Figures 8-9 but for the exponential-backoff controller:
+Figure 10 plots throughput vs time, Figure 11 the reset probability ``p0``
+vs time (with the reset stage ``j`` shifting when ``p0`` saturates).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mac.schemes import tora_csma_scheme
+from ..phy.constants import PhyParameters
+from .config import ExperimentConfig, QUICK
+from .fig8_9 import default_station_steps
+from .runner import (
+    ExperimentResult,
+    ExperimentRow,
+    make_hidden_topology,
+    run_scheme_connected,
+    run_scheme_on_topology,
+)
+
+__all__ = ["run_fig10_11"]
+
+
+def run_fig10_11(
+    config: ExperimentConfig = QUICK,
+    phy: Optional[PhyParameters] = None,
+    include_hidden: bool = False,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Reproduce Figures 10 and 11 (TORA-CSMA dynamics)."""
+    schedule = default_station_steps(config.dynamic_segment_duration)
+    total_duration = config.dynamic_segment_duration * len(schedule.breakpoints)
+    factory = lambda: tora_csma_scheme(phy, update_period=config.update_period)
+
+    dynamic_config = config.evolve(
+        measure_duration=total_duration, adaptive_warmup=0.0, warmup=0.0
+    )
+    connected = run_scheme_connected(
+        factory, schedule.max_active, dynamic_config, seed, phy=phy,
+        activity=schedule, report_interval=config.report_interval,
+    )
+
+    hidden = None
+    if include_hidden:
+        topology = make_hidden_topology(
+            schedule.max_active, config.hidden_disc_radius_small, seed
+        )
+        hidden = run_scheme_on_topology(
+            factory, topology, dynamic_config, seed, phy=phy,
+            activity=schedule, report_interval=config.report_interval,
+        )
+
+    columns = ["throughput (no hidden)", "p0 (no hidden)", "active stations"]
+    if hidden is not None:
+        columns.extend(["throughput (hidden)", "p0 (hidden)"])
+
+    hidden_throughput = dict(hidden.throughput_timeline) if hidden else {}
+    hidden_control = dict(hidden.control_timeline) if hidden else {}
+    control_by_time = dict(connected.control_timeline)
+
+    rows = []
+    for time_s, throughput_bps in connected.throughput_timeline:
+        values = {
+            "throughput (no hidden)": throughput_bps / 1e6,
+            "p0 (no hidden)": control_by_time.get(time_s, float("nan")),
+            "active stations": float(schedule.active_count(time_s)),
+        }
+        if hidden is not None:
+            values["throughput (hidden)"] = hidden_throughput.get(time_s, float("nan")) / 1e6
+            values["p0 (hidden)"] = hidden_control.get(time_s, float("nan"))
+        rows.append(ExperimentRow(label=f"t={time_s:.2f}s", values=values))
+
+    return ExperimentResult(
+        name="Figures 10-11",
+        description=(
+            "TORA-CSMA throughput and reset probability vs time as the number "
+            "of active stations changes"
+        ),
+        columns=tuple(columns),
+        rows=tuple(rows),
+        metadata={
+            "station_steps": schedule.breakpoints,
+            "segment_duration_s": config.dynamic_segment_duration,
+            "report_interval_s": config.report_interval,
+            "update_period_s": config.update_period,
+            "include_hidden": include_hidden,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,64 @@
+"""Figure 3 — throughput vs number of stations in a fully connected network
+for standard 802.11, IdleSense, wTOP-CSMA and TORA-CSMA.
+
+Expected shape: the three adaptive schemes stay near the optimal throughput
+(flat in N) while standard 802.11 degrades as N grows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.persistent import optimal_attempt_probability, system_throughput_weighted
+from ..phy.constants import PhyParameters
+from .config import ExperimentConfig, QUICK
+from .runner import (
+    ExperimentResult,
+    ExperimentRow,
+    average_throughput_mbps,
+    paper_scheme_factories,
+    run_scheme_connected,
+)
+
+__all__ = ["run_fig3"]
+
+
+def run_fig3(config: ExperimentConfig = QUICK,
+             phy: Optional[PhyParameters] = None,
+             include_optimum: bool = True) -> ExperimentResult:
+    """Reproduce Figure 3 (scheme comparison, fully connected)."""
+    phy_obj = phy or PhyParameters()
+    factories = paper_scheme_factories(config, phy)
+    columns = list(factories.keys())
+    if include_optimum:
+        columns.append("Analytic optimum")
+
+    rows = []
+    for num_stations in config.node_counts:
+        values = {}
+        for name, factory in factories.items():
+            results = [
+                run_scheme_connected(factory, num_stations, config, seed, phy=phy)
+                for seed in config.seeds
+            ]
+            values[name] = average_throughput_mbps(results)
+        if include_optimum:
+            p_star = optimal_attempt_probability(num_stations, phy_obj)
+            values["Analytic optimum"] = (
+                system_throughput_weighted(p_star, [1.0] * num_stations, phy_obj) / 1e6
+            )
+        rows.append(ExperimentRow(label=f"N={num_stations}", values=values))
+    return ExperimentResult(
+        name="Figure 3",
+        description=(
+            "Throughput (Mbps) vs number of stations, fully connected network"
+        ),
+        columns=tuple(columns),
+        rows=tuple(rows),
+        metadata={
+            "node_counts": config.node_counts,
+            "seeds": config.seeds,
+            "update_period_s": config.update_period,
+            "adaptive_warmup_s": config.adaptive_warmup,
+        },
+    )

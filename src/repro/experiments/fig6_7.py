@@ -1,0 +1,76 @@
+"""Figures 6 and 7 — throughput vs number of stations with hidden nodes.
+
+The four schemes are compared on random uniform-disc placements of radius
+16 (Figure 6) and radius 20 (Figure 7).  Expected ordering (paper):
+TORA-CSMA >= wTOP-CSMA, both well above IdleSense (which collapses), with
+standard 802.11 in between — and in particular TORA-CSMA beating the optimal
+p-persistent scheme, the paper's headline hidden-node result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..phy.constants import PhyParameters
+from .config import ExperimentConfig, QUICK
+from .runner import (
+    ExperimentResult,
+    ExperimentRow,
+    average_throughput_mbps,
+    make_hidden_topology,
+    paper_scheme_factories,
+    run_scheme_on_topology,
+)
+
+__all__ = ["run_fig6", "run_fig7", "run_hidden_comparison"]
+
+
+def run_hidden_comparison(radius: float, name: str,
+                          config: ExperimentConfig = QUICK,
+                          phy: Optional[PhyParameters] = None) -> ExperimentResult:
+    """Scheme comparison on hidden-node topologies of the given disc radius."""
+    factories = paper_scheme_factories(config, phy)
+    rows = []
+    for num_stations in config.node_counts:
+        values = {}
+        for scheme_name, factory in factories.items():
+            results = []
+            for seed in config.seeds:
+                topology = make_hidden_topology(num_stations, radius, seed)
+                results.append(
+                    run_scheme_on_topology(factory, topology, config, seed, phy=phy)
+                )
+            values[scheme_name] = average_throughput_mbps(results)
+        rows.append(ExperimentRow(label=f"N={num_stations}", values=values))
+    return ExperimentResult(
+        name=name,
+        description=(
+            f"Throughput (Mbps) vs number of stations, nodes uniform in a disc "
+            f"of radius {radius:g} (hidden nodes present)"
+        ),
+        columns=tuple(factories.keys()),
+        rows=tuple(rows),
+        metadata={
+            "disc_radius": radius,
+            "node_counts": config.node_counts,
+            "seeds": config.seeds,
+            "update_period_s": config.update_period,
+            "adaptive_warmup_s": config.adaptive_warmup,
+        },
+    )
+
+
+def run_fig6(config: ExperimentConfig = QUICK,
+             phy: Optional[PhyParameters] = None) -> ExperimentResult:
+    """Reproduce Figure 6 (disc radius 16)."""
+    return run_hidden_comparison(
+        config.hidden_disc_radius_small, "Figure 6", config, phy
+    )
+
+
+def run_fig7(config: ExperimentConfig = QUICK,
+             phy: Optional[PhyParameters] = None) -> ExperimentResult:
+    """Reproduce Figure 7 (disc radius 20)."""
+    return run_hidden_comparison(
+        config.hidden_disc_radius_large, "Figure 7", config, phy
+    )

@@ -1,0 +1,182 @@
+"""Shared plumbing for the per-figure experiment runners.
+
+The runners all need the same few operations:
+
+* build the paper's topologies (ring of radius 8, or uniform disc of radius
+  16/20) for a given node count and seed;
+* run one MAC scheme on a topology with the right simulator (slotted for
+  fully connected topologies, event-driven whenever hidden nodes can exist);
+* average throughput over seeds;
+* express results as plain rows that the reporting module can format.
+
+Keeping this logic in one place guarantees that every figure uses identical
+measurement methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mac.schemes import Scheme
+from ..phy.constants import PhyParameters
+from ..sim.dynamics import ActivitySchedule
+from ..sim.metrics import SimulationResult
+from ..sim.simulation import WlanSimulation
+from ..sim.slotted import SlottedSimulator
+from ..topology.graph import ConnectivityGraph
+from ..topology.scenarios import fully_connected_scenario, hidden_node_scenario
+from .config import ExperimentConfig
+
+__all__ = [
+    "SchemeFactory",
+    "ExperimentRow",
+    "ExperimentResult",
+    "make_connected_topology",
+    "make_hidden_topology",
+    "run_scheme_connected",
+    "run_scheme_on_topology",
+    "average_throughput_mbps",
+    "paper_scheme_factories",
+]
+
+#: A callable producing a fresh Scheme (schemes hold mutable controllers, so
+#: each run needs its own instance).
+SchemeFactory = Callable[[], Scheme]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row of an experiment's output table.
+
+    Values are usually floats (throughputs, probabilities) but strings are
+    allowed for descriptive tables such as Table I.
+    """
+
+    label: str
+    values: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one experiment runner.
+
+    ``columns`` fixes the column ordering used when rendering text tables;
+    ``rows`` hold the data; ``metadata`` records the configuration that
+    produced them (durations, seeds, topology parameters).
+    """
+
+    name: str
+    description: str
+    columns: Tuple[str, ...]
+    rows: Tuple[ExperimentRow, ...]
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def column(self, name: str) -> List[float]:
+        """Extract one column as a list (missing cells become NaN)."""
+        return [float(row.values.get(name, float("nan"))) for row in self.rows]
+
+    def row_labels(self) -> List[str]:
+        return [row.label for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# Topology construction
+# ----------------------------------------------------------------------
+def make_connected_topology(num_stations: int) -> ConnectivityGraph:
+    """The paper's fully connected placement (ring of radius 8)."""
+    return fully_connected_scenario(num_stations)
+
+
+def make_hidden_topology(num_stations: int, radius: float,
+                         seed: int) -> ConnectivityGraph:
+    """The paper's hidden-node placement (uniform disc of the given radius)."""
+    rng = np.random.default_rng(seed)
+    return hidden_node_scenario(
+        num_stations, rng, radius=radius, require_hidden_pairs=True
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulation execution helpers
+# ----------------------------------------------------------------------
+def _durations_for(scheme: Scheme, config: ExperimentConfig) -> Tuple[float, float]:
+    warmup = config.adaptive_warmup if scheme.adaptive else config.warmup
+    return config.measure_duration, warmup
+
+
+def run_scheme_connected(
+    scheme_factory: SchemeFactory,
+    num_stations: int,
+    config: ExperimentConfig,
+    seed: int,
+    phy: Optional[PhyParameters] = None,
+    activity: Optional[ActivitySchedule] = None,
+    report_interval: Optional[float] = None,
+) -> SimulationResult:
+    """Run a scheme on a fully connected network using the slotted simulator."""
+    scheme = scheme_factory()
+    duration, warmup = _durations_for(scheme, config)
+    simulator = SlottedSimulator(
+        scheme,
+        num_stations=num_stations,
+        phy=phy,
+        seed=seed,
+        activity=activity,
+        report_interval=report_interval,
+    )
+    return simulator.run(duration=duration, warmup=warmup)
+
+
+def run_scheme_on_topology(
+    scheme_factory: SchemeFactory,
+    topology: ConnectivityGraph,
+    config: ExperimentConfig,
+    seed: int,
+    phy: Optional[PhyParameters] = None,
+    activity: Optional[ActivitySchedule] = None,
+    report_interval: Optional[float] = None,
+) -> SimulationResult:
+    """Run a scheme on an arbitrary topology using the event-driven simulator."""
+    scheme = scheme_factory()
+    duration, warmup = _durations_for(scheme, config)
+    simulation = WlanSimulation(
+        scheme=scheme,
+        connectivity=topology,
+        phy=phy,
+        seed=seed,
+        activity=activity,
+        report_interval=report_interval,
+    )
+    return simulation.run(duration=duration, warmup=warmup)
+
+
+def average_throughput_mbps(results: Sequence[SimulationResult]) -> float:
+    """Mean system throughput over repeated runs, in Mbps."""
+    if not results:
+        raise ValueError("need at least one result")
+    return float(np.mean([r.total_throughput_mbps for r in results]))
+
+
+# ----------------------------------------------------------------------
+# The paper's four schemes, as factories parameterised by the config
+# ----------------------------------------------------------------------
+def paper_scheme_factories(config: ExperimentConfig,
+                           phy: Optional[PhyParameters] = None
+                           ) -> Dict[str, SchemeFactory]:
+    """Factories for the four schemes compared throughout the evaluation."""
+    from ..mac.schemes import (
+        idlesense_scheme,
+        standard_80211_scheme,
+        tora_csma_scheme,
+        wtop_csma_scheme,
+    )
+
+    return {
+        "Standard 802.11": lambda: standard_80211_scheme(phy),
+        "IdleSense": lambda: idlesense_scheme(phy),
+        "wTOP-CSMA": lambda: wtop_csma_scheme(phy, update_period=config.update_period),
+        "TORA-CSMA": lambda: tora_csma_scheme(phy, update_period=config.update_period),
+    }

@@ -1,0 +1,35 @@
+"""Table I — simulation parameters.
+
+Trivially regenerated from :class:`~repro.phy.constants.PhyParameters`; the
+benchmark exists so the parameter set used by every other experiment is
+printed alongside their outputs (and so a change to the defaults is caught).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..phy.constants import PhyParameters
+from .runner import ExperimentResult, ExperimentRow
+
+__all__ = ["run_table1"]
+
+
+def run_table1(phy: Optional[PhyParameters] = None) -> ExperimentResult:
+    """Return the Table I parameter listing as an experiment result."""
+    phy = phy or PhyParameters()
+    rows = tuple(
+        ExperimentRow(label=name, values={"value": value})
+        for name, value in phy.as_table().items()
+    )
+    metadata = {}
+    metadata["Ts (us)"] = round(phy.ts * 1e6, 2)
+    metadata["Tc (us)"] = round(phy.tc * 1e6, 2)
+    metadata["backoff stages (m)"] = phy.num_backoff_stages
+    return ExperimentResult(
+        name="Table I",
+        description="Simulation parameters (IEEE 802.11 OFDM PHY, 20 MHz)",
+        columns=("value",),
+        rows=rows,
+        metadata=metadata,
+    )

@@ -1,0 +1,44 @@
+"""MAC layer: backoff policies, IdleSense baseline and named schemes."""
+
+from .backoff import (
+    BackoffPolicy,
+    FixedWindowBackoff,
+    PPersistentBackoff,
+    RandomResetBackoff,
+    StandardExponentialBackoff,
+)
+from .idlesense import DEFAULT_TARGET_IDLE_SLOTS, IdleSenseBackoff
+from .ntuning import NEstimatingPersistentBackoff
+from .schemes import (
+    SCHEME_NAMES,
+    Scheme,
+    fixed_p_persistent_scheme,
+    fixed_randomreset_scheme,
+    idlesense_scheme,
+    n_estimating_scheme,
+    scheme_by_name,
+    standard_80211_scheme,
+    tora_csma_scheme,
+    wtop_csma_scheme,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "FixedWindowBackoff",
+    "PPersistentBackoff",
+    "RandomResetBackoff",
+    "StandardExponentialBackoff",
+    "DEFAULT_TARGET_IDLE_SLOTS",
+    "IdleSenseBackoff",
+    "NEstimatingPersistentBackoff",
+    "SCHEME_NAMES",
+    "Scheme",
+    "fixed_p_persistent_scheme",
+    "fixed_randomreset_scheme",
+    "idlesense_scheme",
+    "n_estimating_scheme",
+    "scheme_by_name",
+    "standard_80211_scheme",
+    "tora_csma_scheme",
+    "wtop_csma_scheme",
+]

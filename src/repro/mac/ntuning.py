@@ -1,0 +1,167 @@
+"""Model-based adaptive p-persistent baseline ("estimate N, set p*").
+
+The prior work the paper argues against ([2], [4], [7] — Bianchi/Cali et al.)
+tunes the attempt probability of p-persistent CSMA from an *estimate of the
+number of active stations*: each station observes the channel, estimates how
+many contenders there are, and sets
+
+    p = 1 / (N_hat * sqrt(T*_c / 2))                     (paper Eq. 8)
+
+This is near-optimal in a fully connected network but, exactly like IdleSense,
+it relies on the Bianchi model: with hidden nodes a station cannot observe the
+contenders it cannot sense, underestimates N and becomes too aggressive.  The
+class below implements the scheme so the reproduction can compare the paper's
+model-free approach against the *model-based* state of the art it criticises,
+not just against static 802.11.
+
+Estimation: for a station attempting with probability ``p`` among ``N``
+stations, the number of idle backoff slots before an observed transmission is
+geometric with mean ``(1 - P_busy) / P_busy`` where
+``P_busy = 1 - (1 - p)^N``.  Inverting the smoothed observed mean idle run
+gives ``P_busy`` and hence ``N_hat = log(1 - P_busy) / log(1 - p)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..phy.constants import PhyParameters
+from .backoff import BackoffPolicy
+
+__all__ = ["NEstimatingPersistentBackoff"]
+
+
+class NEstimatingPersistentBackoff(BackoffPolicy):
+    """Distributed p-persistent CSMA tuned from an estimate of N.
+
+    Parameters
+    ----------
+    phy:
+        PHY parameters (``T*_c`` enters the optimal-p formula).
+    initial_estimate:
+        Starting guess for the number of active stations.
+    smoothing:
+        EWMA factor applied to the observed mean idle-run length
+        (0 < smoothing <= 1; 1 means "use only the latest observation").
+    min_estimate / max_estimate:
+        Clamp on the station-count estimate.
+    update_every:
+        Number of observed transmissions between re-estimations.
+    """
+
+    name = "N-estimating p-persistent"
+
+    observes_channel = True
+
+    def __init__(
+        self,
+        phy: Optional[PhyParameters] = None,
+        initial_estimate: float = 10.0,
+        smoothing: float = 0.02,
+        min_estimate: float = 1.0,
+        max_estimate: float = 500.0,
+        update_every: int = 10,
+        max_backoff_slots: int = 1_000_000,
+    ) -> None:
+        if initial_estimate < 1:
+            raise ValueError("initial_estimate must be at least 1")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must lie in (0, 1]")
+        if not 1.0 <= min_estimate <= max_estimate:
+            raise ValueError("require 1 <= min_estimate <= max_estimate")
+        if update_every < 1:
+            raise ValueError("update_every must be at least 1")
+        self._phy = phy or PhyParameters()
+        self._smoothing = float(smoothing)
+        self._min_estimate = float(min_estimate)
+        self._max_estimate = float(max_estimate)
+        self._update_every = int(update_every)
+        self._max_backoff_slots = int(max_backoff_slots)
+
+        self._estimate = float(initial_estimate)
+        self._attempt_p = self._optimal_p(self._estimate)
+        self._mean_idle_run: Optional[float] = None
+        self._observations_since_update = 0
+        self._total_observations = 0
+
+    # ------------------------------------------------------------------
+    # Estimation machinery
+    # ------------------------------------------------------------------
+    def _optimal_p(self, estimate: float) -> float:
+        """Eq. (8): the near-optimal attempt probability for ``estimate`` stations."""
+        p = 1.0 / (max(estimate, 1.0) * math.sqrt(self._phy.tc_slots / 2.0))
+        return min(max(p, 1e-6), 1.0)
+
+    def observe_transmission(self, idle_slots_before: int) -> None:
+        """Update the smoothed idle-run statistic and occasionally re-tune."""
+        if idle_slots_before < 0:
+            raise ValueError("idle_slots_before must be non-negative")
+        if self._mean_idle_run is None:
+            self._mean_idle_run = float(idle_slots_before)
+        else:
+            self._mean_idle_run += self._smoothing * (
+                idle_slots_before - self._mean_idle_run
+            )
+        self._total_observations += 1
+        self._observations_since_update += 1
+        if self._observations_since_update >= self._update_every:
+            self._observations_since_update = 0
+            self._re_estimate()
+
+    def _re_estimate(self) -> None:
+        if self._mean_idle_run is None:
+            return
+        # Mean idle run r  =>  P_busy = 1 / (1 + r).
+        p_busy = 1.0 / (1.0 + max(self._mean_idle_run, 0.0))
+        p_busy = min(max(p_busy, 1e-6), 1.0 - 1e-9)
+        own_p = min(max(self._attempt_p, 1e-9), 1.0 - 1e-9)
+        estimate = math.log(1.0 - p_busy) / math.log(1.0 - own_p)
+        estimate = min(max(estimate, self._min_estimate), self._max_estimate)
+        self._estimate = estimate
+        self._attempt_p = self._optimal_p(estimate)
+
+    # ------------------------------------------------------------------
+    # BackoffPolicy interface
+    # ------------------------------------------------------------------
+    def _draw(self, rng: np.random.Generator) -> int:
+        p = self._attempt_p
+        if p >= 1.0:
+            return 0
+        draw = int(rng.geometric(p)) - 1
+        return min(draw, self._max_backoff_slots)
+
+    def initial_backoff(self, rng: np.random.Generator) -> int:
+        return self._draw(rng)
+
+    def on_success(self, rng: np.random.Generator) -> int:
+        return self._draw(rng)
+
+    def on_failure(self, rng: np.random.Generator) -> int:
+        return self._draw(rng)
+
+    def attempt_probability(self) -> Optional[float]:
+        return self._attempt_p
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def station_estimate(self) -> float:
+        """Current estimate of the number of active stations."""
+        return self._estimate
+
+    @property
+    def mean_idle_run(self) -> Optional[float]:
+        """Smoothed observed idle-run length (None before any observation)."""
+        return self._mean_idle_run
+
+    def state(self) -> Dict[str, float]:
+        return {
+            "estimate": self._estimate,
+            "attempt_p": self._attempt_p,
+            "mean_idle_run": float(self._mean_idle_run or 0.0),
+            "observations": float(self._total_observations),
+        }

@@ -1,0 +1,230 @@
+"""Named MAC schemes: bundles of (station policy factory, AP controller).
+
+The paper's evaluation compares four schemes:
+
+* ``standard-802.11`` — DCF binary exponential backoff, no AP controller;
+* ``idlesense``       — IdleSense adaptive contention window, no AP controller;
+* ``wtop-csma``       — p-persistent stations + wTOP-CSMA AP controller;
+* ``tora-csma``       — RandomReset stations + TORA-CSMA AP controller.
+
+A :class:`Scheme` packages everything a simulator needs to instantiate one of
+those systems for ``N`` stations (optionally with per-station weights), so the
+experiment runners can be written once and parameterised by scheme name.
+
+Open-loop variants (fixed ``p`` or fixed ``(j, p0)``) are also provided for
+the control-variable sweeps of Figures 2, 4, 5 and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.controller import AccessPointController, StaticController
+from ..core.tora import ToraCsmaController
+from ..core.wtop import WTopCsmaController
+from ..phy.constants import PhyParameters
+from .backoff import (
+    BackoffPolicy,
+    PPersistentBackoff,
+    RandomResetBackoff,
+    StandardExponentialBackoff,
+)
+from .idlesense import IdleSenseBackoff
+from .ntuning import NEstimatingPersistentBackoff
+
+__all__ = [
+    "Scheme",
+    "standard_80211_scheme",
+    "idlesense_scheme",
+    "wtop_csma_scheme",
+    "tora_csma_scheme",
+    "n_estimating_scheme",
+    "fixed_p_persistent_scheme",
+    "fixed_randomreset_scheme",
+    "scheme_by_name",
+    "SCHEME_NAMES",
+]
+
+PolicyFactory = Callable[[int], BackoffPolicy]
+ControllerFactory = Callable[[], AccessPointController]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """A complete MAC scheme: per-station policies plus the AP controller.
+
+    Attributes
+    ----------
+    name:
+        Display name used in experiment reports.
+    policy_factory:
+        Callable mapping a station index to a fresh policy instance.
+    controller_factory:
+        Callable creating the AP controller (a no-op
+        :class:`StaticController` for non-adaptive schemes).
+    adaptive:
+        Whether the AP controller actually adapts anything (affects how long
+        experiments must run before measuring steady-state throughput).
+    """
+
+    name: str
+    policy_factory: PolicyFactory
+    controller_factory: ControllerFactory
+    adaptive: bool = False
+
+    def make_policies(self, num_stations: int) -> list:
+        """Instantiate one policy per station."""
+        if num_stations < 1:
+            raise ValueError("num_stations must be at least 1")
+        return [self.policy_factory(i) for i in range(num_stations)]
+
+    def make_controller(self) -> AccessPointController:
+        """Instantiate the AP controller."""
+        return self.controller_factory()
+
+
+def _weight_for(weights: Optional[Sequence[float]], station: int) -> float:
+    if weights is None:
+        return 1.0
+    return float(weights[station])
+
+
+def standard_80211_scheme(phy: Optional[PhyParameters] = None) -> Scheme:
+    """Standard IEEE 802.11 DCF (the paper's baseline)."""
+    phy = phy or PhyParameters()
+    return Scheme(
+        name="Standard 802.11",
+        policy_factory=lambda station: StandardExponentialBackoff(phy),
+        controller_factory=StaticController,
+        adaptive=False,
+    )
+
+
+def idlesense_scheme(phy: Optional[PhyParameters] = None,
+                     target_idle_slots: float = 3.1) -> Scheme:
+    """IdleSense (Heusse et al.) — distributed adaptive baseline."""
+    phy = phy or PhyParameters()
+    return Scheme(
+        name="IdleSense",
+        policy_factory=lambda station: IdleSenseBackoff(
+            phy, target_idle_slots=target_idle_slots
+        ),
+        controller_factory=StaticController,
+        adaptive=True,
+    )
+
+
+def wtop_csma_scheme(
+    phy: Optional[PhyParameters] = None,
+    weights: Optional[Sequence[float]] = None,
+    update_period: float = 0.25,
+    initial_control: float = 0.5,
+    initial_station_p: float = 0.1,
+    **controller_kwargs,
+) -> Scheme:
+    """wTOP-CSMA: p-persistent stations driven by the Kiefer-Wolfowitz AP."""
+    phy = phy or PhyParameters()
+    return Scheme(
+        name="wTOP-CSMA",
+        policy_factory=lambda station: PPersistentBackoff(
+            p=initial_station_p, weight=_weight_for(weights, station)
+        ),
+        controller_factory=lambda: WTopCsmaController(
+            update_period=update_period,
+            initial_control=initial_control,
+            **controller_kwargs,
+        ),
+        adaptive=True,
+    )
+
+
+def tora_csma_scheme(
+    phy: Optional[PhyParameters] = None,
+    update_period: float = 0.25,
+    initial_p0: float = 0.5,
+    initial_stage: int = 0,
+    **controller_kwargs,
+) -> Scheme:
+    """TORA-CSMA: RandomReset stations driven by the Kiefer-Wolfowitz AP."""
+    phy = phy or PhyParameters()
+    return Scheme(
+        name="TORA-CSMA",
+        policy_factory=lambda station: RandomResetBackoff(
+            phy, stage=initial_stage, reset_probability=1.0
+        ),
+        controller_factory=lambda: ToraCsmaController(
+            phy=phy,
+            update_period=update_period,
+            initial_p0=initial_p0,
+            initial_stage=initial_stage,
+            **controller_kwargs,
+        ),
+        adaptive=True,
+    )
+
+
+def n_estimating_scheme(phy: Optional[PhyParameters] = None,
+                        initial_estimate: float = 10.0) -> Scheme:
+    """Model-based prior art: estimate N and set ``p* = 1/(N sqrt(Tc*/2))``.
+
+    This is the Bianchi/Cali style adaptive p-persistent scheme the paper's
+    related-work section discusses ([2], [4], [7]); it is near-optimal in a
+    fully connected network but mis-estimates N (and over-drives the channel)
+    when hidden nodes exist.
+    """
+    phy = phy or PhyParameters()
+    return Scheme(
+        name="N-estimating p-persistent",
+        policy_factory=lambda station: NEstimatingPersistentBackoff(
+            phy, initial_estimate=initial_estimate
+        ),
+        controller_factory=StaticController,
+        adaptive=True,
+    )
+
+
+def fixed_p_persistent_scheme(p: float,
+                              weights: Optional[Sequence[float]] = None) -> Scheme:
+    """Open-loop p-persistent CSMA at a fixed ``p`` (Figures 2 and 4)."""
+    return Scheme(
+        name=f"p-persistent(p={p:g})",
+        policy_factory=lambda station: PPersistentBackoff(
+            p=p, weight=_weight_for(weights, station)
+        ),
+        controller_factory=StaticController,
+        adaptive=False,
+    )
+
+
+def fixed_randomreset_scheme(stage: int, reset_probability: float,
+                             phy: Optional[PhyParameters] = None) -> Scheme:
+    """Open-loop RandomReset(j; p0) at fixed parameters (Figures 5 and 13)."""
+    phy = phy or PhyParameters()
+    return Scheme(
+        name=f"RandomReset(j={stage}, p0={reset_probability:g})",
+        policy_factory=lambda station: RandomResetBackoff(
+            phy, stage=stage, reset_probability=reset_probability
+        ),
+        controller_factory=StaticController,
+        adaptive=False,
+    )
+
+
+#: Names accepted by :func:`scheme_by_name`.
+SCHEME_NAMES = ("standard-802.11", "idlesense", "wtop-csma", "tora-csma")
+
+
+def scheme_by_name(name: str, phy: Optional[PhyParameters] = None,
+                   **kwargs) -> Scheme:
+    """Look up one of the paper's four schemes by a short name."""
+    key = name.strip().lower()
+    if key in {"standard-802.11", "802.11", "dcf", "standard"}:
+        return standard_80211_scheme(phy)
+    if key in {"idlesense", "idle-sense"}:
+        return idlesense_scheme(phy, **kwargs)
+    if key in {"wtop-csma", "wtop", "top-csma"}:
+        return wtop_csma_scheme(phy, **kwargs)
+    if key in {"tora-csma", "tora"}:
+        return tora_csma_scheme(phy, **kwargs)
+    raise ValueError(f"unknown scheme '{name}'; expected one of {SCHEME_NAMES}")

@@ -1,0 +1,33 @@
+"""PHY layer: timing constants, frames and propagation models."""
+
+from .constants import (
+    DEFAULT_PHY,
+    NS_PER_SECOND,
+    PhyParameters,
+    ns_to_seconds,
+    seconds_to_ns,
+)
+from .frame import AckFrame, DataFrame, Frame, FrameFactory, FrameType
+from .propagation import (
+    LogDistancePropagation,
+    PropagationModel,
+    RangeBasedPropagation,
+    friis_path_loss_db,
+)
+
+__all__ = [
+    "DEFAULT_PHY",
+    "NS_PER_SECOND",
+    "PhyParameters",
+    "ns_to_seconds",
+    "seconds_to_ns",
+    "AckFrame",
+    "DataFrame",
+    "Frame",
+    "FrameFactory",
+    "FrameType",
+    "LogDistancePropagation",
+    "PropagationModel",
+    "RangeBasedPropagation",
+    "friis_path_loss_db",
+]

@@ -1,0 +1,135 @@
+"""Frame definitions used by the simulator.
+
+The paper's MAC model only needs two frame types — saturated uplink DATA
+frames from stations to the access point, and ACK frames from the access
+point back to the originating station.  ACK frames additionally carry the
+controller parameters (the ``p`` of wTOP-CSMA or the ``(p0, j)`` pair of
+TORA-CSMA), which is how the paper's algorithms disseminate control state.
+
+Frames are lightweight dataclasses; the simulator never serialises them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .constants import PhyParameters
+
+__all__ = ["FrameType", "Frame", "DataFrame", "AckFrame", "FrameFactory"]
+
+_frame_counter = itertools.count(1)
+
+
+class FrameType(enum.Enum):
+    """Kind of MAC frame."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Base class for MAC frames.
+
+    Attributes
+    ----------
+    frame_id:
+        Monotonically increasing identifier, unique within a process.
+    frame_type:
+        DATA or ACK.
+    source / destination:
+        Node identifiers.  The access point uses the reserved id ``-1``
+        (see :data:`repro.sim.node.AP_NODE_ID`).
+    size_bits:
+        Number of bits on the air (header + payload for data frames).
+    """
+
+    frame_id: int
+    frame_type: FrameType
+    source: int
+    destination: int
+    size_bits: int
+
+    def airtime(self, phy: PhyParameters) -> float:
+        """Transmission duration of this frame in seconds."""
+        return self.size_bits / phy.bit_rate
+
+    def airtime_ns(self, phy: PhyParameters) -> int:
+        """Transmission duration of this frame in integer nanoseconds."""
+        return int(round(self.airtime(phy) * 1e9))
+
+
+@dataclass(frozen=True)
+class DataFrame(Frame):
+    """A saturated-traffic uplink data frame."""
+
+    payload_bits: int = 0
+
+    @property
+    def goodput_bits(self) -> int:
+        """Bits that count toward throughput (payload only)."""
+        return self.payload_bits
+
+
+@dataclass(frozen=True)
+class AckFrame(Frame):
+    """An ACK frame, optionally piggy-backing controller parameters.
+
+    ``control`` maps parameter names (e.g. ``"p"`` or ``"p0"``/``"stage"``)
+    to values; an empty mapping means the AP is not running an adaptive
+    controller (plain 802.11 operation).
+    """
+
+    acked_frame_id: int = 0
+    control: Mapping[str, float] = field(default_factory=dict)
+
+
+class FrameFactory:
+    """Builds frames with consistent sizes from a :class:`PhyParameters`.
+
+    A factory exists mostly so that tests and simulators agree on frame
+    sizes, and so frame ids stay unique per simulation rather than per
+    process.
+    """
+
+    def __init__(self, phy: PhyParameters) -> None:
+        self._phy = phy
+        self._counter = itertools.count(1)
+
+    @property
+    def phy(self) -> PhyParameters:
+        return self._phy
+
+    def next_id(self) -> int:
+        return next(self._counter)
+
+    def data(self, source: int, destination: int,
+             payload_bits: Optional[int] = None) -> DataFrame:
+        """Create a DATA frame from ``source`` to ``destination``."""
+        payload = self._phy.payload_bits if payload_bits is None else payload_bits
+        if payload <= 0:
+            raise ValueError("payload_bits must be positive")
+        return DataFrame(
+            frame_id=self.next_id(),
+            frame_type=FrameType.DATA,
+            source=source,
+            destination=destination,
+            size_bits=self._phy.mac_header_bits + payload,
+            payload_bits=payload,
+        )
+
+    def ack(self, source: int, destination: int, acked_frame_id: int,
+            control: Optional[Mapping[str, float]] = None) -> AckFrame:
+        """Create an ACK for ``acked_frame_id`` carrying controller state."""
+        return AckFrame(
+            frame_id=self.next_id(),
+            frame_type=FrameType.ACK,
+            source=source,
+            destination=destination,
+            size_bits=self._phy.ack_bits,
+            acked_frame_id=acked_frame_id,
+            control=dict(control or {}),
+        )

@@ -1,0 +1,261 @@
+"""Radio propagation models.
+
+The paper configures ns-3 so that a node can *decode* transmissions from
+nodes within 16 distance units and can *carrier-sense* transmissions from
+nodes within 24 units (Section I and Table I, via the YansWifiPhy
+``EnergyDetectionThreshold`` / ``CcaMode1Threshold`` attributes).  Only these
+two radii matter to the MAC-level behaviour the paper studies, so the
+reproduction offers two interchangeable models:
+
+* :class:`RangeBasedPropagation` — the radii are specified directly
+  (decode range 16, sense range 24 by default), matching the paper exactly.
+* :class:`LogDistancePropagation` — a standard log-distance path-loss model
+  plus receiver thresholds; radii are *derived* from physical parameters.
+  Optional log-normal shadowing lets experiments create "obstacle" hidden
+  nodes as discussed in the paper's introduction.
+
+Both expose the same small interface (:class:`PropagationModel`):
+``can_decode(distance)``, ``can_sense(distance)``, and ``rx_power_dbm``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "PropagationModel",
+    "RangeBasedPropagation",
+    "LogDistancePropagation",
+    "FREE_SPACE_EXPONENT",
+    "friis_path_loss_db",
+]
+
+#: Path-loss exponent of free-space propagation.
+FREE_SPACE_EXPONENT = 2.0
+
+
+def friis_path_loss_db(distance_m: float, frequency_hz: float = 2.4e9) -> float:
+    """Free-space (Friis) path loss in dB at ``distance_m`` metres.
+
+    Used as the reference loss at 1 m by :class:`LogDistancePropagation`.
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    wavelength = 299_792_458.0 / frequency_hz
+    return 20.0 * math.log10(4.0 * math.pi * distance_m / wavelength)
+
+
+class PropagationModel(ABC):
+    """Decides decodability and carrier-sense audibility between nodes."""
+
+    @abstractmethod
+    def rx_power_dbm(self, distance: float) -> float:
+        """Received power in dBm for a transmission over ``distance``."""
+
+    @abstractmethod
+    def can_decode(self, distance: float) -> bool:
+        """True if a receiver at ``distance`` can decode the transmission."""
+
+    @abstractmethod
+    def can_sense(self, distance: float) -> bool:
+        """True if a receiver at ``distance`` senses the medium busy."""
+
+    @property
+    @abstractmethod
+    def decode_range(self) -> float:
+        """Maximum distance at which frames can be decoded."""
+
+    @property
+    @abstractmethod
+    def sense_range(self) -> float:
+        """Maximum distance at which transmissions are carrier-sensed."""
+
+    def validate(self) -> None:
+        """Sanity-check that sensing reaches at least as far as decoding."""
+        if self.sense_range < self.decode_range:
+            raise ValueError(
+                "carrier-sense range must be at least the decode range "
+                f"(sense={self.sense_range}, decode={self.decode_range})"
+            )
+
+
+@dataclass(frozen=True)
+class RangeBasedPropagation(PropagationModel):
+    """Deterministic disc model with explicit decode and sense radii.
+
+    This is the model used by all paper experiments: transmission range 16
+    units, sensing range 24 units.
+    """
+
+    transmission_range: float = 16.0
+    carrier_sense_range: float = 24.0
+    tx_power_dbm: float = 16.0
+    path_loss_exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.transmission_range <= 0:
+            raise ValueError("transmission_range must be positive")
+        if self.carrier_sense_range < self.transmission_range:
+            raise ValueError(
+                "carrier_sense_range must be >= transmission_range"
+            )
+
+    def rx_power_dbm(self, distance: float) -> float:
+        if distance <= 0:
+            return self.tx_power_dbm
+        return self.tx_power_dbm - 10.0 * self.path_loss_exponent * math.log10(distance)
+
+    def can_decode(self, distance: float) -> bool:
+        return 0 <= distance <= self.transmission_range
+
+    def can_sense(self, distance: float) -> bool:
+        return 0 <= distance <= self.carrier_sense_range
+
+    @property
+    def decode_range(self) -> float:
+        return self.transmission_range
+
+    @property
+    def sense_range(self) -> float:
+        return self.carrier_sense_range
+
+
+class LogDistancePropagation(PropagationModel):
+    """Log-distance path loss with receiver thresholds (ns-3 style).
+
+    The received power at distance ``d`` (metres) is::
+
+        P_rx(d) = P_tx - PL(d0) - 10 * n * log10(d / d0) - X
+
+    where ``PL(d0)`` is the Friis free-space loss at the reference distance,
+    ``n`` is the path-loss exponent, and ``X`` is an optional per-link
+    log-normal shadowing term (zero by default).  A frame is decodable when
+    ``P_rx`` exceeds ``decode_threshold_dbm`` (the ns-3
+    ``EnergyDetectionThreshold``) and the medium is sensed busy when ``P_rx``
+    exceeds ``sense_threshold_dbm`` (the ns-3 ``CcaMode1Threshold``).
+
+    Parameters
+    ----------
+    tx_power_dbm:
+        Transmit power.
+    path_loss_exponent:
+        Environment exponent (2 free space, 3-4 indoor).
+    decode_threshold_dbm / sense_threshold_dbm:
+        Receiver sensitivity and carrier-sense thresholds.
+    reference_distance_m / frequency_hz:
+        Reference point of the log-distance model.
+    shadowing_sigma_db:
+        Standard deviation of log-normal shadowing.  When non-zero a
+        deterministic per-link shadowing sample can be drawn with
+        :meth:`link_shadowing_db` (the propagation model itself remains
+        deterministic given a distance; shadowing is applied by
+        :class:`repro.topology.graph.ConnectivityGraph` per link so that a
+        link's state is stable for the whole simulation).
+    """
+
+    def __init__(
+        self,
+        tx_power_dbm: float = 16.0,
+        path_loss_exponent: float = 3.0,
+        decode_threshold_dbm: float = -70.0,
+        sense_threshold_dbm: float = -75.3,
+        reference_distance_m: float = 1.0,
+        frequency_hz: float = 2.4e9,
+        shadowing_sigma_db: float = 0.0,
+    ) -> None:
+        if path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        if reference_distance_m <= 0:
+            raise ValueError("reference_distance_m must be positive")
+        if sense_threshold_dbm > decode_threshold_dbm:
+            raise ValueError(
+                "sense threshold must not exceed decode threshold "
+                "(sensing must be at least as permissive as decoding)"
+            )
+        if shadowing_sigma_db < 0:
+            raise ValueError("shadowing_sigma_db must be non-negative")
+        self.tx_power_dbm = tx_power_dbm
+        self.path_loss_exponent = path_loss_exponent
+        self.decode_threshold_dbm = decode_threshold_dbm
+        self.sense_threshold_dbm = sense_threshold_dbm
+        self.reference_distance_m = reference_distance_m
+        self.frequency_hz = frequency_hz
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self._reference_loss_db = friis_path_loss_db(reference_distance_m, frequency_hz)
+
+    # ------------------------------------------------------------------
+    def rx_power_dbm(self, distance: float) -> float:
+        if distance <= self.reference_distance_m:
+            return self.tx_power_dbm - self._reference_loss_db
+        loss = self._reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
+            distance / self.reference_distance_m
+        )
+        return self.tx_power_dbm - loss
+
+    def can_decode(self, distance: float) -> bool:
+        return self.rx_power_dbm(distance) >= self.decode_threshold_dbm
+
+    def can_sense(self, distance: float) -> bool:
+        return self.rx_power_dbm(distance) >= self.sense_threshold_dbm
+
+    def link_shadowing_db(self, rng: np.random.Generator) -> float:
+        """Draw one log-normal shadowing sample (dB) for a link."""
+        if self.shadowing_sigma_db == 0:
+            return 0.0
+        return float(rng.normal(0.0, self.shadowing_sigma_db))
+
+    # ------------------------------------------------------------------
+    def _range_for_threshold(self, threshold_dbm: float) -> float:
+        """Distance at which the received power equals ``threshold_dbm``."""
+        margin_db = self.tx_power_dbm - self._reference_loss_db - threshold_dbm
+        if margin_db <= 0:
+            return 0.0
+        return self.reference_distance_m * 10.0 ** (
+            margin_db / (10.0 * self.path_loss_exponent)
+        )
+
+    @property
+    def decode_range(self) -> float:
+        return self._range_for_threshold(self.decode_threshold_dbm)
+
+    @property
+    def sense_range(self) -> float:
+        return self._range_for_threshold(self.sense_threshold_dbm)
+
+    @classmethod
+    def calibrated(
+        cls,
+        decode_range: float = 16.0,
+        sense_range: float = 24.0,
+        tx_power_dbm: float = 16.0,
+        path_loss_exponent: float = 3.0,
+        frequency_hz: float = 2.4e9,
+    ) -> "LogDistancePropagation":
+        """Build a model whose derived radii match the paper's 16/24 setup.
+
+        The thresholds are solved from the desired ranges so that
+        ``decode_range`` and ``sense_range`` of the returned model equal the
+        requested values (up to floating point rounding).
+        """
+        if sense_range < decode_range:
+            raise ValueError("sense_range must be >= decode_range")
+        reference_loss = friis_path_loss_db(1.0, frequency_hz)
+
+        def threshold_for(target_range: float) -> float:
+            return tx_power_dbm - reference_loss - 10.0 * path_loss_exponent * math.log10(
+                target_range
+            )
+
+        return cls(
+            tx_power_dbm=tx_power_dbm,
+            path_loss_exponent=path_loss_exponent,
+            decode_threshold_dbm=threshold_for(decode_range),
+            sense_threshold_dbm=threshold_for(sense_range),
+            reference_distance_m=1.0,
+            frequency_hz=frequency_hz,
+        )

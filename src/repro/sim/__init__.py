@@ -1,0 +1,32 @@
+"""Simulation substrates: event-driven (hidden-node capable) and slotted
+(fully connected, fast) WLAN simulators plus shared metrics."""
+
+from .dynamics import ActivitySchedule, constant_activity, step_activity
+from .engine import Event, EventScheduler, SimulationClock
+from .medium import AP_NODE_ID, ActiveTransmission, Medium
+from .metrics import MetricsCollector, SimulationResult, StationStats
+from .node import StationProcess, StationState
+from .simulation import AccessPointProcess, WlanSimulation, run_event_driven
+from .slotted import SlottedSimulator, run_slotted
+
+__all__ = [
+    "ActivitySchedule",
+    "constant_activity",
+    "step_activity",
+    "Event",
+    "EventScheduler",
+    "SimulationClock",
+    "AP_NODE_ID",
+    "ActiveTransmission",
+    "Medium",
+    "MetricsCollector",
+    "SimulationResult",
+    "StationStats",
+    "StationProcess",
+    "StationState",
+    "AccessPointProcess",
+    "WlanSimulation",
+    "run_event_driven",
+    "SlottedSimulator",
+    "run_slotted",
+]

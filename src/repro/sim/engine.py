@@ -1,0 +1,159 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free event scheduler built on :mod:`heapq`.  Time is an
+integer number of nanoseconds so that event ordering is exact and independent
+of floating-point rounding; helpers convert to/from seconds at the edges.
+
+Events are callbacks scheduled at absolute times.  Cancelling an event marks
+it dead in place (lazy deletion), which keeps cancellation O(1) — important
+because the CSMA state machines cancel a scheduled transmission every time
+the medium turns busy during a countdown.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..phy.constants import NS_PER_SECOND
+
+__all__ = ["Event", "EventScheduler", "SimulationClock"]
+
+
+class Event:
+    """A scheduled callback.  Create via :meth:`EventScheduler.schedule_at`."""
+
+    __slots__ = ("time_ns", "sequence", "callback", "args", "cancelled")
+
+    def __init__(self, time_ns: int, sequence: int,
+                 callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self.time_ns = time_ns
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        # Tie-break by insertion order so same-time events run FIFO.
+        return (self.time_ns, self.sequence) < (other.time_ns, other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid only
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time_ns}ns, {name}, {state})"
+
+
+class SimulationClock:
+    """Read-only view of the scheduler's current time."""
+
+    def __init__(self, scheduler: "EventScheduler") -> None:
+        self._scheduler = scheduler
+
+    @property
+    def now_ns(self) -> int:
+        return self._scheduler.now_ns
+
+    @property
+    def now(self) -> float:
+        return self._scheduler.now
+
+
+class EventScheduler:
+    """Priority-queue based discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+        self._now_ns = 0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now_ns(self) -> int:
+        """Current simulation time in integer nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now_ns / NS_PER_SECOND
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def clock(self) -> SimulationClock:
+        """A read-only clock handle safe to hand to components."""
+        return SimulationClock(self)
+
+    # ------------------------------------------------------------------
+    def schedule_at(self, time_ns: int, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now_ns:
+            raise ValueError(
+                f"cannot schedule in the past (now={self._now_ns}, requested={time_ns})"
+            )
+        event = Event(int(time_ns), next(self._sequence), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay_ns: int, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay_ns`` nanoseconds."""
+        if delay_ns < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self._now_ns + int(delay_ns), callback, *args)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a scheduled event (no-op for None or already-run events)."""
+        if event is not None:
+            event.cancelled = True
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_ns = event.time_ns
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until(self, time_ns: int) -> None:
+        """Run all events with timestamps <= ``time_ns``; advance the clock.
+
+        The clock ends exactly at ``time_ns`` even if the last event was
+        earlier, so measurement windows have exact lengths.
+        """
+        if time_ns < self._now_ns:
+            raise ValueError("cannot run into the past")
+        while self._heap:
+            event = self._heap[0]
+            if event.time_ns > time_ns:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_ns = event.time_ns
+            self._processed += 1
+            event.callback(*event.args)
+        self._now_ns = time_ns
+
+    def run_until_empty(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue (with a runaway guard); used only in tests."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise RuntimeError("event budget exhausted; possible event loop")

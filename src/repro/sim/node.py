@@ -1,0 +1,281 @@
+"""Station MAC state machine for the event-driven simulator.
+
+Each :class:`StationProcess` implements the CSMA/CA behaviour of one
+saturated station:
+
+1. wait for its *own* sensed channel to be idle for DIFS;
+2. count down its backoff in idle-slot units, freezing whenever the sensed
+   channel turns busy;
+3. transmit a data frame when the countdown reaches zero;
+4. learn the outcome — success when the AP's ACK arrives, failure when the
+   AP stays silent (the frame collided with an overlapping transmission) —
+   and draw the next backoff from its :class:`~repro.mac.backoff.BackoffPolicy`.
+
+Because freezing and resuming are driven by the station's own sensing set,
+hidden stations count down *through* each other's transmissions, which is
+exactly the mechanism that produces hidden-node collisions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from ..mac.backoff import BackoffPolicy
+from ..phy.constants import PhyParameters
+from ..phy.frame import FrameFactory
+from .engine import Event, EventScheduler
+from .medium import ActiveTransmission, Medium
+
+__all__ = ["StationState", "StationProcess"]
+
+
+class StationState(enum.Enum):
+    """Lifecycle states of the station MAC."""
+
+    INACTIVE = "inactive"
+    DEFERRING = "deferring"      # sensed channel busy, waiting for idle
+    WAITING_DIFS = "waiting_difs"
+    COUNTING = "counting"        # backoff countdown in progress
+    TRANSMITTING = "transmitting"
+    AWAITING_OUTCOME = "awaiting_outcome"
+
+
+class StationProcess:
+    """One saturated station attached to the medium.
+
+    Parameters
+    ----------
+    station_id:
+        Index of the station (0-based).
+    policy:
+        The contention-resolution policy instance owned by this station.
+    scheduler / medium / frame_factory / phy:
+        Shared simulation infrastructure.
+    rng:
+        Station-local random generator (each station gets an independent
+        stream so runs are reproducible regardless of event interleaving).
+    on_transmission_end:
+        Callback ``(station, transmission, now_ns)`` invoked when the
+        station's data frame leaves the air; the access point uses it to
+        decide success/failure.
+    """
+
+    def __init__(
+        self,
+        station_id: int,
+        policy: BackoffPolicy,
+        scheduler: EventScheduler,
+        medium: Medium,
+        frame_factory: FrameFactory,
+        phy: PhyParameters,
+        rng: np.random.Generator,
+        on_transmission_end: Callable[[int, ActiveTransmission, int], None],
+    ) -> None:
+        self.station_id = station_id
+        self.policy = policy
+        self._scheduler = scheduler
+        self._medium = medium
+        self._frames = frame_factory
+        self._phy = phy
+        self._rng = rng
+        self._on_transmission_end = on_transmission_end
+
+        self._state = StationState.INACTIVE
+        self._remaining_slots = 0
+        self._countdown_started_ns = 0
+        self._difs_event: Optional[Event] = None
+        self._tx_start_event: Optional[Event] = None
+        self._current_transmission: Optional[ActiveTransmission] = None
+        # Contention (backoff) slots counted down since the last observed data
+        # transmission; fed to channel-observing policies such as IdleSense.
+        self._observed_idle_slots = 0
+
+        # Per-station counters (the simulation also keeps global metrics).
+        self.successes = 0
+        self.failures = 0
+
+        medium.register_listener(station_id, self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> StationState:
+        return self._state
+
+    @property
+    def is_active(self) -> bool:
+        return self._state is not StationState.INACTIVE
+
+    @property
+    def remaining_slots(self) -> int:
+        return self._remaining_slots
+
+    # ------------------------------------------------------------------
+    # Activation / deactivation (dynamic scenarios)
+    # ------------------------------------------------------------------
+    def activate(self, control: Optional[Mapping[str, float]] = None) -> None:
+        """Join the network: draw a fresh backoff and start contending."""
+        if self.is_active:
+            return
+        if control:
+            self.policy.apply_control(control)
+        self._remaining_slots = self.policy.initial_backoff(self._rng)
+        self._observed_idle_slots = 0
+        self._state = StationState.DEFERRING
+        self._try_resume()
+
+    def deactivate(self) -> None:
+        """Leave the network: cancel pending activity and stop contending."""
+        self._cancel_timers()
+        if self._state is StationState.TRANSMITTING and self._current_transmission:
+            # Let the in-flight frame finish naturally; the outcome will be
+            # delivered but ignored because the station is inactive.
+            pass
+        self._state = StationState.INACTIVE
+
+    def _cancel_timers(self) -> None:
+        self._scheduler.cancel(self._difs_event)
+        self._scheduler.cancel(self._tx_start_event)
+        self._difs_event = None
+        self._tx_start_event = None
+
+    # ------------------------------------------------------------------
+    # Medium listener interface
+    # ------------------------------------------------------------------
+    def on_medium_busy(self, now_ns: int, transmission: ActiveTransmission) -> None:
+        """Sensed channel went idle -> busy: freeze any countdown."""
+        freeze_elapsed = 0
+        if self._state is StationState.WAITING_DIFS:
+            self._scheduler.cancel(self._difs_event)
+            self._difs_event = None
+            self._state = StationState.DEFERRING
+        elif self._state is StationState.COUNTING:
+            # A station whose own countdown expires at this very instant is
+            # already committed to transmitting in this slot: carrier sensing
+            # cannot pre-empt a decision taken at the same slot boundary.
+            # This is what makes two stations that pick the same backoff slot
+            # collide, exactly as in real DCF.
+            if (self._tx_start_event is not None
+                    and self._tx_start_event.time_ns <= now_ns):
+                return
+            self._scheduler.cancel(self._tx_start_event)
+            self._tx_start_event = None
+            freeze_elapsed = int(
+                (now_ns - self._countdown_started_ns) // self._phy.slot_time_ns
+            )
+            self._remaining_slots = max(self._remaining_slots - freeze_elapsed, 0)
+            self._state = StationState.DEFERRING
+        self._observe_busy_onset(transmission, freeze_elapsed)
+
+    def on_medium_idle(self, now_ns: int) -> None:
+        """Sensed channel went busy -> idle: re-arm the DIFS timer."""
+        if self._state is StationState.DEFERRING:
+            self._start_difs()
+
+    def _observe_busy_onset(self, transmission: ActiveTransmission,
+                            freeze_elapsed: int) -> None:
+        """Feed contention-idle observations to channel-observing policies.
+
+        IdleSense counts the idle *backoff* slots between transmissions it
+        observes; framing overheads (DIFS, SIFS, ACKs) do not count.  The
+        station therefore accumulates the slots its own countdown actually
+        consumed and reports them once per observed *data* transmission.
+        """
+        if not self.policy.observes_channel:
+            return
+        if self._state is StationState.TRANSMITTING:
+            return
+        self._observed_idle_slots += max(freeze_elapsed, 0)
+        if transmission.is_data:
+            self.policy.observe_transmission(self._observed_idle_slots)
+            self._observed_idle_slots = 0
+
+    # ------------------------------------------------------------------
+    # Channel access
+    # ------------------------------------------------------------------
+    def _try_resume(self) -> None:
+        """Resume channel access after the outcome of a transmission or join."""
+        if self._state is StationState.INACTIVE:
+            return
+        if self._medium.is_busy_for(self.station_id):
+            self._state = StationState.DEFERRING
+        else:
+            self._start_difs()
+
+    def _start_difs(self) -> None:
+        self._state = StationState.WAITING_DIFS
+        self._difs_event = self._scheduler.schedule_in(
+            self._phy.difs_ns, self._difs_elapsed
+        )
+
+    def _difs_elapsed(self) -> None:
+        self._difs_event = None
+        self._state = StationState.COUNTING
+        self._countdown_started_ns = self._scheduler.now_ns
+        delay_ns = self._remaining_slots * self._phy.slot_time_ns
+        self._tx_start_event = self._scheduler.schedule_in(
+            delay_ns, self._begin_transmission
+        )
+
+    def _begin_transmission(self) -> None:
+        self._tx_start_event = None
+        if self.policy.observes_channel:
+            # The slots just counted down, plus this transmission itself, form
+            # one observation (the station observes its own transmissions too).
+            self.policy.observe_transmission(
+                self._observed_idle_slots + self._remaining_slots
+            )
+            self._observed_idle_slots = 0
+        self._remaining_slots = 0
+        self._state = StationState.TRANSMITTING
+        frame = self._frames.data(source=self.station_id, destination=-1)
+        duration_ns = self._phy.data_tx_time_ns
+        self._current_transmission = self._medium.start_transmission(
+            self.station_id, frame, duration_ns
+        )
+        self._scheduler.schedule_in(duration_ns, self._finish_transmission)
+
+    def _finish_transmission(self) -> None:
+        transmission = self._current_transmission
+        assert transmission is not None
+        self._medium.end_transmission(transmission)
+        self._current_transmission = None
+        if self._state is StationState.INACTIVE:
+            # The station left the network mid-frame; drop the outcome.
+            return
+        self._state = StationState.AWAITING_OUTCOME
+        self._on_transmission_end(self.station_id, transmission, self._scheduler.now_ns)
+
+    # ------------------------------------------------------------------
+    # Outcome delivery (called by the access point)
+    # ------------------------------------------------------------------
+    def deliver_success(self, control: Mapping[str, float]) -> None:
+        """The AP's ACK for this station's frame has been received."""
+        if self._state is StationState.INACTIVE:
+            return
+        self.successes += 1
+        if control:
+            self.policy.apply_control(control)
+        self._remaining_slots = self.policy.on_success(self._rng)
+        self._state = StationState.DEFERRING
+        self._try_resume()
+
+    def deliver_failure(self) -> None:
+        """No ACK arrived: the frame is declared collided."""
+        if self._state is StationState.INACTIVE:
+            return
+        self.failures += 1
+        self._remaining_slots = self.policy.on_failure(self._rng)
+        self._state = StationState.DEFERRING
+        self._try_resume()
+
+    def overhear_ack(self, control: Mapping[str, float]) -> None:
+        """An ACK destined to another station was heard (wTOP broadcasts)."""
+        if self._state is StationState.INACTIVE:
+            return
+        if control:
+            self.policy.apply_control(control)

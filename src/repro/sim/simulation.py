@@ -1,0 +1,388 @@
+"""Event-driven WLAN simulation (the ns-3 substitute).
+
+:class:`WlanSimulation` wires together the event scheduler, the shared
+medium, one :class:`~repro.sim.node.StationProcess` per station, and an
+:class:`AccessPointProcess` that hosts the AP-side controller (wTOP-CSMA,
+TORA-CSMA or a static/no-op controller) and generates ACK frames.
+
+Unlike the slotted simulator, stations here freeze and resume their backoff
+based on their *own* sensing sets, so hidden-node topologies are modelled
+faithfully: stations that cannot hear each other count down concurrently and
+their frames collide at the AP when they overlap in time.
+
+Typical use::
+
+    graph = hidden_node_scenario(num_stations=20, rng=np.random.default_rng(1))
+    sim = WlanSimulation(scheme=tora_csma_scheme(), connectivity=graph, seed=1)
+    result = sim.run(duration=5.0, warmup=2.0)
+    print(result.total_throughput_mbps)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.controller import AccessPointController
+from ..mac.backoff import BackoffPolicy
+from ..mac.schemes import Scheme
+from ..phy.constants import NS_PER_SECOND, PhyParameters, seconds_to_ns
+from ..phy.frame import FrameFactory
+from ..topology.graph import ConnectivityGraph
+from .dynamics import ActivitySchedule, constant_activity
+from .engine import EventScheduler
+from .medium import AP_NODE_ID, ActiveTransmission, Medium
+from .metrics import MetricsCollector, SimulationResult
+from .node import StationProcess
+
+__all__ = ["AccessPointProcess", "WlanSimulation", "run_event_driven"]
+
+
+@dataclass
+class _PendingAck:
+    """Book-keeping for an ACK frame queued or in flight."""
+
+    destination: int
+    control: Dict[str, float]
+    transmission: Optional[ActiveTransmission] = None
+
+
+class AccessPointProcess:
+    """The access point: receives data frames, runs the controller, sends ACKs.
+
+    Success/failure is decided by the medium's overlap rule: a data frame that
+    was not corrupted is acknowledged after SIFS; a corrupted frame receives
+    no ACK and the transmitter declares a failure immediately (its own
+    subsequent DIFS deferral accounts for the remainder of ``Tc``).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        medium: Medium,
+        frame_factory: FrameFactory,
+        phy: PhyParameters,
+        controller: AccessPointController,
+        metrics: MetricsCollector,
+        broadcast_control: bool = True,
+        frame_error_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= frame_error_rate < 1.0:
+            raise ValueError("frame_error_rate must lie in [0, 1)")
+        self._scheduler = scheduler
+        self._medium = medium
+        self._frames = frame_factory
+        self._phy = phy
+        self._controller = controller
+        self._metrics = metrics
+        self._broadcast_control = broadcast_control
+        self._frame_error_rate = float(frame_error_rate)
+        self._rng = rng or np.random.default_rng(0)
+        self._stations: Dict[int, StationProcess] = {}
+        self._ap_free_at_ns = 0
+
+    # ------------------------------------------------------------------
+    def attach_stations(self, stations: Sequence[StationProcess]) -> None:
+        self._stations = {station.station_id: station for station in stations}
+
+    @property
+    def controller(self) -> AccessPointController:
+        return self._controller
+
+    # ------------------------------------------------------------------
+    def on_data_transmission_end(self, station_id: int,
+                                 transmission: ActiveTransmission,
+                                 now_ns: int) -> None:
+        """Decide the outcome of a finished data frame."""
+        station = self._stations[station_id]
+        channel_error = (
+            self._frame_error_rate > 0.0
+            and self._rng.random() < self._frame_error_rate
+        )
+        if transmission.corrupted or channel_error:
+            self._metrics.record_failure(station_id)
+            station.deliver_failure()
+            return
+
+        payload_bits = getattr(transmission.frame, "payload_bits", 0)
+        self._metrics.record_success(station_id, payload_bits)
+        self._controller.on_packet_received(
+            station_id, payload_bits, now_ns / NS_PER_SECOND
+        )
+        control = self._controller.control()
+        ack = _PendingAck(destination=station_id, control=dict(control))
+        # The ACK starts after SIFS, or once the AP radio is free if a
+        # previous ACK is still being transmitted (rare, hidden-node case).
+        start_ns = max(now_ns + self._phy.sifs_ns, self._ap_free_at_ns)
+        end_ns = start_ns + self._phy.ack_tx_time_ns
+        self._ap_free_at_ns = end_ns
+        self._scheduler.schedule_at(start_ns, self._start_ack, ack)
+
+    # ------------------------------------------------------------------
+    def _start_ack(self, ack: _PendingAck) -> None:
+        frame = self._frames.ack(
+            source=AP_NODE_ID,
+            destination=ack.destination,
+            acked_frame_id=0,
+            control=ack.control,
+        )
+        ack.transmission = self._medium.start_transmission(
+            AP_NODE_ID, frame, self._phy.ack_tx_time_ns
+        )
+        self._scheduler.schedule_in(self._phy.ack_tx_time_ns, self._end_ack, ack)
+
+    def _end_ack(self, ack: _PendingAck) -> None:
+        assert ack.transmission is not None
+        self._medium.end_transmission(ack.transmission)
+        destination = self._stations.get(ack.destination)
+        if destination is not None:
+            destination.deliver_success(ack.control)
+        if self._broadcast_control and ack.control:
+            for station_id, station in self._stations.items():
+                if station_id != ack.destination:
+                    station.overhear_ack(ack.control)
+
+
+class WlanSimulation:
+    """End-to-end event-driven simulation of one WLAN scenario.
+
+    Parameters
+    ----------
+    scheme:
+        MAC scheme (station policies + AP controller).
+    connectivity:
+        Topology-derived sensing sets (decides who is hidden from whom).
+    phy:
+        PHY timing parameters (defaults to the paper's Table I).
+    seed:
+        Master seed; every station receives an independent child stream.
+    activity:
+        Optional dynamic-activity schedule (Figures 8-11).
+    broadcast_control:
+        Whether stations apply control values from ACKs addressed to others
+        (wTOP-CSMA requires this; TORA-CSMA only needs its own ACKs).
+    report_interval:
+        Sampling period (seconds) for the throughput / control time lines.
+    frame_error_rate:
+        Probability that a collision-free frame is lost to an i.i.d. channel
+        error (paper, footnote 1); lost frames receive no ACK.
+    """
+
+    def __init__(
+        self,
+        scheme: Scheme,
+        connectivity: ConnectivityGraph,
+        phy: Optional[PhyParameters] = None,
+        seed: int = 0,
+        activity: Optional[ActivitySchedule] = None,
+        broadcast_control: bool = True,
+        report_interval: Optional[float] = None,
+        frame_error_rate: float = 0.0,
+    ) -> None:
+        self._scheme = scheme
+        self._connectivity = connectivity
+        self._phy = phy or PhyParameters()
+        self._num_stations = connectivity.num_stations
+        self._activity = activity or constant_activity(self._num_stations)
+        if self._activity.max_active > self._num_stations:
+            raise ValueError(
+                "activity schedule requires more stations than the topology has"
+            )
+        if report_interval is not None and report_interval <= 0:
+            raise ValueError("report_interval must be positive")
+        self._report_interval = report_interval
+
+        self._scheduler = EventScheduler()
+        self._frame_factory = FrameFactory(self._phy)
+        sensing_sets = [set(s) for s in connectivity.sensing_sets()]
+        self._medium = Medium(self._scheduler, sensing_sets)
+        self._metrics = MetricsCollector(self._num_stations)
+        self._controller = scheme.make_controller()
+        master = np.random.default_rng(seed)
+        self._access_point = AccessPointProcess(
+            scheduler=self._scheduler,
+            medium=self._medium,
+            frame_factory=self._frame_factory,
+            phy=self._phy,
+            controller=self._controller,
+            metrics=self._metrics,
+            broadcast_control=broadcast_control,
+            frame_error_rate=frame_error_rate,
+            rng=np.random.default_rng(master.integers(0, 2 ** 63 - 1)),
+        )
+
+        self._policies: List[BackoffPolicy] = scheme.make_policies(self._num_stations)
+        self._stations: List[StationProcess] = []
+        for station_id, policy in enumerate(self._policies):
+            station_rng = np.random.default_rng(master.integers(0, 2 ** 63 - 1))
+            station = StationProcess(
+                station_id=station_id,
+                policy=policy,
+                scheduler=self._scheduler,
+                medium=self._medium,
+                frame_factory=self._frame_factory,
+                phy=self._phy,
+                rng=station_rng,
+                on_transmission_end=self._access_point.on_data_transmission_end,
+            )
+            self._stations.append(station)
+        self._access_point.attach_stations(self._stations)
+
+        # Time-line bookkeeping filled in during run().
+        self._bits_at_last_report = 0
+        self._measure_start_s = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def controller(self) -> AccessPointController:
+        return self._controller
+
+    @property
+    def stations(self) -> Sequence[StationProcess]:
+        return tuple(self._stations)
+
+    @property
+    def policies(self) -> Sequence[BackoffPolicy]:
+        return tuple(self._policies)
+
+    @property
+    def phy(self) -> PhyParameters:
+        return self._phy
+
+    @property
+    def scheduler(self) -> EventScheduler:
+        return self._scheduler
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float, warmup: float = 0.0) -> SimulationResult:
+        """Simulate ``warmup + duration`` seconds and return measured metrics."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+
+        # Activate the initially-active stations and schedule later changes.
+        initial_active = self._activity.active_count(0.0)
+        initial_control = self._controller.control()
+        for station_id in range(initial_active):
+            self._stations[station_id].activate(initial_control)
+        for change_time in self._activity.change_times():
+            self._scheduler.schedule_at(
+                seconds_to_ns(change_time), self._apply_activity_change, change_time
+            )
+
+        # Periodic controller ticks (the paper's beacon-carried variant):
+        # a starving probe value must not stall adaptation forever.
+        tick = self._controller.tick_interval
+        if tick is not None and tick > 0:
+            self._scheduler.schedule_at(
+                seconds_to_ns(tick), self._controller_tick, tick
+            )
+
+        end_ns = seconds_to_ns(warmup + duration)
+        if warmup > 0:
+            self._scheduler.run_until(seconds_to_ns(warmup))
+            self._metrics.reset()
+            self._medium.reset_occupancy_statistics()
+        self._measure_start_s = warmup
+        self._bits_at_last_report = 0
+        if self._report_interval is not None:
+            first_report = warmup + self._report_interval
+            if first_report <= warmup + duration:
+                self._scheduler.schedule_at(
+                    seconds_to_ns(first_report), self._sample_report, first_report
+                )
+        self._scheduler.run_until(end_ns)
+
+        self._finalise_idle_statistics(duration)
+        return self._metrics.result(
+            duration=duration,
+            extra={
+                "scheme": self._scheme.name,
+                "simulator": "event-driven",
+                "num_stations": self._num_stations,
+                "warmup": warmup,
+                "topology": self._connectivity.placement.description,
+                "hidden_pairs": len(self._connectivity.hidden_pairs()),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _controller_tick(self, tick_time: float) -> None:
+        updated = self._controller.on_tick(tick_time)
+        if updated:
+            control = self._controller.control()
+            for station in self._stations:
+                if station.is_active:
+                    station.overhear_ack(control)
+        interval = self._controller.tick_interval or 0.0
+        if interval > 0:
+            next_time = tick_time + interval
+            self._scheduler.schedule_at(
+                seconds_to_ns(next_time), self._controller_tick, next_time
+            )
+
+    def _apply_activity_change(self, change_time: float) -> None:
+        target = self._activity.active_count(change_time)
+        control = self._controller.control()
+        for station_id, station in enumerate(self._stations):
+            if station_id < target and not station.is_active:
+                station.activate(control)
+            elif station_id >= target and station.is_active:
+                station.deactivate()
+
+    def _sample_report(self, report_time: float) -> None:
+        interval = self._report_interval or 0.0
+        cumulative_bits = self._metrics.total_payload_bits
+        delta = cumulative_bits - self._bits_at_last_report
+        self._bits_at_last_report = cumulative_bits
+        self._metrics.record_throughput_sample(report_time, delta / interval)
+        control = self._controller.control()
+        if "p" in control:
+            self._metrics.record_control_sample(report_time, control["p"])
+        elif "p0" in control:
+            self._metrics.record_control_sample(report_time, control["p0"])
+        next_time = report_time + interval
+        self._scheduler.schedule_at(
+            seconds_to_ns(next_time), self._sample_report, next_time
+        )
+
+    def _finalise_idle_statistics(self, duration: float) -> None:
+        """Convert channel-occupancy statistics to backoff-slot counts.
+
+        The Table III metric is "idle (backoff) slots per transmission".  The
+        medium reports the union of data-frame airtime and the number of
+        maximal busy periods; subtracting the per-period framing overheads
+        (DIFS always, SIFS + ACK for successes) leaves the contention idle
+        time, which is divided by the slot duration.
+        """
+        busy_periods = self._medium.data_busy_periods
+        busy_time_s = self._medium.data_busy_total_ns / NS_PER_SECOND
+        successes = sum(self._metrics.successes(i) for i in range(self._num_stations))
+        overhead_s = (
+            busy_periods * self._phy.difs
+            + successes * (self._phy.sifs + self._phy.ack_tx_time)
+        )
+        idle_time_s = max(duration - busy_time_s - overhead_s, 0.0)
+        self._metrics.record_idle_slots(int(idle_time_s / self._phy.slot_time))
+        self._metrics.record_busy_period(busy_periods)
+
+
+def run_event_driven(
+    scheme: Scheme,
+    connectivity: ConnectivityGraph,
+    duration: float,
+    warmup: float = 0.0,
+    phy: Optional[PhyParameters] = None,
+    seed: int = 0,
+    **kwargs,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`WlanSimulation`."""
+    simulation = WlanSimulation(
+        scheme=scheme, connectivity=connectivity, phy=phy, seed=seed, **kwargs
+    )
+    return simulation.run(duration=duration, warmup=warmup)

@@ -1,0 +1,100 @@
+"""Tests for Bianchi's DCF saturation model."""
+
+import pytest
+
+from repro.analysis.bianchi import (
+    BianchiModel,
+    conditional_collision_probability,
+    dcf_attempt_probability,
+    dcf_saturation_throughput,
+    solve_dcf_fixed_point,
+)
+from repro.phy.constants import PhyParameters
+
+
+class TestAttemptProbability:
+    def test_no_collisions_gives_two_over_w_plus_one(self):
+        # With c = 0 the station always sits in stage 0: tau = 2 / (W + 1).
+        assert dcf_attempt_probability(0.0, 8, 7) == pytest.approx(2.0 / 9.0)
+
+    def test_decreasing_in_collision_probability(self):
+        taus = [dcf_attempt_probability(c, 8, 7) for c in (0.0, 0.2, 0.4, 0.6, 0.8)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_half_collision_probability_limit(self):
+        # The closed form has a removable singularity at c = 1/2; the
+        # implementation must return the analytic limit, continuous with the
+        # neighbouring values.
+        below = dcf_attempt_probability(0.4999, 8, 7)
+        at = dcf_attempt_probability(0.5, 8, 7)
+        above = dcf_attempt_probability(0.5001, 8, 7)
+        assert below > at > above or below >= at >= above
+        assert at == pytest.approx(below, rel=1e-2)
+
+    def test_zero_stages_reduces_to_fixed_window(self):
+        # m = 0 means the window never grows: tau = 2 / (W + 1) regardless of c.
+        for c in (0.0, 0.3, 0.7):
+            assert dcf_attempt_probability(c, 16, 0) == pytest.approx(2.0 / 17.0)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            dcf_attempt_probability(-0.1, 8, 7)
+        with pytest.raises(ValueError):
+            dcf_attempt_probability(0.5, 0, 7)
+        with pytest.raises(ValueError):
+            dcf_attempt_probability(0.5, 8, -1)
+
+
+class TestFixedPoint:
+    def test_single_station_has_zero_collisions(self):
+        tau, c = solve_dcf_fixed_point(1, 8, 7)
+        assert c == 0.0
+        assert tau == pytest.approx(2.0 / 9.0)
+
+    def test_fixed_point_is_consistent(self):
+        tau, c = solve_dcf_fixed_point(20, 8, 7)
+        assert c == pytest.approx(conditional_collision_probability(tau, 20), abs=1e-9)
+        assert tau == pytest.approx(dcf_attempt_probability(c, 8, 7), abs=1e-9)
+
+    def test_attempt_probability_decreases_with_stations(self):
+        taus = [solve_dcf_fixed_point(n, 8, 7)[0] for n in (2, 5, 10, 20, 50)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_collision_probability_increases_with_stations(self):
+        cs = [solve_dcf_fixed_point(n, 8, 7)[1] for n in (2, 5, 10, 20, 50)]
+        assert cs == sorted(cs)
+
+    def test_larger_window_means_lower_attempt_probability(self):
+        tau_small, _ = solve_dcf_fixed_point(10, 8, 7)
+        tau_large, _ = solve_dcf_fixed_point(10, 32, 5)
+        assert tau_large < tau_small
+
+    def test_rejects_zero_stations(self):
+        with pytest.raises(ValueError):
+            solve_dcf_fixed_point(0, 8, 7)
+
+
+class TestThroughput:
+    def test_throughput_degrades_with_station_count(self, phy):
+        # The key observation motivating the paper: standard 802.11 loses
+        # throughput as N grows.
+        values = [dcf_saturation_throughput(n, phy) for n in (5, 10, 20, 40, 60)]
+        assert values == sorted(values, reverse=True)
+
+    def test_throughput_below_channel_capacity(self, phy):
+        assert dcf_saturation_throughput(10, phy) < phy.bit_rate
+
+    def test_throughput_positive(self, phy):
+        assert dcf_saturation_throughput(60, phy) > 0
+
+    def test_model_wrapper_consistent(self, phy):
+        model = BianchiModel(phy)
+        assert model.throughput(20) == pytest.approx(dcf_saturation_throughput(20, phy))
+        tau, c = solve_dcf_fixed_point(20, phy.cw_min, phy.num_backoff_stages)
+        assert model.attempt_probability(20) == pytest.approx(tau)
+        assert model.collision_probability(20) == pytest.approx(c)
+
+    def test_throughput_curve_shape(self, phy):
+        curve = BianchiModel(phy).throughput_curve([10, 20, 40])
+        assert len(curve) == 3
+        assert curve[0] > curve[-1]

@@ -1,0 +1,106 @@
+"""Tests for convergence and short-term fairness diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    analyze_convergence,
+    segment_settling_times,
+    settling_time,
+    sliding_window_jain,
+    steady_state_statistics,
+)
+
+
+def make_series(values, start=0.0, step=1.0):
+    return [(start + i * step, v) for i, v in enumerate(values)]
+
+
+class TestSettlingTime:
+    def test_immediately_settled_series(self):
+        series = make_series([10.0, 10.1, 9.9, 10.0])
+        assert settling_time(series, target=10.0, tolerance=0.05) == 0.0
+
+    def test_settling_after_transient(self):
+        series = make_series([2.0, 5.0, 9.0, 10.0, 10.1, 9.9])
+        # 9.0 is already within 10% of the target, so settling happens at t=2.
+        assert settling_time(series, target=10.0, tolerance=0.1) == pytest.approx(2.0)
+
+    def test_never_settles(self):
+        series = make_series([1.0, 20.0, 1.0, 20.0])
+        assert settling_time(series, target=10.0, tolerance=0.1) is None
+
+    def test_start_offset(self):
+        series = make_series([0.0, 0.0, 10.0, 10.0, 10.0])
+        assert settling_time(series, target=10.0, tolerance=0.1, start=2.0) == 0.0
+
+    def test_rejects_zero_target_and_empty_series(self):
+        with pytest.raises(ValueError):
+            settling_time(make_series([1.0, 2.0, 3.0]), target=0.0)
+        with pytest.raises(ValueError):
+            settling_time([], target=1.0)
+
+
+class TestSteadyState:
+    def test_tail_statistics(self):
+        series = make_series([0.0, 0.0, 10.0, 10.0])
+        mean, std = steady_state_statistics(series, tail_fraction=0.5)
+        assert mean == pytest.approx(10.0)
+        assert std == pytest.approx(0.0)
+
+    def test_full_series_statistics(self):
+        series = make_series([1.0, 2.0, 3.0])
+        mean, _ = steady_state_statistics(series, tail_fraction=1.0)
+        assert mean == pytest.approx(2.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            steady_state_statistics(make_series([1.0]), tail_fraction=0.0)
+
+
+class TestSegmentSettling:
+    def test_per_segment_settling(self):
+        # Two segments: fast convergence in the first, slower in the second.
+        values = [5.0, 10.0, 10.0, 10.0, 2.0, 6.0, 20.0, 20.0, 20.0, 20.0]
+        series = make_series(values)
+        times = segment_settling_times(series, change_times=[4.0], tolerance=0.1)
+        assert len(times) == 2
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(2.0)
+
+    def test_short_segment_gives_none(self):
+        series = make_series([1.0, 1.0, 1.0])
+        times = segment_settling_times(series, change_times=[2.5])
+        assert times[-1] is None
+
+
+class TestSlidingWindowJain:
+    def test_fair_service_has_unit_index(self):
+        service = [[1, 1, 1]] * 5
+        index = sliding_window_jain(service, window=2)
+        assert np.allclose(index, 1.0)
+
+    def test_alternating_service_fair_only_at_larger_windows(self):
+        # Two stations alternating strictly: unfair over window 1, perfectly
+        # fair over window 2.
+        service = [[1, 0], [0, 1], [1, 0], [0, 1]]
+        narrow = sliding_window_jain(service, window=1)
+        wide = sliding_window_jain(service, window=2)
+        assert np.allclose(narrow, 0.5)
+        assert np.allclose(wide, 1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_jain([[1, 2]], window=2)
+        with pytest.raises(ValueError):
+            sliding_window_jain([[1, 2]], window=0)
+
+
+class TestAnalyzeConvergence:
+    def test_report_fields(self):
+        series = make_series([5.0, 18.0, 20.0, 20.0, 20.0, 20.0])
+        report = analyze_convergence(series, tolerance=0.1)
+        assert report.steady_state_mean == pytest.approx(20.0)
+        assert report.settling_time_s == pytest.approx(1.0)
+        assert report.worst_dip == pytest.approx(15.0)
+        assert report.coefficient_of_variation == pytest.approx(0.0)

@@ -1,0 +1,93 @@
+"""Tests for fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import (
+    jain_index,
+    max_relative_deviation,
+    normalized_throughputs,
+    weighted_fairness_report,
+)
+
+
+class TestJainIndex:
+    def test_equal_values_give_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user_monopoly_gives_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_index_between_bounds(self, rng):
+        values = rng.random(20)
+        index = jain_index(values)
+        assert 1.0 / 20 <= index <= 1.0
+
+    def test_scale_invariance(self):
+        values = [1.0, 2.0, 3.0]
+        assert jain_index(values) == pytest.approx(jain_index([10 * v for v in values]))
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -0.5])
+
+
+class TestNormalizedThroughputs:
+    def test_division_by_weights(self):
+        normalized = normalized_throughputs([2.0, 4.0, 9.0], [1.0, 2.0, 3.0])
+        assert np.allclose(normalized, [2.0, 2.0, 3.0])
+
+    def test_none_weights_returns_copy(self):
+        values = [1.0, 2.0]
+        normalized = normalized_throughputs(values)
+        assert np.allclose(normalized, values)
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            normalized_throughputs([1.0], [0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_throughputs([1.0, 2.0], [1.0])
+
+
+class TestMaxRelativeDeviation:
+    def test_perfectly_fair_allocation(self):
+        assert max_relative_deviation([2.0, 4.0, 6.0], [1.0, 2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_detects_unfairness(self):
+        deviation = max_relative_deviation([1.0, 3.0], [1.0, 1.0])
+        assert deviation == pytest.approx(0.5)
+
+    def test_zero_throughput_all_stations(self):
+        assert max_relative_deviation([0.0, 0.0]) == 0.0
+
+
+class TestWeightedFairnessReport:
+    def test_report_fields(self):
+        report = weighted_fairness_report([1e6, 2e6, 3e6], [1.0, 2.0, 3.0])
+        assert report.total_throughput_bps == pytest.approx(6e6)
+        assert report.jain_index_normalized == pytest.approx(1.0)
+        assert report.max_relative_deviation == pytest.approx(0.0)
+
+    def test_rows_in_mbps(self):
+        report = weighted_fairness_report([2e6, 6e6], [1.0, 3.0])
+        rows = report.rows()
+        assert rows[0] == (1, 1.0, pytest.approx(2.0), pytest.approx(2.0))
+        assert rows[1] == (2, 3.0, pytest.approx(6.0), pytest.approx(2.0))
+
+    def test_table2_like_allocation_is_nearly_fair(self):
+        # Numbers from the paper's Table II: all normalised values ~1.06.
+        weights = [1, 1, 1, 2, 2, 2, 3, 3, 3, 3]
+        throughputs_mbps = [1.066, 1.061, 1.060, 2.170, 2.195, 2.120,
+                            3.182, 3.186, 3.187, 3.191]
+        report = weighted_fairness_report(
+            [t * 1e6 for t in throughputs_mbps], weights
+        )
+        assert report.jain_index_normalized > 0.999
+        assert report.max_relative_deviation < 0.04

@@ -1,0 +1,188 @@
+"""Tests for the p-persistent CSMA throughput model (paper Eq. 2, 3, 8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistent import (
+    PersistentModel,
+    approximate_optimal_attempt_probability,
+    optimal_attempt_probability,
+    per_station_throughput,
+    slot_probabilities,
+    system_throughput,
+    system_throughput_weighted,
+    throughput_curve,
+    weighted_attempt_probability,
+)
+from repro.phy.constants import PhyParameters
+
+
+class TestSlotProbabilities:
+    def test_probabilities_sum_to_one(self):
+        p_idle, p_success, p_collision = slot_probabilities([0.1, 0.2, 0.05])
+        assert p_idle + p_success + p_collision == pytest.approx(1.0)
+
+    def test_single_station_never_collides(self):
+        p_idle, p_success, p_collision = slot_probabilities([0.3])
+        assert p_idle == pytest.approx(0.7)
+        assert p_success == pytest.approx(0.3)
+        assert p_collision == pytest.approx(0.0)
+
+    def test_symmetric_stations(self):
+        n, p = 10, 0.05
+        p_idle, p_success, _ = slot_probabilities([p] * n)
+        assert p_idle == pytest.approx((1 - p) ** n)
+        assert p_success == pytest.approx(n * p * (1 - p) ** (n - 1))
+
+    def test_zero_probability_gives_all_idle(self):
+        p_idle, p_success, p_collision = slot_probabilities([0.0, 0.0])
+        assert p_idle == 1.0
+        assert p_success == 0.0
+        assert p_collision == 0.0
+
+    def test_certain_transmitter_with_silent_peers(self):
+        p_idle, p_success, p_collision = slot_probabilities([1.0, 0.0, 0.0])
+        assert p_idle == 0.0
+        assert p_success == pytest.approx(1.0)
+
+    def test_two_certain_transmitters_always_collide(self):
+        p_idle, p_success, p_collision = slot_probabilities([1.0, 1.0])
+        assert p_collision == pytest.approx(1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            slot_probabilities([0.5, 1.2])
+        with pytest.raises(ValueError):
+            slot_probabilities([])
+
+
+class TestWeightedAttemptProbability:
+    def test_weight_one_is_identity(self):
+        assert weighted_attempt_probability(1.0, 0.3) == pytest.approx(0.3)
+
+    def test_odds_scale_with_weight(self):
+        p = 0.2
+        for w in (0.5, 2.0, 3.0):
+            pw = weighted_attempt_probability(w, p)
+            assert pw / (1 - pw) == pytest.approx(w * p / (1 - p))
+
+    def test_monotone_in_weight(self):
+        values = [weighted_attempt_probability(w, 0.1) for w in (1, 2, 4, 8)]
+        assert values == sorted(values)
+
+    def test_boundary_values(self):
+        assert weighted_attempt_probability(3.0, 0.0) == 0.0
+        assert weighted_attempt_probability(3.0, 1.0) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            weighted_attempt_probability(0.0, 0.5)
+        with pytest.raises(ValueError):
+            weighted_attempt_probability(1.0, 1.5)
+
+
+class TestThroughput:
+    def test_per_station_sum_equals_system(self, phy):
+        probs = [0.02, 0.05, 0.01, 0.03]
+        assert system_throughput(probs, phy) == pytest.approx(
+            float(np.sum(per_station_throughput(probs, phy)))
+        )
+
+    def test_zero_probability_zero_throughput(self, phy):
+        assert system_throughput([0.0] * 5, phy) == 0.0
+
+    def test_equal_probabilities_equal_throughput(self, phy):
+        stations = per_station_throughput([0.02] * 6, phy)
+        assert np.allclose(stations, stations[0])
+
+    def test_lemma1_throughput_ratio_matches_weight(self, phy):
+        # Lemma 1: p_j = w p_i / (1 + (w-1) p_i) gives S_j = w S_i.
+        p_i, w = 0.05, 3.0
+        p_j = weighted_attempt_probability(w, p_i)
+        stations = per_station_throughput([p_i, p_j, 0.07], phy)
+        assert stations[1] / stations[0] == pytest.approx(w, rel=1e-9)
+
+    def test_weighted_system_matches_explicit_vector(self, phy):
+        weights = [1.0, 2.0, 3.0]
+        p = 0.04
+        explicit = [weighted_attempt_probability(w, p) for w in weights]
+        assert system_throughput_weighted(p, weights, phy) == pytest.approx(
+            system_throughput(explicit, phy)
+        )
+
+    def test_throughput_positive_and_below_channel_rate(self, phy):
+        value = system_throughput_weighted(0.02, [1.0] * 20, phy)
+        assert 0 < value < phy.bit_rate
+
+    def test_throughput_curve_matches_pointwise(self, phy):
+        ps = [0.001, 0.01, 0.1]
+        curve = throughput_curve(ps, 10, phy)
+        for p, value in zip(ps, curve):
+            assert value == pytest.approx(system_throughput_weighted(p, [1.0] * 10, phy))
+
+    def test_throughput_curve_rejects_weight_mismatch(self, phy):
+        with pytest.raises(ValueError):
+            throughput_curve([0.1], 3, phy, weights=[1.0, 2.0])
+
+
+class TestOptimalAttemptProbability:
+    def test_optimum_is_interior_maximum(self, phy):
+        n = 20
+        p_star = optimal_attempt_probability(n, phy)
+        s_star = system_throughput_weighted(p_star, [1.0] * n, phy)
+        for offset in (0.5, 2.0):
+            assert s_star >= system_throughput_weighted(
+                min(p_star * offset, 0.999), [1.0] * n, phy
+            )
+
+    def test_optimum_decreases_with_station_count(self, phy):
+        values = [optimal_attempt_probability(n, phy) for n in (5, 10, 20, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_approximation_close_to_exact(self, phy):
+        # Eq. (8) p* ~ 1 / (N sqrt(Tc*/2)) should be within ~20% of the exact
+        # optimiser for moderate N.
+        for n in (10, 20, 40):
+            exact = optimal_attempt_probability(n, phy)
+            approx = approximate_optimal_attempt_probability(n, phy)
+            assert approx == pytest.approx(exact, rel=0.25)
+
+    def test_scaling_inverse_in_n(self, phy):
+        # p* should scale like Theta(1/N).
+        p10 = approximate_optimal_attempt_probability(10, phy)
+        p40 = approximate_optimal_attempt_probability(40, phy)
+        assert p10 / p40 == pytest.approx(4.0, rel=1e-9)
+
+    def test_rejects_zero_stations(self, phy):
+        with pytest.raises(ValueError):
+            optimal_attempt_probability(0, phy)
+        with pytest.raises(ValueError):
+            approximate_optimal_attempt_probability(0, phy)
+
+
+class TestPersistentModel:
+    def test_model_throughput_matches_function(self, phy):
+        model = PersistentModel(num_stations=15, phy=phy)
+        assert model.throughput(0.02) == pytest.approx(
+            system_throughput_weighted(0.02, [1.0] * 15, phy)
+        )
+
+    def test_model_optimum_consistent(self, phy):
+        model = PersistentModel(num_stations=10, phy=phy)
+        assert model.optimal_p() == pytest.approx(
+            optimal_attempt_probability(10, phy), rel=1e-4
+        )
+        assert model.optimal_throughput() == pytest.approx(
+            model.throughput(model.optimal_p())
+        )
+
+    def test_weighted_model_per_station_proportional(self, phy):
+        weights = (1.0, 2.0, 4.0)
+        model = PersistentModel(num_stations=3, phy=phy, weights=weights)
+        per_station = model.per_station(0.05)
+        normalized = per_station / np.asarray(weights)
+        assert np.allclose(normalized, normalized[0], rtol=1e-9)
+
+    def test_model_validates_weights_length(self, phy):
+        with pytest.raises(ValueError):
+            PersistentModel(num_stations=3, phy=phy, weights=(1.0, 2.0))

@@ -1,0 +1,85 @@
+"""Tests for the empirical quasi-concavity (unimodality) checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistent import throughput_curve
+from repro.analysis.quasiconcavity import (
+    check_quasiconcavity,
+    count_direction_changes,
+    is_quasiconcave,
+    unimodality_violation,
+)
+
+
+class TestDirectionChanges:
+    def test_monotone_has_zero_changes(self):
+        assert count_direction_changes([1, 2, 3, 4]) == 0
+        assert count_direction_changes([4, 3, 2, 1]) == 0
+
+    def test_single_peak_has_one_change(self):
+        assert count_direction_changes([1, 3, 5, 4, 2]) == 1
+
+    def test_zigzag_has_many_changes(self):
+        assert count_direction_changes([1, 3, 1, 3, 1]) == 3
+
+    def test_noise_tolerance_ignores_small_wiggles(self):
+        values = [1.0, 2.0, 3.0, 2.99, 3.5, 4.0]
+        assert count_direction_changes(values, noise_tolerance=0.05) == 0
+        assert count_direction_changes(values, noise_tolerance=0.0) == 2
+
+
+class TestViolation:
+    def test_perfectly_unimodal_has_zero_violation(self):
+        assert unimodality_violation([1, 4, 9, 7, 2]) == 0.0
+
+    def test_flat_curve_has_zero_violation(self):
+        assert unimodality_violation([3, 3, 3, 3]) == 0.0
+
+    def test_bimodal_curve_has_positive_violation(self):
+        assert unimodality_violation([1, 5, 1, 5, 1]) > 0.3
+
+    def test_short_curve_has_zero_violation(self):
+        assert unimodality_violation([1, 2]) == 0.0
+
+
+class TestCheck:
+    def test_unimodal_passes(self):
+        x = np.linspace(0, 1, 21)
+        y = -((x - 0.4) ** 2)
+        report = check_quasiconcavity(x, y)
+        assert report.is_quasiconcave
+        assert report.argmax_x == pytest.approx(0.4, abs=0.05)
+
+    def test_noisy_unimodal_passes_with_tolerance(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 1, 41)
+        y = 10.0 - 30.0 * (x - 0.5) ** 2 + rng.normal(0, 0.05, x.size)
+        assert is_quasiconcave(x, y, noise_tolerance=0.05)
+
+    def test_clearly_bimodal_fails(self):
+        x = np.linspace(0, 1, 41)
+        y = np.sin(4 * np.pi * x)
+        assert not is_quasiconcave(x, y, noise_tolerance=0.05)
+
+    def test_monotone_curves_pass(self):
+        x = np.linspace(0, 1, 11)
+        assert is_quasiconcave(x, x)
+        assert is_quasiconcave(x, -x)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            check_quasiconcavity([0, 1], [1, 2])  # too short
+        with pytest.raises(ValueError):
+            check_quasiconcavity([0, 1, 1], [1, 2, 3])  # non-increasing x
+        with pytest.raises(ValueError):
+            check_quasiconcavity([0, 1, 2], [1, 2])  # length mismatch
+
+
+class TestOnAnalyticalThroughput:
+    def test_paper_throughput_curve_is_quasiconcave(self, phy):
+        # Theorem 2's claim, verified numerically on the Eq. (3) curve.
+        p_grid = np.exp(np.linspace(-10, -0.5, 60))
+        for n in (5, 20, 40):
+            curve = throughput_curve(p_grid, n, phy)
+            assert is_quasiconcave(np.log(p_grid), curve, noise_tolerance=0.01)

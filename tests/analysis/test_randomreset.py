@@ -1,0 +1,202 @@
+"""Tests for the RandomReset fixed-point model (paper Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistent import optimal_attempt_probability
+from repro.analysis.randomreset import (
+    RandomResetModel,
+    attempt_probability_range,
+    conditional_attempt_probability,
+    equivalent_randomreset,
+    randomreset_attempt_probability,
+    randomreset_conditional_attempt_probability,
+    randomreset_distribution,
+    randomreset_throughput,
+    solve_attempt_probability,
+    stage_alphas,
+)
+from repro.phy.constants import PhyParameters
+
+
+class TestStageAlphas:
+    def test_alpha_m_equals_two_to_m(self):
+        for m in (1, 3, 7):
+            assert stage_alphas(0.3, m)[m] == pytest.approx(2.0 ** m)
+
+    def test_lemma4_monotone_increasing_in_stage(self):
+        # Lemma 4: alpha_0 <= alpha_1 <= ... <= alpha_m, strict for c < 1.
+        for c in (0.0, 0.3, 0.7, 0.99):
+            alphas = stage_alphas(c, 7)
+            assert np.all(np.diff(alphas) > 0)
+
+    def test_alpha_equals_window_when_no_collisions(self):
+        # With c = 0 a station never leaves its reset stage: alpha_j = 2^j.
+        alphas = stage_alphas(0.0, 5)
+        assert np.allclose(alphas, [2.0 ** j for j in range(6)])
+
+    def test_alpha_at_certain_collision_all_equal_max(self):
+        # With c = 1 every station escalates to stage m immediately.
+        alphas = stage_alphas(1.0, 4)
+        assert np.allclose(alphas, 2.0 ** 4)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stage_alphas(-0.1, 3)
+        with pytest.raises(ValueError):
+            stage_alphas(0.5, -1)
+
+
+class TestConditionalAttemptProbability:
+    def test_pure_stage0_no_collisions_matches_kappa0(self):
+        q = [1.0, 0.0, 0.0, 0.0]
+        assert conditional_attempt_probability(q, 0.0, 8) == pytest.approx(2.0 / 8.0)
+
+    def test_decreasing_in_collision_probability(self):
+        q = randomreset_distribution(0, 1.0, 7)
+        taus = [conditional_attempt_probability(q, c, 8) for c in (0.0, 0.3, 0.6, 0.9)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_lemma5_monotone_increasing_in_p0(self):
+        for c in (0.0, 0.4, 0.8):
+            taus = [
+                randomreset_conditional_attempt_probability(0, p0, c, 8, 7)
+                for p0 in (0.0, 0.25, 0.5, 0.75, 1.0)
+            ]
+            assert taus == sorted(taus)
+
+    def test_higher_reset_stage_means_lower_attempt_probability(self):
+        for c in (0.0, 0.5):
+            taus = [
+                randomreset_conditional_attempt_probability(j, 1.0, c, 8, 7)
+                for j in range(8)
+            ]
+            assert taus == sorted(taus, reverse=True)
+
+    def test_rejects_invalid_distribution(self):
+        with pytest.raises(ValueError):
+            conditional_attempt_probability([0.5, 0.2], 0.1, 8)  # does not sum to 1
+        with pytest.raises(ValueError):
+            conditional_attempt_probability([1.2, -0.2], 0.1, 8)
+        with pytest.raises(ValueError):
+            conditional_attempt_probability([], 0.1, 8)
+
+
+class TestRandomResetDistribution:
+    def test_distribution_sums_to_one(self):
+        for j in range(7):
+            for p0 in (0.0, 0.3, 1.0):
+                assert randomreset_distribution(j, p0, 7).sum() == pytest.approx(1.0)
+
+    def test_mass_split_matches_definition4(self):
+        q = randomreset_distribution(2, 0.4, 5)
+        assert q[2] == pytest.approx(0.4)
+        assert np.allclose(q[3:], 0.6 / 3)
+        assert np.allclose(q[:2], 0.0)
+
+    def test_stage_m_requires_unit_probability(self):
+        q = randomreset_distribution(5, 1.0, 5)
+        assert q[5] == 1.0
+        with pytest.raises(ValueError):
+            randomreset_distribution(5, 0.5, 5)
+
+    def test_rejects_out_of_range_stage(self):
+        with pytest.raises(ValueError):
+            randomreset_distribution(8, 0.5, 7)
+
+
+class TestFixedPoint:
+    def test_fixed_point_consistency(self):
+        q = randomreset_distribution(1, 0.5, 7)
+        tau, c = solve_attempt_probability(q, 20, 8)
+        assert c == pytest.approx(1.0 - (1.0 - tau) ** 19, abs=1e-9)
+        assert tau == pytest.approx(conditional_attempt_probability(q, c, 8), abs=1e-9)
+
+    def test_single_station(self):
+        q = randomreset_distribution(0, 1.0, 7)
+        tau, c = solve_attempt_probability(q, 1, 8)
+        assert c == 0.0
+        assert tau == pytest.approx(2.0 / 8.0)
+
+    def test_attempt_probability_monotone_in_p0_after_fixed_point(self):
+        # Lemma 5 extended through the fixed point (Lemma 2).
+        taus = [
+            randomreset_attempt_probability(0, p0, 15, 8, 7)
+            for p0 in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert taus == sorted(taus)
+
+    def test_range_boundaries(self):
+        low, high = attempt_probability_range(10, 8, 7)
+        assert 0 < low < high < 1
+        assert low == pytest.approx(
+            randomreset_attempt_probability(6, 0.0, 10, 8, 7)
+        )
+        assert high == pytest.approx(
+            randomreset_attempt_probability(0, 1.0, 10, 8, 7)
+        )
+
+    def test_lemma6_any_reset_distribution_within_range(self, rng):
+        low, high = attempt_probability_range(12, 8, 7)
+        for _ in range(10):
+            raw = rng.random(8)
+            q = raw / raw.sum()
+            tau, _ = solve_attempt_probability(q, 12, 8)
+            assert low - 1e-9 <= tau <= high + 1e-9
+
+    def test_lemma7_equivalent_randomreset_matches_tau(self, rng):
+        for _ in range(5):
+            raw = rng.random(8)
+            q = raw / raw.sum()
+            target, _ = solve_attempt_probability(q, 10, 8)
+            stage, p0 = equivalent_randomreset(q, 10, 8)
+            achieved = randomreset_attempt_probability(stage, p0, 10, 8, 7)
+            assert achieved == pytest.approx(target, rel=1e-4, abs=1e-6)
+
+
+class TestThroughput:
+    def test_throughput_positive_and_bounded(self, phy):
+        value = randomreset_throughput(0, 0.5, 20, phy)
+        assert 0 < value < phy.bit_rate
+
+    def test_standard_reset_matches_bianchi_shape(self, phy):
+        # RandomReset(0; 1) is standard 802.11 reset-to-zero behaviour, so its
+        # throughput should also degrade with N.
+        values = [randomreset_throughput(0, 1.0, n, phy) for n in (10, 20, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_quasi_concave_in_p0(self, phy):
+        # Lemma 8: for fixed j the throughput is quasi-concave in p0.
+        model = RandomResetModel(num_stations=40, phy=phy)
+        curve = model.throughput_curve(0, np.linspace(0, 1, 11))
+        diffs = np.diff(curve)
+        signs = [d > 0 for d in diffs if abs(d) > 1e-6]
+        # Once the curve starts decreasing it must not increase again.
+        decreasing_started = False
+        for is_up in signs:
+            if not is_up:
+                decreasing_started = True
+            elif decreasing_started:
+                pytest.fail("throughput in p0 is not unimodal")
+
+    def test_optimal_policy_close_to_p_persistent_optimum(self, phy):
+        # Theorem 3 remark: TORA's optimum should be near the global optimum
+        # for moderate N (within the attainable attempt-probability range).
+        model = RandomResetModel(num_stations=20, phy=phy)
+        _, _, best_throughput = model.optimal_policy()
+        from repro.analysis.persistent import system_throughput_weighted
+        p_star = optimal_attempt_probability(20, phy)
+        optimal = system_throughput_weighted(p_star, [1.0] * 20, phy)
+        assert best_throughput >= 0.95 * optimal
+
+    def test_model_conditional_matches_function(self, phy):
+        model = RandomResetModel(num_stations=10, phy=phy)
+        assert model.conditional_attempt_probability(1, 0.3, 0.2) == pytest.approx(
+            randomreset_conditional_attempt_probability(
+                1, 0.3, 0.2, phy.cw_min, phy.num_backoff_stages
+            )
+        )
+
+    def test_model_rejects_zero_stations(self, phy):
+        with pytest.raises(ValueError):
+            RandomResetModel(num_stations=0, phy=phy)

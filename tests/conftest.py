@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.phy.constants import PhyParameters
+
+
+@pytest.fixture
+def phy() -> PhyParameters:
+    """The paper's default PHY parameters."""
+    return PhyParameters()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_config() -> ExperimentConfig:
+    """A very small experiment budget for integration tests."""
+    return ExperimentConfig(
+        node_counts=(5, 10),
+        seeds=(1,),
+        measure_duration=0.3,
+        warmup=0.1,
+        adaptive_warmup=1.0,
+        update_period=0.02,
+        report_interval=0.1,
+        dynamic_segment_duration=1.0,
+    )

@@ -1,0 +1,89 @@
+"""Tests for the controller base classes and the segment throughput meter."""
+
+import pytest
+
+from repro.core.controller import SegmentThroughputMeter, StaticController
+
+
+class TestStaticController:
+    def test_advertises_fixed_control(self):
+        controller = StaticController({"p": 0.07})
+        controller.on_packet_received(0, 8000, 1.0)
+        assert controller.control() == {"p": 0.07}
+
+    def test_default_is_empty(self):
+        assert StaticController().control() == {}
+
+    def test_set_control_replaces_values(self):
+        controller = StaticController({"p": 0.1})
+        controller.set_control({"p0": 0.4, "stage": 1})
+        assert controller.control() == {"p0": 0.4, "stage": 1}
+
+    def test_no_tick_interval(self):
+        assert StaticController().tick_interval is None
+        assert StaticController().on_tick(1.0) is False
+
+    def test_history_empty(self):
+        assert StaticController().history() == ()
+
+
+class TestSegmentThroughputMeter:
+    def test_segment_closes_after_update_period(self):
+        meter = SegmentThroughputMeter(update_period=1.0)
+        assert meter.observe(1000, 0.0) is None
+        assert meter.observe(1000, 0.5) is None
+        throughput = meter.observe(1000, 1.0)
+        assert throughput == pytest.approx(3000.0)
+
+    def test_new_segment_starts_after_close(self):
+        meter = SegmentThroughputMeter(update_period=1.0)
+        meter.observe(500, 0.0)
+        meter.observe(500, 1.0)
+        # Next segment starts at t=1.0.
+        assert meter.observe(2000, 1.5) is None
+        assert meter.observe(0, 2.0) == pytest.approx(2000.0)
+
+    def test_throughput_divides_by_update_period_not_elapsed(self):
+        # The paper's pseudo code divides by UPDATE_PERIOD even if the closing
+        # packet arrives a little late.
+        meter = SegmentThroughputMeter(update_period=1.0)
+        meter.observe(1000, 0.0)
+        assert meter.observe(1000, 1.7) == pytest.approx(2000.0)
+
+    def test_maybe_close_reports_zero_for_starved_segment(self):
+        meter = SegmentThroughputMeter(update_period=0.5)
+        assert meter.maybe_close(0.0) is None       # opens the segment
+        assert meter.maybe_close(0.25) is None      # not yet elapsed
+        assert meter.maybe_close(0.6) == pytest.approx(0.0)
+
+    def test_maybe_close_does_not_double_close(self):
+        meter = SegmentThroughputMeter(update_period=1.0)
+        meter.observe(4000, 0.0)
+        assert meter.observe(4000, 1.0) is not None
+        assert meter.maybe_close(1.0) is None
+
+    def test_force_close_uses_actual_elapsed_time(self):
+        meter = SegmentThroughputMeter(update_period=10.0)
+        meter.observe(1000, 0.0)
+        assert meter.force_close(2.0) == pytest.approx(500.0)
+
+    def test_segments_recorded(self):
+        meter = SegmentThroughputMeter(update_period=1.0)
+        meter.observe(1000, 0.0)
+        meter.observe(1000, 1.0)
+        meter.observe(1000, 2.0)
+        assert len(meter.segments()) == 2
+
+    def test_reset_clears_state(self):
+        meter = SegmentThroughputMeter(update_period=1.0)
+        meter.observe(1000, 0.0)
+        meter.reset()
+        assert meter.bits_pending == 0
+        assert meter.segments() == ()
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SegmentThroughputMeter(update_period=0.0)
+        meter = SegmentThroughputMeter(update_period=1.0)
+        with pytest.raises(ValueError):
+            meter.observe(-1, 0.0)

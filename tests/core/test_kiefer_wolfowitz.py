@@ -1,0 +1,165 @@
+"""Tests for the Kiefer-Wolfowitz stochastic approximation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.kiefer_wolfowitz import (
+    GainSchedule,
+    KieferWolfowitzOptimizer,
+    PAPER_GAIN_SCHEDULE,
+    ProbeSide,
+    TwoSidedGradientTracker,
+)
+
+
+class TestGainSchedule:
+    def test_paper_schedule_values(self):
+        assert PAPER_GAIN_SCHEDULE.a(1) == 1.0
+        assert PAPER_GAIN_SCHEDULE.a(4) == pytest.approx(0.25)
+        assert PAPER_GAIN_SCHEDULE.b(8) == pytest.approx(0.5)
+
+    def test_paper_schedule_satisfies_kw_conditions(self):
+        assert PAPER_GAIN_SCHEDULE.satisfies_kw_conditions()
+
+    def test_bad_schedules_rejected_by_condition_check(self):
+        # alpha = gamma = 1/2 violates 2(alpha - gamma) > 1.
+        assert not GainSchedule(alpha=0.5, gamma=0.5).satisfies_kw_conditions()
+        # alpha > 1 makes sum a_k converge (not allowed).
+        assert not GainSchedule(alpha=1.5, gamma=0.25).satisfies_kw_conditions()
+
+    def test_partial_sums_reflect_divergence_and_convergence(self):
+        short = PAPER_GAIN_SCHEDULE.partial_sums(100)
+        long = PAPER_GAIN_SCHEDULE.partial_sums(10_000)
+        # sum a_k diverges (log growth): noticeably larger at longer horizon.
+        assert long[0] > short[0] + 3.0
+        # sum a_k b_k and sum (a_k / b_k)^2 converge: their tails past k=100
+        # are bounded (integral test: ~3 * 100^(-1/3) ~ 0.65).
+        assert long[1] - short[1] < 0.7
+        assert long[2] - short[2] < 0.7
+
+    def test_sequences_decrease(self):
+        schedule = PAPER_GAIN_SCHEDULE
+        assert schedule.a(10) < schedule.a(2)
+        assert schedule.b(10) < schedule.b(2)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GainSchedule(a0=0.0)
+        with pytest.raises(ValueError):
+            GainSchedule(gamma=-0.1)
+        with pytest.raises(ValueError):
+            PAPER_GAIN_SCHEDULE.a(0)
+        with pytest.raises(ValueError):
+            PAPER_GAIN_SCHEDULE.partial_sums(0)
+
+
+class TestTwoSidedGradientTracker:
+    def test_probe_alternates_plus_minus(self):
+        tracker = TwoSidedGradientTracker(initial=0.5)
+        assert tracker.side == ProbeSide.PLUS
+        first_probe = tracker.probe
+        assert first_probe > 0.5 or first_probe == 1.0
+        tracker.observe(1.0)
+        assert tracker.side == ProbeSide.MINUS
+        assert tracker.probe < 0.5 or tracker.probe == 0.0
+
+    def test_update_moves_towards_larger_measurement(self):
+        tracker = TwoSidedGradientTracker(
+            initial=0.5, schedule=GainSchedule(a0=0.1, b0=0.1)
+        )
+        tracker.observe(2.0)   # plus side better
+        updated = tracker.observe(1.0)
+        assert updated
+        assert tracker.center > 0.5
+
+        tracker = TwoSidedGradientTracker(
+            initial=0.5, schedule=GainSchedule(a0=0.1, b0=0.1)
+        )
+        tracker.observe(1.0)   # minus side better
+        tracker.observe(2.0)
+        assert tracker.center < 0.5
+
+    def test_center_stays_within_bounds(self):
+        tracker = TwoSidedGradientTracker(
+            initial=0.5, schedule=GainSchedule(a0=100.0, b0=0.1), bounds=(0.0, 1.0)
+        )
+        tracker.observe(1e9)
+        tracker.observe(0.0)
+        assert tracker.center == 1.0
+        tracker.observe(0.0)
+        tracker.observe(1e9)
+        assert tracker.center == 0.0
+
+    def test_probe_respects_probe_bounds(self):
+        tracker = TwoSidedGradientTracker(
+            initial=0.85, bounds=(0.0, 0.9), probe_bounds=(0.0, 0.9)
+        )
+        assert tracker.probe <= 0.9
+
+    def test_iteration_counter_advances_per_pair(self):
+        tracker = TwoSidedGradientTracker(initial=0.5, initial_k=2)
+        assert tracker.iteration == 2
+        tracker.observe(1.0)
+        assert tracker.iteration == 2
+        tracker.observe(1.0)
+        assert tracker.iteration == 3
+        assert tracker.updates == 1
+
+    def test_reset_center_and_iteration_independently(self):
+        tracker = TwoSidedGradientTracker(initial=0.5)
+        tracker.observe(1.0)
+        tracker.observe(0.5)
+        tracker.reset(center=0.3)
+        assert tracker.center == pytest.approx(0.3)
+        assert tracker.iteration == 3  # preserved
+        tracker.reset(center=0.7, k=10)
+        assert tracker.iteration == 10
+
+    def test_gradient_estimate(self):
+        tracker = TwoSidedGradientTracker(initial=0.5, initial_k=8)
+        expected_b = PAPER_GAIN_SCHEDULE.b(8)
+        assert tracker.gradient_estimate(3.0, 1.0) == pytest.approx(2.0 / expected_b)
+
+    def test_rejects_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TwoSidedGradientTracker(initial=2.0, bounds=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            TwoSidedGradientTracker(initial=0.5, bounds=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            TwoSidedGradientTracker(initial=0.5, initial_k=0)
+
+    def test_rejects_non_finite_measurement(self):
+        tracker = TwoSidedGradientTracker(initial=0.5)
+        with pytest.raises(ValueError):
+            tracker.observe(float("nan"))
+
+
+class TestBatchOptimizer:
+    def test_converges_on_noiseless_quadratic(self):
+        objective = lambda x: -(x - 0.3) ** 2
+        optimizer = KieferWolfowitzOptimizer(
+            objective, initial=0.8, schedule=GainSchedule(a0=2.0, b0=0.2)
+        )
+        trace = optimizer.run(300)
+        assert trace.final == pytest.approx(0.3, abs=0.05)
+
+    def test_converges_on_noisy_quadratic(self):
+        rng = np.random.default_rng(42)
+        objective = lambda x: -(x - 0.6) ** 2 + rng.normal(0, 0.01)
+        optimizer = KieferWolfowitzOptimizer(
+            objective, initial=0.2, schedule=GainSchedule(a0=2.0, b0=0.2)
+        )
+        trace = optimizer.run(500)
+        assert trace.final == pytest.approx(0.6, abs=0.1)
+
+    def test_trace_lengths(self):
+        optimizer = KieferWolfowitzOptimizer(lambda x: -x * x, initial=0.5)
+        trace = optimizer.run(10)
+        assert len(trace.centers) == 11
+        assert len(trace.probes) == 20
+        assert len(trace.measurements) == 20
+
+    def test_rejects_zero_iterations(self):
+        optimizer = KieferWolfowitzOptimizer(lambda x: x, initial=0.5)
+        with pytest.raises(ValueError):
+            optimizer.run(0)

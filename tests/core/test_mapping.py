@@ -1,0 +1,66 @@
+"""Tests for control-variable mappings."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import LinearMapping, LogMapping
+
+
+class TestLinearMapping:
+    def test_endpoints(self):
+        mapping = LinearMapping(0.0, 0.9)
+        assert mapping.to_parameter(0.0) == 0.0
+        assert mapping.to_parameter(1.0) == pytest.approx(0.9)
+
+    def test_round_trip(self):
+        mapping = LinearMapping(0.1, 0.7)
+        for x in np.linspace(0, 1, 11):
+            assert mapping.to_control(mapping.to_parameter(x)) == pytest.approx(x)
+
+    def test_monotone(self):
+        mapping = LinearMapping(0.0, 1.0)
+        values = [mapping.to_parameter(x) for x in np.linspace(0, 1, 20)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_range_and_inputs(self):
+        with pytest.raises(ValueError):
+            LinearMapping(1.0, 0.5)
+        mapping = LinearMapping(0.0, 1.0)
+        with pytest.raises(ValueError):
+            mapping.to_parameter(1.5)
+        with pytest.raises(ValueError):
+            mapping.to_control(2.0)
+
+
+class TestLogMapping:
+    def test_endpoints(self):
+        mapping = LogMapping(1e-4, 0.5)
+        assert mapping.to_parameter(0.0) == pytest.approx(1e-4)
+        assert mapping.to_parameter(1.0) == pytest.approx(0.5)
+
+    def test_midpoint_is_geometric_mean(self):
+        mapping = LogMapping(1e-4, 1e-2)
+        assert mapping.to_parameter(0.5) == pytest.approx(1e-3)
+
+    def test_round_trip(self):
+        mapping = LogMapping(1e-4, 0.9)
+        for x in np.linspace(0, 1, 11):
+            assert mapping.to_control(mapping.to_parameter(x)) == pytest.approx(x)
+
+    def test_strictly_increasing(self):
+        mapping = LogMapping(1e-3, 0.5)
+        values = [mapping.to_parameter(x) for x in np.linspace(0, 1, 30)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rejects_non_positive_low(self):
+        with pytest.raises(ValueError):
+            LogMapping(0.0, 0.5)
+        with pytest.raises(ValueError):
+            LogMapping(0.5, 0.1)
+
+    def test_rejects_out_of_range(self):
+        mapping = LogMapping(1e-3, 0.5)
+        with pytest.raises(ValueError):
+            mapping.to_parameter(-0.1)
+        with pytest.raises(ValueError):
+            mapping.to_control(0.9)

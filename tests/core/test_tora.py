@@ -1,0 +1,149 @@
+"""Tests for the TORA-CSMA access-point controller (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.randomreset import randomreset_throughput
+from repro.core.tora import ToraCsmaController
+from repro.phy.constants import PhyParameters
+
+
+def feed_segment(controller, throughput_bps, start, duration, packets=5):
+    total_bits = throughput_bps * duration
+    per_packet = total_bits / packets if packets else 0
+    times = np.linspace(start, start + duration * 0.99, packets)
+    for t in times:
+        controller.on_packet_received(0, int(per_packet), float(t))
+    controller.on_tick(start + duration)
+
+
+class TestAdvertisedControl:
+    def test_control_fields(self, phy):
+        controller = ToraCsmaController(phy, update_period=0.1)
+        control = controller.control()
+        assert set(control) == {"p0", "stage", "cw"}
+        assert 0.0 <= control["p0"] <= 1.0
+        assert control["stage"] == 0.0
+        assert control["cw"] == phy.cw_min
+
+    def test_initial_stage_respected(self, phy):
+        controller = ToraCsmaController(phy, update_period=0.1, initial_stage=2)
+        assert controller.stage == 2
+        assert controller.control()["cw"] == phy.contention_window(2)
+
+    def test_rejects_invalid_construction(self, phy):
+        with pytest.raises(ValueError):
+            ToraCsmaController(phy, initial_stage=99)
+        with pytest.raises(ValueError):
+            ToraCsmaController(phy, low_threshold=0.9, high_threshold=0.1)
+        with pytest.raises(ValueError):
+            ToraCsmaController(phy, throughput_scale=-1.0)
+
+
+class TestUpdatesAndStageShifts:
+    def test_center_moves_with_gradient(self, phy):
+        controller = ToraCsmaController(phy, update_period=0.5)
+        start = controller.center
+        feed_segment(controller, 20e6, 0.0, 0.5)
+        feed_segment(controller, 5e6, 0.5, 0.5)
+        assert controller.center > start
+
+    def test_stage_increments_when_p0_saturates_low(self, phy):
+        controller = ToraCsmaController(
+            phy, update_period=0.5, low_threshold=0.1, high_threshold=0.9
+        )
+        # Repeatedly make the minus probe look much better so the centre is
+        # driven to 0, which must trigger a stage increment and a reset of the
+        # centre to 0.5.
+        now = 0.0
+        for _ in range(30):
+            if controller.stage > 0:
+                break
+            feed_segment(controller, 1e6, now, 0.5)
+            feed_segment(controller, 30e6, now + 0.5, 0.5)
+            now += 1.0
+        assert controller.stage == 1
+        assert controller.center == pytest.approx(0.5)
+        assert len(controller.stage_shifts()) == 1
+
+    def test_stage_decrements_when_p0_saturates_high(self, phy):
+        controller = ToraCsmaController(
+            phy, update_period=0.5, initial_stage=3,
+            low_threshold=0.1, high_threshold=0.9,
+        )
+        now = 0.0
+        for _ in range(30):
+            if controller.stage < 3:
+                break
+            feed_segment(controller, 30e6, now, 0.5)
+            feed_segment(controller, 1e6, now + 0.5, 0.5)
+            now += 1.0
+        assert controller.stage == 2
+        assert controller.center == pytest.approx(0.5)
+
+    def test_stage_never_exceeds_bounds(self, phy):
+        controller = ToraCsmaController(
+            phy, update_period=0.5, low_threshold=0.3, high_threshold=0.7
+        )
+        now = 0.0
+        for _ in range(200):
+            feed_segment(controller, 1e6, now, 0.5)
+            feed_segment(controller, 30e6, now + 0.5, 0.5)
+            now += 1.0
+        assert 0 <= controller.stage <= phy.num_backoff_stages - 1
+
+    def test_iteration_not_advanced_on_stage_shift(self, phy):
+        controller = ToraCsmaController(
+            phy, update_period=0.5, low_threshold=0.45, high_threshold=0.99
+        )
+        # One decisive pair pushes the centre below the (high) low-threshold,
+        # causing an immediate shift; Algorithm 2 keeps k unchanged.
+        k_before = controller.iteration
+        feed_segment(controller, 0.0, 0.0, 0.5)
+        feed_segment(controller, 40e6, 0.5, 0.5)
+        if controller.stage_shifts():
+            assert controller.iteration == k_before
+
+    def test_reset_restores_initial_state(self, phy):
+        controller = ToraCsmaController(phy, update_period=0.5)
+        feed_segment(controller, 10e6, 0.0, 0.5)
+        feed_segment(controller, 10e6, 0.5, 0.5)
+        controller.reset()
+        assert controller.updates == 0
+        assert controller.stage == 0
+        assert controller.stage_shifts() == ()
+
+
+class TestClosedLoopConvergence:
+    def test_tracks_good_reset_probability_against_analytic_plant(self, phy):
+        """Drive TORA with the analytical RandomReset throughput function."""
+        n = 20
+        rng = np.random.default_rng(11)
+        controller = ToraCsmaController(phy, update_period=1.0)
+
+        now = 0.0
+        for _ in range(300):
+            control = controller.control()
+            throughput = randomreset_throughput(
+                int(control["stage"]), control["p0"], n, phy
+            )
+            throughput *= 1.0 + rng.normal(0, 0.02)
+            feed_segment(controller, max(throughput, 0.0), now, 1.0)
+            now += 1.0
+
+        final = randomreset_throughput(controller.stage, controller.center, n, phy)
+        best = max(
+            randomreset_throughput(j, p0, n, phy)
+            for j in range(phy.num_backoff_stages)
+            for p0 in np.linspace(0, 1, 11)
+        )
+        assert final >= 0.93 * best
+
+    def test_convergence_trace_shape(self, phy):
+        controller = ToraCsmaController(phy, update_period=0.5)
+        feed_segment(controller, 10e6, 0.0, 0.5)
+        feed_segment(controller, 12e6, 0.5, 0.5)
+        trace = controller.convergence_trace()
+        assert len(trace) == 2
+        time, p0, stage = trace[-1]
+        assert time > 0 and 0 <= p0 <= 1 and stage == 0

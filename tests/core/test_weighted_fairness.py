@@ -1,0 +1,78 @@
+"""Tests for the weighted-fairness probability mapping (Lemma 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weighted_fairness import (
+    attempt_probabilities,
+    base_probability_from_station,
+    station_attempt_probability,
+    validate_weights,
+)
+
+
+class TestForwardMap:
+    def test_weight_one_identity(self):
+        for p in (0.0, 0.3, 0.9, 1.0):
+            assert station_attempt_probability(1.0, p) == pytest.approx(p)
+
+    def test_odds_scaling_property(self):
+        p, w = 0.2, 2.5
+        pw = station_attempt_probability(w, p)
+        assert pw / (1 - pw) == pytest.approx(w * p / (1 - p))
+
+    def test_monotone_in_p(self):
+        values = [station_attempt_probability(2.0, p) for p in np.linspace(0, 1, 11)]
+        assert values == sorted(values)
+
+    def test_result_stays_in_unit_interval(self):
+        for w in (0.1, 1.0, 10.0):
+            for p in np.linspace(0, 1, 11):
+                assert 0.0 <= station_attempt_probability(w, p) <= 1.0
+
+    def test_boundary_p_one(self):
+        assert station_attempt_probability(5.0, 1.0) == 1.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            station_attempt_probability(0.0, 0.5)
+        with pytest.raises(ValueError):
+            station_attempt_probability(1.0, -0.1)
+
+
+class TestInverseMap:
+    def test_round_trip(self):
+        for w in (0.5, 1.0, 3.0):
+            for p in (0.0, 0.1, 0.5, 0.9):
+                pw = station_attempt_probability(w, p)
+                assert base_probability_from_station(w, pw) == pytest.approx(p)
+
+    def test_boundary(self):
+        assert base_probability_from_station(3.0, 1.0) == 1.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            base_probability_from_station(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            base_probability_from_station(1.0, 1.2)
+
+
+class TestVectorisedHelpers:
+    def test_attempt_probabilities_matches_scalar(self):
+        weights = [1.0, 2.0, 3.0]
+        p = 0.15
+        vector = attempt_probabilities(weights, p)
+        for w, value in zip(weights, vector):
+            assert value == pytest.approx(station_attempt_probability(w, p))
+
+    def test_validate_weights_accepts_positive(self):
+        arr = validate_weights([1, 2, 3])
+        assert arr.shape == (3,)
+
+    def test_validate_weights_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            validate_weights([])
+        with pytest.raises(ValueError):
+            validate_weights([1.0, 0.0])
+        with pytest.raises(ValueError):
+            validate_weights([1.0, float("nan")])

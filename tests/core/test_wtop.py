@@ -1,0 +1,144 @@
+"""Tests for the wTOP-CSMA access-point controller (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistent import optimal_attempt_probability, system_throughput_weighted
+from repro.core.kiefer_wolfowitz import GainSchedule
+from repro.core.mapping import LinearMapping
+from repro.core.wtop import WTopCsmaController
+from repro.phy.constants import PhyParameters
+
+
+def feed_segment(controller, throughput_bps, start, duration, packets=10,
+                 payload_bits=8000):
+    """Simulate receptions producing a given throughput over one segment."""
+    # Deliver `packets` packets spread over the segment, then one more just
+    # after the boundary to trigger the close (mirrors real operation).
+    total_bits = throughput_bps * duration
+    per_packet = total_bits / packets
+    times = np.linspace(start, start + duration * 0.99, packets)
+    for t in times:
+        controller.on_packet_received(0, int(per_packet), float(t))
+    controller.on_tick(start + duration)
+
+
+class TestAdvertisedControl:
+    def test_control_contains_p_within_mapping_range(self):
+        controller = WTopCsmaController(update_period=0.1)
+        control = controller.control()
+        assert set(control) == {"p"}
+        assert controller.mapping.low <= control["p"] <= controller.mapping.high
+
+    def test_initial_p_parameter_sets_start_point(self):
+        controller = WTopCsmaController(update_period=0.1, initial_p=0.01)
+        assert controller.center_p == pytest.approx(0.01, rel=1e-6)
+
+    def test_probe_alternates_above_and_below_center(self):
+        controller = WTopCsmaController(update_period=1.0)
+        center = controller.center
+        plus_probe = controller.control()["p"]
+        feed_segment(controller, 10e6, 0.0, 1.0)
+        minus_probe = controller.control()["p"]
+        assert plus_probe >= controller.mapping.to_parameter(center)
+        assert minus_probe <= plus_probe
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WTopCsmaController(update_period=1.0, throughput_scale=0.0)
+        with pytest.raises(ValueError):
+            WTopCsmaController(update_period=1.0, initial_control=1.5)
+
+
+class TestMeasurementAndUpdates:
+    def test_no_update_before_period_elapses(self):
+        controller = WTopCsmaController(update_period=10.0)
+        controller.on_packet_received(0, 8000, 0.1)
+        controller.on_packet_received(1, 8000, 0.2)
+        assert controller.updates == 0
+        assert controller.history() == ()
+
+    def test_update_after_two_segments(self):
+        controller = WTopCsmaController(update_period=0.5)
+        feed_segment(controller, 12e6, 0.0, 0.5)
+        assert controller.updates == 0   # only the + segment measured
+        feed_segment(controller, 8e6, 0.5, 0.5)
+        assert controller.updates == 1   # (+, -) pair complete
+        assert controller.iteration == 3
+
+    def test_center_moves_towards_better_probe(self):
+        controller = WTopCsmaController(update_period=0.5)
+        start_center = controller.center
+        # The + probe measures much better than the - probe, so the centre
+        # should move up.
+        feed_segment(controller, 20e6, 0.0, 0.5)
+        feed_segment(controller, 2e6, 0.5, 0.5)
+        assert controller.center > start_center
+
+        controller = WTopCsmaController(update_period=0.5)
+        start_center = controller.center
+        feed_segment(controller, 2e6, 0.0, 0.5)
+        feed_segment(controller, 20e6, 0.5, 0.5)
+        assert controller.center < start_center
+
+    def test_on_tick_closes_starved_segment(self):
+        controller = WTopCsmaController(update_period=0.2)
+        assert controller.on_tick(0.0) is False       # opens the segment
+        assert controller.on_tick(0.1) is False
+        assert controller.on_tick(0.25) is True       # closed with 0 bits
+        assert controller.tick_interval == pytest.approx(0.2)
+
+    def test_history_and_trace_record_updates(self):
+        controller = WTopCsmaController(update_period=0.5)
+        feed_segment(controller, 10e6, 0.0, 0.5)
+        feed_segment(controller, 10e6, 0.5, 0.5)
+        assert len(controller.history()) == 2
+        trace = controller.convergence_trace()
+        assert len(trace) == 2
+        assert all(0 <= p <= 1 for _, p in trace)
+
+    def test_reset_restores_initial_state(self):
+        controller = WTopCsmaController(update_period=0.5)
+        feed_segment(controller, 10e6, 0.0, 0.5)
+        feed_segment(controller, 10e6, 0.5, 0.5)
+        controller.reset()
+        assert controller.updates == 0
+        assert controller.history() == ()
+        assert controller.center == pytest.approx(0.5)
+
+
+class TestClosedLoopConvergence:
+    def test_converges_near_optimum_against_analytic_plant(self, phy):
+        """Drive the controller with the analytical throughput function.
+
+        The 'plant' is Eq. (3) evaluated at the advertised probability plus
+        small multiplicative noise; after a few hundred updates the centre
+        should sit near the analytic optimum and deliver near-optimal
+        throughput.
+        """
+        n = 20
+        rng = np.random.default_rng(7)
+        controller = WTopCsmaController(update_period=1.0)
+        optimum_p = optimal_attempt_probability(n, phy)
+        optimum_s = system_throughput_weighted(optimum_p, [1.0] * n, phy)
+
+        now = 0.0
+        for _ in range(400):
+            p = controller.control()["p"]
+            throughput = system_throughput_weighted(p, [1.0] * n, phy)
+            throughput *= 1.0 + rng.normal(0, 0.02)
+            feed_segment(controller, max(throughput, 0.0), now, 1.0, packets=5)
+            now += 1.0
+
+        achieved = system_throughput_weighted(controller.center_p, [1.0] * n, phy)
+        assert achieved >= 0.93 * optimum_s
+
+    def test_linear_mapping_mode_available(self, phy):
+        controller = WTopCsmaController(
+            update_period=1.0, mapping=LinearMapping(0.0, 0.9),
+            schedule=GainSchedule(a0=0.4, b0=0.2),
+        )
+        assert controller.control()["p"] <= 0.9
+        feed_segment(controller, 5e6, 0.0, 1.0)
+        feed_segment(controller, 1e6, 1.0, 1.0)
+        assert 0.0 <= controller.center_p <= 0.9

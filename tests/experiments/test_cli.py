@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_REGISTRY
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig12"])
+        assert args.experiments == ["fig12"]
+        assert args.preset == "quick"
+        assert args.output is None
+
+    def test_preset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig12", "--preset", "huge"])
+
+
+class TestMain:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENT_REGISTRY)
+
+    def test_runs_analytical_experiment(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "regenerated in" in out
+
+    def test_writes_output_file(self, tmp_path, capsys):
+        assert main(["table1", "--output", str(tmp_path)]) == 0
+        written = (tmp_path / "table1.txt").read_text()
+        assert "Table I" in written
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_no_experiments_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,43 @@
+"""Tests for the experiment configuration presets."""
+
+import pytest
+
+from repro.experiments.config import PAPER, QUICK, ExperimentConfig
+
+
+class TestPresets:
+    def test_quick_is_smaller_than_paper(self):
+        assert len(QUICK.seeds) < len(PAPER.seeds)
+        assert QUICK.measure_duration < PAPER.measure_duration
+        assert QUICK.adaptive_warmup < PAPER.adaptive_warmup
+
+    def test_paper_preset_uses_paper_update_period(self):
+        assert PAPER.update_period == pytest.approx(0.25)
+
+    def test_paper_node_counts_match_figures(self):
+        assert PAPER.node_counts == (10, 20, 30, 40, 50, 60)
+
+    def test_hidden_radii_match_paper(self):
+        for preset in (QUICK, PAPER):
+            assert preset.hidden_disc_radius_small == 16.0
+            assert preset.hidden_disc_radius_large == 20.0
+
+
+class TestEvolve:
+    def test_evolve_overrides_selected_fields(self):
+        custom = QUICK.evolve(seeds=(7, 8, 9), measure_duration=0.1)
+        assert custom.seeds == (7, 8, 9)
+        assert custom.measure_duration == 0.1
+        assert custom.node_counts == QUICK.node_counts
+
+    def test_evolve_does_not_mutate_original(self):
+        QUICK.evolve(measure_duration=99.0)
+        assert QUICK.measure_duration != 99.0
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            QUICK.measure_duration = 1.0
+
+    def test_custom_config_constructible(self):
+        config = ExperimentConfig(node_counts=(5,), seeds=(1,), measure_duration=0.1)
+        assert config.node_counts == (5,)

@@ -1,0 +1,70 @@
+"""Tests for the experiment result structures and text rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.reporting import format_result, format_table, summarize_series
+from repro.experiments.runner import ExperimentResult, ExperimentRow
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.235" in lines[2]
+        assert "2.000" in lines[3]
+
+    def test_precision_control(self):
+        text = format_table(["v"], [[3.14159]], precision=1)
+        assert "3.1" in text and "3.14" not in text
+
+    def test_string_cells_pass_through(self):
+        text = format_table(["v"], [["54 Mbps"]])
+        assert "54 Mbps" in text
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestExperimentResult:
+    def make_result(self):
+        rows = (
+            ExperimentRow(label="N=10", values={"x": 1.0, "y": 2.0}),
+            ExperimentRow(label="N=20", values={"x": 3.0}),
+        )
+        return ExperimentResult(
+            name="Demo", description="demo experiment",
+            columns=("x", "y"), rows=rows, metadata={"seeds": (1,)},
+        )
+
+    def test_column_extraction_with_missing_cells(self):
+        result = self.make_result()
+        assert result.column("x") == [1.0, 3.0]
+        ys = result.column("y")
+        assert ys[0] == 2.0 and math.isnan(ys[1])
+
+    def test_row_labels(self):
+        assert self.make_result().row_labels() == ["N=10", "N=20"]
+
+    def test_format_result_includes_all_parts(self):
+        text = format_result(self.make_result())
+        assert "== Demo ==" in text
+        assert "demo experiment" in text
+        assert "seeds" in text
+        assert "N=20" in text
+
+
+class TestSummarizeSeries:
+    def test_summary_reports_maximum(self):
+        text = summarize_series([1, 2, 3], [5.0, 9.0, 7.0], "p", "throughput")
+        assert "max 9.000 at p=2" in text
+
+    def test_rejects_mismatched_series(self):
+        with pytest.raises(ValueError):
+            summarize_series([1, 2], [1.0])

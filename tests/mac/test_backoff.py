@@ -1,0 +1,212 @@
+"""Tests for the contention-resolution (backoff) policies."""
+
+import numpy as np
+import pytest
+
+from repro.mac.backoff import (
+    FixedWindowBackoff,
+    PPersistentBackoff,
+    RandomResetBackoff,
+    StandardExponentialBackoff,
+)
+from repro.phy.constants import PhyParameters
+
+
+class TestStandardExponentialBackoff:
+    def test_initial_stage_zero(self, phy, rng):
+        policy = StandardExponentialBackoff(phy)
+        policy.initial_backoff(rng)
+        assert policy.stage == 0
+        assert policy.current_window == phy.cw_min
+
+    def test_window_doubles_on_failures_and_caps(self, phy, rng):
+        policy = StandardExponentialBackoff(phy)
+        policy.initial_backoff(rng)
+        windows = []
+        for _ in range(10):
+            policy.on_failure(rng)
+            windows.append(policy.current_window)
+        assert windows[:7] == [16, 32, 64, 128, 256, 512, 1024]
+        assert windows[-1] == phy.cw_max
+
+    def test_success_resets_to_stage_zero(self, phy, rng):
+        policy = StandardExponentialBackoff(phy)
+        policy.initial_backoff(rng)
+        for _ in range(4):
+            policy.on_failure(rng)
+        policy.on_success(rng)
+        assert policy.stage == 0
+
+    def test_backoff_within_window(self, phy, rng):
+        policy = StandardExponentialBackoff(phy)
+        for _ in range(200):
+            value = policy.on_failure(rng)
+            assert 0 <= value < policy.current_window
+
+    def test_backoff_mean_roughly_half_window(self, phy):
+        rng = np.random.default_rng(0)
+        policy = StandardExponentialBackoff(phy)
+        draws = [policy.on_success(rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx((phy.cw_min - 1) / 2, rel=0.15)
+
+    def test_attempt_probability_estimate(self, phy, rng):
+        policy = StandardExponentialBackoff(phy)
+        policy.initial_backoff(rng)
+        assert policy.attempt_probability() == pytest.approx(2.0 / (phy.cw_min + 1))
+
+    def test_state_snapshot(self, phy, rng):
+        policy = StandardExponentialBackoff(phy)
+        policy.initial_backoff(rng)
+        policy.on_failure(rng)
+        assert policy.state() == {"stage": 1.0, "window": 16.0}
+
+    def test_does_not_observe_channel(self, phy):
+        assert StandardExponentialBackoff(phy).observes_channel is False
+
+
+class TestPPersistentBackoff:
+    def test_geometric_mean_matches_probability(self):
+        rng = np.random.default_rng(1)
+        policy = PPersistentBackoff(p=0.1)
+        draws = [policy.on_success(rng) for _ in range(20000)]
+        # Mean of the shifted geometric is (1 - p) / p = 9.
+        assert np.mean(draws) == pytest.approx(9.0, rel=0.05)
+
+    def test_per_slot_attempt_probability(self):
+        rng = np.random.default_rng(2)
+        policy = PPersistentBackoff(p=0.25)
+        draws = np.array([policy.on_failure(rng) for _ in range(20000)])
+        # P(K = 0) should equal p.
+        assert np.mean(draws == 0) == pytest.approx(0.25, abs=0.01)
+
+    def test_weight_mapping_applied(self):
+        policy = PPersistentBackoff(p=0.1, weight=3.0)
+        expected = 3.0 * 0.1 / (1.0 + 2.0 * 0.1)
+        assert policy.attempt_probability() == pytest.approx(expected)
+
+    def test_apply_control_updates_probability(self):
+        policy = PPersistentBackoff(p=0.1, weight=1.0)
+        policy.apply_control({"p": 0.02})
+        assert policy.base_probability == pytest.approx(0.02)
+        assert policy.attempt_probability() == pytest.approx(0.02)
+
+    def test_apply_control_ignores_unrelated_keys(self):
+        policy = PPersistentBackoff(p=0.1)
+        policy.apply_control({"p0": 0.5, "stage": 1})
+        assert policy.base_probability == pytest.approx(0.1)
+
+    def test_zero_probability_gives_max_backoff(self, rng):
+        policy = PPersistentBackoff(p=0.0, max_backoff_slots=999)
+        assert policy.on_success(rng) == 999
+
+    def test_unit_probability_transmits_immediately(self, rng):
+        policy = PPersistentBackoff(p=1.0)
+        assert policy.on_success(rng) == 0
+
+    def test_success_failure_distribution_identical(self):
+        # p-persistent ignores the outcome: both draws use the same law.
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        policy_a = PPersistentBackoff(p=0.2)
+        policy_b = PPersistentBackoff(p=0.2)
+        assert [policy_a.on_success(rng_a) for _ in range(50)] == [
+            policy_b.on_failure(rng_b) for _ in range(50)
+        ]
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PPersistentBackoff(p=1.5)
+        with pytest.raises(ValueError):
+            PPersistentBackoff(p=0.5, weight=0.0)
+        with pytest.raises(ValueError):
+            PPersistentBackoff(p=0.5, max_backoff_slots=0)
+
+
+class TestRandomResetBackoff:
+    def test_failure_escalates_stage(self, phy, rng):
+        policy = RandomResetBackoff(phy, stage=0, reset_probability=1.0)
+        policy.initial_backoff(rng)
+        for expected_stage in (1, 2, 3):
+            policy.on_failure(rng)
+            assert policy.stage == expected_stage
+
+    def test_failure_stage_saturates_at_m(self, phy, rng):
+        policy = RandomResetBackoff(phy, stage=0, reset_probability=1.0)
+        policy.initial_backoff(rng)
+        for _ in range(20):
+            policy.on_failure(rng)
+        assert policy.stage == phy.num_backoff_stages
+
+    def test_success_with_unit_reset_probability_returns_to_stage_j(self, phy, rng):
+        policy = RandomResetBackoff(phy, stage=2, reset_probability=1.0)
+        policy.initial_backoff(rng)
+        policy.on_failure(rng)
+        policy.on_success(rng)
+        assert policy.stage == 2
+
+    def test_success_with_zero_reset_probability_goes_above_j(self, phy, rng):
+        policy = RandomResetBackoff(phy, stage=1, reset_probability=0.0)
+        stages = set()
+        for _ in range(300):
+            policy.on_success(rng)
+            stages.add(policy.stage)
+        assert min(stages) >= 2
+        assert max(stages) <= phy.num_backoff_stages
+
+    def test_reset_distribution_statistics(self, phy):
+        rng = np.random.default_rng(5)
+        policy = RandomResetBackoff(phy, stage=1, reset_probability=0.6)
+        hits_at_j = 0
+        trials = 5000
+        for _ in range(trials):
+            policy.on_success(rng)
+            if policy.stage == 1:
+                hits_at_j += 1
+        assert hits_at_j / trials == pytest.approx(0.6, abs=0.03)
+
+    def test_apply_control_updates_parameters(self, phy, rng):
+        policy = RandomResetBackoff(phy, stage=0, reset_probability=1.0)
+        policy.apply_control({"p0": 0.3, "stage": 2.0})
+        assert policy.reset_stage == 2
+        assert policy.reset_probability == pytest.approx(0.3)
+
+    def test_backoff_within_current_window(self, phy, rng):
+        policy = RandomResetBackoff(phy, stage=0, reset_probability=0.5)
+        for _ in range(100):
+            value = policy.on_failure(rng)
+            assert 0 <= value < policy.current_window
+
+    def test_rejects_invalid_parameters(self, phy):
+        with pytest.raises(ValueError):
+            RandomResetBackoff(phy, stage=99)
+        with pytest.raises(ValueError):
+            RandomResetBackoff(phy, stage=0, reset_probability=1.5)
+
+
+class TestFixedWindowBackoff:
+    def test_draws_within_window(self, rng):
+        policy = FixedWindowBackoff(window=32)
+        for _ in range(100):
+            assert 0 <= policy.on_success(rng) < 32
+            assert 0 <= policy.on_failure(rng) < 32
+
+    def test_window_one_always_zero(self, rng):
+        policy = FixedWindowBackoff(window=1)
+        assert policy.on_success(rng) == 0
+
+    def test_rejects_invalid_window(self):
+        with pytest.raises(ValueError):
+            FixedWindowBackoff(window=0)
+
+
+class TestChannelObservationDefaults:
+    def test_default_observe_transmission_forwards_to_per_slot_hook(self, phy):
+        calls = []
+
+        class Recording(StandardExponentialBackoff):
+            def observe_channel_slot(self, idle):
+                calls.append(idle)
+
+        policy = Recording(phy)
+        policy.observe_transmission(3)
+        assert calls == [True, True, True, False]

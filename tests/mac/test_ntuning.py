@@ -1,0 +1,99 @@
+"""Tests for the N-estimating adaptive p-persistent baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistent import approximate_optimal_attempt_probability
+from repro.mac.ntuning import NEstimatingPersistentBackoff
+from repro.mac.schemes import n_estimating_scheme
+from repro.phy.constants import PhyParameters
+from repro.sim.slotted import run_slotted
+
+
+def feed_closed_loop(policy, true_n, rounds, rng):
+    """Feed the policy idle runs drawn from the true contention level."""
+    for _ in range(rounds):
+        p = policy.attempt_probability()
+        p_busy = 1.0 - (1.0 - p) ** true_n
+        idle_run = rng.geometric(min(max(p_busy, 1e-9), 1 - 1e-12)) - 1
+        policy.observe_transmission(int(idle_run))
+
+
+class TestEstimation:
+    def test_initial_probability_follows_eq8(self, phy):
+        policy = NEstimatingPersistentBackoff(phy, initial_estimate=20.0)
+        assert policy.attempt_probability() == pytest.approx(
+            approximate_optimal_attempt_probability(20, phy), rel=1e-9
+        )
+
+    def test_estimate_converges_to_true_station_count(self, phy):
+        rng = np.random.default_rng(2)
+        policy = NEstimatingPersistentBackoff(phy, initial_estimate=5.0)
+        feed_closed_loop(policy, true_n=30, rounds=6000, rng=rng)
+        # The estimator is noisy (it inverts a smoothed geometric mean), so
+        # require it to have moved decisively from 5 into the neighbourhood of
+        # 30 and to advertise an attempt probability within 2x of Eq. (8).
+        assert 15 <= policy.station_estimate <= 60
+        target = approximate_optimal_attempt_probability(30, phy)
+        assert 0.5 * target <= policy.attempt_probability() <= 2.0 * target
+
+    def test_estimate_tracks_downward_change(self, phy):
+        rng = np.random.default_rng(3)
+        policy = NEstimatingPersistentBackoff(phy, initial_estimate=50.0)
+        feed_closed_loop(policy, true_n=8, rounds=6000, rng=rng)
+        assert 4 <= policy.station_estimate <= 16
+
+    def test_estimate_clamped(self, phy):
+        policy = NEstimatingPersistentBackoff(phy, initial_estimate=2.0,
+                                              max_estimate=40.0, update_every=1,
+                                              smoothing=1.0)
+        # Enormous idle runs would imply a huge N; the clamp must hold.
+        for _ in range(10):
+            policy.observe_transmission(100000)
+        assert policy.station_estimate <= 40.0
+
+    def test_mean_idle_run_none_before_observations(self, phy):
+        assert NEstimatingPersistentBackoff(phy).mean_idle_run is None
+
+    def test_state_snapshot_keys(self, phy):
+        state = NEstimatingPersistentBackoff(phy).state()
+        assert {"estimate", "attempt_p", "mean_idle_run", "observations"} <= set(state)
+
+    def test_rejects_invalid_parameters(self, phy):
+        with pytest.raises(ValueError):
+            NEstimatingPersistentBackoff(phy, initial_estimate=0.5)
+        with pytest.raises(ValueError):
+            NEstimatingPersistentBackoff(phy, smoothing=0.0)
+        with pytest.raises(ValueError):
+            NEstimatingPersistentBackoff(phy, min_estimate=10, max_estimate=5)
+        with pytest.raises(ValueError):
+            NEstimatingPersistentBackoff(phy, update_every=0)
+        with pytest.raises(ValueError):
+            NEstimatingPersistentBackoff(phy).observe_transmission(-1)
+
+
+class TestBackoffBehaviour:
+    def test_draws_follow_attempt_probability(self, phy):
+        rng = np.random.default_rng(4)
+        policy = NEstimatingPersistentBackoff(phy, initial_estimate=10.0)
+        p = policy.attempt_probability()
+        draws = np.array([policy.on_success(rng) for _ in range(20000)])
+        assert np.mean(draws == 0) == pytest.approx(p, rel=0.1)
+
+    def test_observes_channel_flag(self, phy):
+        assert NEstimatingPersistentBackoff(phy).observes_channel is True
+
+
+class TestEndToEnd:
+    def test_near_optimal_in_fully_connected_network(self, phy):
+        # The model-based baseline should work well without hidden nodes —
+        # that is exactly the paper's point: the problem only appears with
+        # hidden nodes.
+        result = run_slotted(n_estimating_scheme(phy), num_stations=20,
+                             duration=2.0, warmup=3.0, phy=phy, seed=1)
+        assert result.total_throughput_mbps > 23.0
+
+    def test_scheme_is_adaptive_with_static_controller(self, phy):
+        scheme = n_estimating_scheme(phy)
+        assert scheme.adaptive
+        assert scheme.make_controller().control() == {}

@@ -1,0 +1,102 @@
+"""Tests for the named MAC scheme bundles."""
+
+import pytest
+
+from repro.core.controller import StaticController
+from repro.core.tora import ToraCsmaController
+from repro.core.wtop import WTopCsmaController
+from repro.mac.backoff import (
+    PPersistentBackoff,
+    RandomResetBackoff,
+    StandardExponentialBackoff,
+)
+from repro.mac.idlesense import IdleSenseBackoff
+from repro.mac.schemes import (
+    SCHEME_NAMES,
+    fixed_p_persistent_scheme,
+    fixed_randomreset_scheme,
+    idlesense_scheme,
+    scheme_by_name,
+    standard_80211_scheme,
+    tora_csma_scheme,
+    wtop_csma_scheme,
+)
+from repro.phy.constants import PhyParameters
+
+
+class TestSchemeConstruction:
+    def test_standard_scheme_components(self, phy):
+        scheme = standard_80211_scheme(phy)
+        policies = scheme.make_policies(3)
+        assert all(isinstance(p, StandardExponentialBackoff) for p in policies)
+        assert isinstance(scheme.make_controller(), StaticController)
+        assert not scheme.adaptive
+
+    def test_idlesense_scheme_components(self, phy):
+        scheme = idlesense_scheme(phy, target_idle_slots=4.0)
+        policies = scheme.make_policies(2)
+        assert all(isinstance(p, IdleSenseBackoff) for p in policies)
+        assert policies[0].target_idle_slots == 4.0
+        assert scheme.adaptive
+
+    def test_wtop_scheme_components(self, phy):
+        scheme = wtop_csma_scheme(phy, weights=[1.0, 2.0], update_period=0.1)
+        policies = scheme.make_policies(2)
+        assert all(isinstance(p, PPersistentBackoff) for p in policies)
+        assert policies[1].weight == 2.0
+        controller = scheme.make_controller()
+        assert isinstance(controller, WTopCsmaController)
+        assert controller.update_period == pytest.approx(0.1)
+
+    def test_tora_scheme_components(self, phy):
+        scheme = tora_csma_scheme(phy, update_period=0.2, initial_stage=1)
+        policies = scheme.make_policies(2)
+        assert all(isinstance(p, RandomResetBackoff) for p in policies)
+        controller = scheme.make_controller()
+        assert isinstance(controller, ToraCsmaController)
+        assert controller.stage == 1
+
+    def test_policies_are_independent_instances(self, phy):
+        scheme = standard_80211_scheme(phy)
+        a, b = scheme.make_policies(2)
+        assert a is not b
+
+    def test_make_policies_rejects_zero(self, phy):
+        with pytest.raises(ValueError):
+            standard_80211_scheme(phy).make_policies(0)
+
+
+class TestOpenLoopSchemes:
+    def test_fixed_p_persistent(self):
+        scheme = fixed_p_persistent_scheme(0.05, weights=[1.0, 3.0])
+        policies = scheme.make_policies(2)
+        assert policies[0].base_probability == pytest.approx(0.05)
+        assert policies[1].weight == 3.0
+        assert not scheme.adaptive
+
+    def test_fixed_randomreset(self, phy):
+        scheme = fixed_randomreset_scheme(2, 0.4, phy)
+        policy = scheme.make_policies(1)[0]
+        assert policy.reset_stage == 2
+        assert policy.reset_probability == pytest.approx(0.4)
+
+
+class TestSchemeLookup:
+    @pytest.mark.parametrize("alias,expected", [
+        ("standard-802.11", "Standard 802.11"),
+        ("dcf", "Standard 802.11"),
+        ("idlesense", "IdleSense"),
+        ("wtop", "wTOP-CSMA"),
+        ("WTOP-CSMA", "wTOP-CSMA"),
+        ("tora", "TORA-CSMA"),
+    ])
+    def test_lookup_by_alias(self, alias, expected):
+        assert scheme_by_name(alias).name == expected
+
+    def test_all_registry_names_resolve(self):
+        for name in SCHEME_NAMES:
+            assert scheme_by_name(name) is not None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("aloha")

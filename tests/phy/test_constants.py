@@ -1,0 +1,135 @@
+"""Tests for PHY timing constants and derived frame durations."""
+
+import math
+
+import pytest
+
+from repro.phy.constants import (
+    DEFAULT_PHY,
+    NS_PER_SECOND,
+    PhyParameters,
+    ns_to_seconds,
+    seconds_to_ns,
+)
+
+
+class TestConversions:
+    def test_seconds_to_ns_round_trip(self):
+        assert ns_to_seconds(seconds_to_ns(1.5e-3)) == pytest.approx(1.5e-3)
+
+    def test_seconds_to_ns_rounds(self):
+        assert seconds_to_ns(1e-9) == 1
+        assert seconds_to_ns(1.4e-9) == 1
+        assert seconds_to_ns(1.6e-9) == 2
+
+    def test_ns_per_second_constant(self):
+        assert NS_PER_SECOND == 1_000_000_000
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        phy = PhyParameters()
+        assert phy.bit_rate == 54e6
+        assert phy.payload_bits == 8000
+        assert phy.cw_min == 8
+        assert phy.cw_max == 1024
+        assert phy.slot_time == pytest.approx(9e-6)
+        assert phy.sifs == pytest.approx(16e-6)
+        assert phy.difs == pytest.approx(34e-6)
+
+    def test_default_instance_matches_fresh_construction(self):
+        assert DEFAULT_PHY == PhyParameters()
+
+    def test_num_backoff_stages_is_seven(self):
+        # log2(1024 / 8) = 7, so 8 backoff stages (0..7) as in the paper.
+        assert PhyParameters().num_backoff_stages == 7
+
+    def test_as_table_contains_all_table1_entries(self):
+        table = PhyParameters().as_table()
+        for key in ("Bit Rate", "Packet Payload", "CWmin", "CWmax",
+                    "EnergyDetectionThreshold", "CcaMode1Threshold"):
+            assert key in table
+
+
+class TestDerivedDurations:
+    def test_data_tx_time_includes_header_and_preamble(self, phy):
+        expected = phy.phy_header_duration + (phy.mac_header_bits + phy.payload_bits) / phy.bit_rate
+        assert phy.data_tx_time == pytest.approx(expected)
+
+    def test_ts_formula(self, phy):
+        expected = phy.data_tx_time + phy.sifs + phy.ack_tx_time + phy.difs
+        assert phy.ts == pytest.approx(expected)
+
+    def test_tc_formula(self, phy):
+        expected = phy.data_tx_time + phy.difs
+        assert phy.tc == pytest.approx(expected)
+
+    def test_ts_longer_than_tc(self, phy):
+        assert phy.ts > phy.tc
+
+    def test_slot_unit_durations(self, phy):
+        assert phy.ts_slots == pytest.approx(phy.ts / phy.slot_time)
+        assert phy.tc_slots == pytest.approx(phy.tc / phy.slot_time)
+        assert phy.tc_slots > 1
+
+    def test_nanosecond_views_consistent(self, phy):
+        assert phy.slot_time_ns == 9_000
+        assert phy.sifs_ns == 16_000
+        assert phy.difs_ns == 34_000
+        assert phy.ts_ns == pytest.approx(phy.ts * 1e9, abs=1)
+        assert phy.tc_ns == pytest.approx(phy.tc * 1e9, abs=1)
+
+    def test_contention_window_doubles_and_caps(self, phy):
+        assert phy.contention_window(0) == 8
+        assert phy.contention_window(1) == 16
+        assert phy.contention_window(7) == 1024
+        assert phy.contention_window(12) == 1024
+
+    def test_contention_window_rejects_negative_stage(self, phy):
+        with pytest.raises(ValueError):
+            phy.contention_window(-1)
+
+
+class TestEvolve:
+    def test_evolve_changes_only_requested_fields(self, phy):
+        bigger = phy.evolve(payload_bits=12000)
+        assert bigger.payload_bits == 12000
+        assert bigger.bit_rate == phy.bit_rate
+        assert bigger.ts > phy.ts
+
+    def test_evolve_returns_new_instance(self, phy):
+        assert phy.evolve(cw_min=16) is not phy
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("slot_time", 0.0),
+        ("slot_time", -1e-6),
+        ("sifs", 0.0),
+        ("difs", 0.0),
+        ("bit_rate", 0.0),
+        ("payload_bits", 0),
+        ("mac_header_bits", -1),
+        ("ack_bits", -8),
+        ("cw_min", 0),
+        ("phy_header_duration", -1e-6),
+    ])
+    def test_rejects_non_positive_fields(self, field, value):
+        with pytest.raises(ValueError):
+            PhyParameters(**{field: value})
+
+    def test_rejects_difs_smaller_than_sifs(self):
+        with pytest.raises(ValueError):
+            PhyParameters(sifs=30e-6, difs=20e-6)
+
+    def test_rejects_cw_max_below_cw_min(self):
+        with pytest.raises(ValueError):
+            PhyParameters(cw_min=64, cw_max=32)
+
+    def test_rejects_non_power_of_two_window_ratio(self):
+        with pytest.raises(ValueError):
+            PhyParameters(cw_min=8, cw_max=24)
+
+    def test_accepts_equal_cw_min_max(self):
+        phy = PhyParameters(cw_min=16, cw_max=16)
+        assert phy.num_backoff_stages == 0

@@ -1,0 +1,62 @@
+"""Tests for frame construction."""
+
+import pytest
+
+from repro.phy.constants import PhyParameters
+from repro.phy.frame import AckFrame, DataFrame, FrameFactory, FrameType
+
+
+class TestFrameFactory:
+    def test_data_frame_sizes(self, phy):
+        factory = FrameFactory(phy)
+        frame = factory.data(source=3, destination=-1)
+        assert frame.frame_type is FrameType.DATA
+        assert frame.payload_bits == phy.payload_bits
+        assert frame.size_bits == phy.mac_header_bits + phy.payload_bits
+        assert frame.source == 3
+        assert frame.destination == -1
+
+    def test_data_frame_custom_payload(self, phy):
+        factory = FrameFactory(phy)
+        frame = factory.data(source=0, destination=-1, payload_bits=1000)
+        assert frame.payload_bits == 1000
+        assert frame.goodput_bits == 1000
+
+    def test_data_frame_rejects_non_positive_payload(self, phy):
+        factory = FrameFactory(phy)
+        with pytest.raises(ValueError):
+            factory.data(source=0, destination=-1, payload_bits=0)
+
+    def test_ack_frame_carries_control(self, phy):
+        factory = FrameFactory(phy)
+        ack = factory.ack(source=-1, destination=4, acked_frame_id=7,
+                          control={"p": 0.05})
+        assert ack.frame_type is FrameType.ACK
+        assert ack.control == {"p": 0.05}
+        assert ack.acked_frame_id == 7
+        assert ack.size_bits == phy.ack_bits
+
+    def test_ack_default_control_is_empty(self, phy):
+        ack = FrameFactory(phy).ack(source=-1, destination=0, acked_frame_id=1)
+        assert ack.control == {}
+
+    def test_frame_ids_unique_and_increasing(self, phy):
+        factory = FrameFactory(phy)
+        ids = [factory.data(source=0, destination=-1).frame_id for _ in range(10)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+    def test_independent_factories_have_independent_counters(self, phy):
+        first = FrameFactory(phy)
+        second = FrameFactory(phy)
+        assert first.data(0, -1).frame_id == second.data(0, -1).frame_id
+
+
+class TestAirtime:
+    def test_airtime_matches_size_over_rate(self, phy):
+        frame = FrameFactory(phy).data(source=0, destination=-1)
+        assert frame.airtime(phy) == pytest.approx(frame.size_bits / phy.bit_rate)
+
+    def test_airtime_ns_rounds_to_integer(self, phy):
+        frame = FrameFactory(phy).data(source=0, destination=-1)
+        assert frame.airtime_ns(phy) == int(round(frame.airtime(phy) * 1e9))

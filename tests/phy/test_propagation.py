@@ -1,0 +1,106 @@
+"""Tests for the propagation models."""
+
+import numpy as np
+import pytest
+
+from repro.phy.propagation import (
+    LogDistancePropagation,
+    RangeBasedPropagation,
+    friis_path_loss_db,
+)
+
+
+class TestFriis:
+    def test_loss_increases_with_distance(self):
+        assert friis_path_loss_db(10.0) > friis_path_loss_db(1.0)
+
+    def test_loss_increases_with_frequency(self):
+        assert friis_path_loss_db(5.0, 5.8e9) > friis_path_loss_db(5.0, 2.4e9)
+
+    def test_rejects_non_positive_distance(self):
+        with pytest.raises(ValueError):
+            friis_path_loss_db(0.0)
+
+
+class TestRangeBased:
+    def test_paper_default_ranges(self):
+        model = RangeBasedPropagation()
+        assert model.decode_range == 16.0
+        assert model.sense_range == 24.0
+
+    def test_decode_and_sense_boundaries(self):
+        model = RangeBasedPropagation(transmission_range=10, carrier_sense_range=15)
+        assert model.can_decode(10.0)
+        assert not model.can_decode(10.01)
+        assert model.can_sense(15.0)
+        assert not model.can_sense(15.01)
+
+    def test_sensing_is_superset_of_decoding(self):
+        model = RangeBasedPropagation()
+        for distance in np.linspace(0, 30, 61):
+            if model.can_decode(distance):
+                assert model.can_sense(distance)
+
+    def test_rx_power_decreases_with_distance(self):
+        model = RangeBasedPropagation()
+        assert model.rx_power_dbm(5.0) > model.rx_power_dbm(20.0)
+
+    def test_rejects_sense_smaller_than_decode(self):
+        with pytest.raises(ValueError):
+            RangeBasedPropagation(transmission_range=20, carrier_sense_range=10)
+
+    def test_rejects_non_positive_transmission_range(self):
+        with pytest.raises(ValueError):
+            RangeBasedPropagation(transmission_range=0)
+
+    def test_validate_passes(self):
+        RangeBasedPropagation().validate()
+
+
+class TestLogDistance:
+    def test_rx_power_monotone_decreasing(self):
+        model = LogDistancePropagation()
+        distances = np.linspace(1.0, 100.0, 50)
+        powers = [model.rx_power_dbm(d) for d in distances]
+        assert all(a >= b for a, b in zip(powers, powers[1:]))
+
+    def test_ranges_follow_thresholds(self):
+        model = LogDistancePropagation(
+            decode_threshold_dbm=-70.0, sense_threshold_dbm=-76.0
+        )
+        assert model.sense_range > model.decode_range
+        # Exactly at the derived range the power equals the threshold.
+        assert model.rx_power_dbm(model.decode_range) == pytest.approx(-70.0, abs=1e-6)
+
+    def test_can_decode_and_sense_respect_ranges(self):
+        model = LogDistancePropagation()
+        assert model.can_decode(model.decode_range * 0.99)
+        assert not model.can_decode(model.decode_range * 1.01)
+        assert model.can_sense(model.sense_range * 0.99)
+        assert not model.can_sense(model.sense_range * 1.01)
+
+    def test_calibrated_matches_paper_ranges(self):
+        model = LogDistancePropagation.calibrated(decode_range=16.0, sense_range=24.0)
+        assert model.decode_range == pytest.approx(16.0, rel=1e-6)
+        assert model.sense_range == pytest.approx(24.0, rel=1e-6)
+
+    def test_calibrated_rejects_inverted_ranges(self):
+        with pytest.raises(ValueError):
+            LogDistancePropagation.calibrated(decode_range=24.0, sense_range=16.0)
+
+    def test_rejects_sense_threshold_above_decode(self):
+        with pytest.raises(ValueError):
+            LogDistancePropagation(decode_threshold_dbm=-80.0, sense_threshold_dbm=-70.0)
+
+    def test_shadowing_draw_zero_when_disabled(self, rng):
+        model = LogDistancePropagation(shadowing_sigma_db=0.0)
+        assert model.link_shadowing_db(rng) == 0.0
+
+    def test_shadowing_draw_varies_when_enabled(self, rng):
+        model = LogDistancePropagation(shadowing_sigma_db=6.0)
+        draws = {model.link_shadowing_db(rng) for _ in range(5)}
+        assert len(draws) > 1
+
+    def test_rejects_negative_shadowing(self):
+        with pytest.raises(ValueError):
+            LogDistancePropagation(shadowing_sigma_db=-1.0)

@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the analytical models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.bianchi import (
+    conditional_collision_probability,
+    dcf_attempt_probability,
+    solve_dcf_fixed_point,
+)
+from repro.analysis.persistent import (
+    per_station_throughput,
+    slot_probabilities,
+    system_throughput,
+    system_throughput_weighted,
+    weighted_attempt_probability,
+)
+from repro.analysis.randomreset import (
+    conditional_attempt_probability,
+    randomreset_distribution,
+    solve_attempt_probability,
+    stage_alphas,
+)
+from repro.phy.constants import PhyParameters
+
+PHY = PhyParameters()
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+open_probabilities = st.floats(min_value=1e-6, max_value=0.999, allow_nan=False)
+weights = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+station_counts = st.integers(min_value=1, max_value=60)
+
+
+class TestSlotProbabilityProperties:
+    @given(st.lists(open_probabilities, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_probabilities_form_distribution(self, attempt_probs):
+        p_idle, p_success, p_collision = slot_probabilities(attempt_probs)
+        assert -1e-9 <= p_idle <= 1 + 1e-9
+        assert -1e-9 <= p_success <= 1 + 1e-9
+        assert -1e-9 <= p_collision <= 1 + 1e-9
+        assert p_idle + p_success + p_collision == pytest.approx(1.0)
+
+    @given(st.lists(open_probabilities, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_throughput_non_negative_and_below_rate(self, attempt_probs):
+        total = system_throughput(attempt_probs, PHY)
+        assert 0.0 <= total < PHY.bit_rate
+
+    @given(st.lists(open_probabilities, min_size=2, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_per_station_sums_to_system(self, attempt_probs):
+        per_station = per_station_throughput(attempt_probs, PHY)
+        assert float(np.sum(per_station)) == pytest.approx(
+            system_throughput(attempt_probs, PHY), rel=1e-9
+        )
+
+
+class TestWeightedMappingProperties:
+    @given(weights, probabilities)
+    @settings(max_examples=200, deadline=None)
+    def test_mapping_stays_in_unit_interval(self, weight, p):
+        assert 0.0 <= weighted_attempt_probability(weight, p) <= 1.0
+
+    @given(weights, open_probabilities)
+    @settings(max_examples=200, deadline=None)
+    def test_odds_ratio_equals_weight(self, weight, p):
+        pw = weighted_attempt_probability(weight, p)
+        odds_ratio = (pw / (1 - pw)) / (p / (1 - p))
+        assert odds_ratio == pytest.approx(weight, rel=1e-6)
+
+    @given(st.lists(weights, min_size=1, max_size=10), open_probabilities)
+    @settings(max_examples=50, deadline=None)
+    def test_lemma1_normalized_throughput_equal(self, weight_list, p):
+        # Lemma 1 / Theorem 1: throughput divided by weight is identical for
+        # every station, regardless of the weights of the others.
+        attempt = [weighted_attempt_probability(w, p) for w in weight_list]
+        per_station = per_station_throughput(attempt, PHY)
+        normalized = per_station / np.asarray(weight_list)
+        if np.max(normalized) > 0:
+            assert np.max(normalized) / np.min(normalized) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestBianchiProperties:
+    @given(probabilities)
+    @settings(max_examples=100, deadline=None)
+    def test_attempt_probability_in_unit_interval(self, c):
+        tau = dcf_attempt_probability(c, PHY.cw_min, PHY.num_backoff_stages)
+        assert 0.0 < tau <= 1.0
+
+    @given(station_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_point_is_consistent(self, n):
+        tau, c = solve_dcf_fixed_point(n, PHY.cw_min, PHY.num_backoff_stages)
+        assert 0.0 < tau <= 1.0
+        assert 0.0 <= c < 1.0
+        assert c == pytest.approx(conditional_collision_probability(tau, n), abs=1e-6)
+
+    @given(st.integers(min_value=2, max_value=59))
+    @settings(max_examples=30, deadline=None)
+    def test_attempt_probability_decreases_in_n(self, n):
+        tau_n, _ = solve_dcf_fixed_point(n, PHY.cw_min, PHY.num_backoff_stages)
+        tau_next, _ = solve_dcf_fixed_point(n + 1, PHY.cw_min, PHY.num_backoff_stages)
+        assert tau_next <= tau_n + 1e-12
+
+
+class TestRandomResetProperties:
+    @given(probabilities, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_alphas_monotone_in_stage(self, c, m):
+        alphas = stage_alphas(c, m)
+        assert np.all(np.diff(alphas) >= -1e-12)
+        assert alphas[0] >= 1.0
+
+    @given(st.integers(min_value=0, max_value=6), probabilities, probabilities)
+    @settings(max_examples=100, deadline=None)
+    def test_conditional_attempt_probability_bounded(self, stage, p0, c):
+        if stage == 7 and p0 != 1.0:
+            return
+        q = randomreset_distribution(stage, p0, 7)
+        tau = conditional_attempt_probability(q, c, PHY.cw_min)
+        assert 0.0 < tau <= 2.0 / PHY.cw_min + 1e-12
+
+    @given(st.integers(min_value=0, max_value=6), probabilities, station_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_point_consistency(self, stage, p0, n):
+        q = randomreset_distribution(stage, p0, 7)
+        tau, c = solve_attempt_probability(q, n, PHY.cw_min)
+        assert 0.0 < tau < 1.0
+        assert c == pytest.approx(1.0 - (1.0 - tau) ** (n - 1), abs=1e-6)
+
+    @given(st.integers(min_value=0, max_value=6),
+           st.tuples(probabilities, probabilities), station_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_lemma5_monotone_in_p0(self, stage, p0_pair, n):
+        low, high = sorted(p0_pair)
+        q_low = randomreset_distribution(stage, low, 7)
+        q_high = randomreset_distribution(stage, high, 7)
+        tau_low, _ = solve_attempt_probability(q_low, n, PHY.cw_min)
+        tau_high, _ = solve_attempt_probability(q_high, n, PHY.cw_min)
+        assert tau_high >= tau_low - 1e-9
+
+
+class TestWeightedThroughputProperties:
+    @given(open_probabilities, st.lists(weights, min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_system_throughput_bounded(self, p, weight_list):
+        total = system_throughput_weighted(p, weight_list, PHY)
+        assert 0.0 <= total < PHY.bit_rate

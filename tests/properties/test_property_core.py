@@ -1,0 +1,86 @@
+"""Property-based tests for the Kiefer-Wolfowitz machinery and mappings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kiefer_wolfowitz import GainSchedule, TwoSidedGradientTracker
+from repro.core.mapping import LinearMapping, LogMapping
+from repro.core.weighted_fairness import (
+    base_probability_from_station,
+    station_attempt_probability,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+measurements = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                         allow_infinity=False)
+
+
+class TestTrackerInvariants:
+    @given(st.lists(measurements, min_size=2, max_size=60), unit)
+    @settings(max_examples=100, deadline=None)
+    def test_center_always_within_bounds(self, observations, initial):
+        tracker = TwoSidedGradientTracker(
+            initial=initial, schedule=GainSchedule(a0=1.0, b0=0.3)
+        )
+        for value in observations:
+            tracker.observe(value)
+            assert 0.0 <= tracker.center <= 1.0
+            assert 0.0 <= tracker.probe <= 1.0
+
+    @given(st.lists(measurements, min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_iteration_counts_pairs(self, observations):
+        tracker = TwoSidedGradientTracker(initial=0.5)
+        for value in observations:
+            tracker.observe(value)
+        assert tracker.updates == len(observations) // 2
+        assert tracker.iteration == 2 + tracker.updates
+
+    @given(st.floats(min_value=0.01, max_value=5.0),
+           st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_gain_sequences_positive_and_decreasing(self, a0, b0):
+        schedule = GainSchedule(a0=a0, b0=b0)
+        previous_a, previous_b = float("inf"), float("inf")
+        for k in range(1, 30):
+            a, b = schedule.a(k), schedule.b(k)
+            assert 0 < a <= previous_a
+            assert 0 < b <= previous_b
+            previous_a, previous_b = a, b
+
+
+class TestMappingProperties:
+    @given(unit)
+    @settings(max_examples=200, deadline=None)
+    def test_log_mapping_round_trip(self, x):
+        mapping = LogMapping(1e-4, 0.9)
+        assert mapping.to_control(mapping.to_parameter(x)) == pytest.approx(x, abs=1e-9)
+
+    @given(unit)
+    @settings(max_examples=200, deadline=None)
+    def test_linear_mapping_round_trip(self, x):
+        mapping = LinearMapping(0.0, 0.9)
+        assert mapping.to_control(mapping.to_parameter(x)) == pytest.approx(x, abs=1e-12)
+
+    @given(st.tuples(unit, unit))
+    @settings(max_examples=100, deadline=None)
+    def test_log_mapping_monotone(self, pair):
+        low, high = sorted(pair)
+        mapping = LogMapping(1e-4, 0.9)
+        assert mapping.to_parameter(high) >= mapping.to_parameter(low)
+
+
+class TestWeightMappingProperties:
+    @given(st.floats(min_value=0.05, max_value=20.0), unit)
+    @settings(max_examples=200, deadline=None)
+    def test_forward_inverse_round_trip(self, weight, p):
+        forward = station_attempt_probability(weight, p)
+        assert base_probability_from_station(weight, forward) == pytest.approx(p, abs=1e-9)
+
+    @given(st.floats(min_value=0.05, max_value=20.0), st.tuples(unit, unit))
+    @settings(max_examples=200, deadline=None)
+    def test_forward_map_monotone_in_p(self, weight, pair):
+        low, high = sorted(pair)
+        assert (station_attempt_probability(weight, high)
+                >= station_attempt_probability(weight, low))

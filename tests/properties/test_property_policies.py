@@ -1,0 +1,89 @@
+"""Property-based tests for backoff policies and the slotted simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.backoff import (
+    PPersistentBackoff,
+    RandomResetBackoff,
+    StandardExponentialBackoff,
+)
+from repro.mac.idlesense import IdleSenseBackoff
+from repro.mac.schemes import fixed_p_persistent_scheme
+from repro.phy.constants import PhyParameters
+from repro.sim.slotted import run_slotted
+
+PHY = PhyParameters()
+
+
+class TestPolicyInvariants:
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_exponential_backoff_always_within_current_window(self, seed, outcomes):
+        rng = np.random.default_rng(seed)
+        policy = StandardExponentialBackoff(PHY)
+        value = policy.initial_backoff(rng)
+        assert 0 <= value < policy.current_window
+        for success in outcomes:
+            value = policy.on_success(rng) if success else policy.on_failure(rng)
+            assert 0 <= value < policy.current_window
+            assert 0 <= policy.stage <= PHY.num_backoff_stages
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.floats(min_value=0.001, max_value=1.0),
+           st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_p_persistent_draws_non_negative(self, seed, p, weight):
+        rng = np.random.default_rng(seed)
+        policy = PPersistentBackoff(p=p, weight=weight)
+        for _ in range(20):
+            assert policy.on_success(rng) >= 0
+        assert 0.0 <= policy.attempt_probability() <= 1.0
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=0, max_value=6),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.lists(st.booleans(), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_randomreset_stage_always_valid(self, seed, stage, p0, outcomes):
+        rng = np.random.default_rng(seed)
+        policy = RandomResetBackoff(PHY, stage=stage, reset_probability=p0)
+        policy.initial_backoff(rng)
+        for success in outcomes:
+            value = policy.on_success(rng) if success else policy.on_failure(rng)
+            assert 0 <= value < policy.current_window
+            assert 0 <= policy.stage <= PHY.num_backoff_stages
+            if success:
+                assert policy.stage >= policy.reset_stage
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_idlesense_window_stays_clamped(self, idle_runs):
+        policy = IdleSenseBackoff(PHY, max_window=512)
+        for idle in idle_runs:
+            policy.observe_transmission(idle)
+            assert PHY.cw_min <= policy.window <= 512
+
+
+class TestSlottedSimulatorInvariants:
+    @given(st.integers(min_value=1, max_value=12),
+           st.floats(min_value=0.005, max_value=0.3),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_conservation_and_bounds(self, n, p, seed):
+        result = run_slotted(
+            fixed_p_persistent_scheme(p), num_stations=n,
+            duration=0.2, warmup=0.0, phy=PHY, seed=seed,
+        )
+        # Payload conservation: total bits equal successes times payload size.
+        assert result.total_successes * PHY.payload_bits == pytest.approx(
+            result.total_throughput_bps * result.duration, rel=1e-9
+        )
+        # Throughput can never exceed the channel rate.
+        assert result.total_throughput_bps < PHY.bit_rate
+        # Station stats are consistent with the aggregate.
+        assert sum(s.payload_bits for s in result.station_stats) == (
+            result.total_successes * PHY.payload_bits
+        )

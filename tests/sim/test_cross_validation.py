@@ -1,0 +1,73 @@
+"""Cross-validation between the two simulators and the analytical models.
+
+The two simulators share no code on their hot paths (one is event-driven with
+per-station carrier sensing, the other a vectorised renewal-slot loop), so
+their agreement on fully connected topologies is a strong end-to-end check of
+both — and of the analytical formulas they are both compared against.
+"""
+
+import pytest
+
+from repro.analysis.persistent import system_throughput_weighted
+from repro.mac.schemes import (
+    fixed_p_persistent_scheme,
+    fixed_randomreset_scheme,
+    standard_80211_scheme,
+)
+from repro.analysis.randomreset import randomreset_throughput
+from repro.phy.constants import PhyParameters
+from repro.sim.simulation import run_event_driven
+from repro.sim.slotted import run_slotted
+from repro.topology.scenarios import fully_connected_scenario
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize("num_stations", [5, 15])
+    def test_standard_80211_agreement(self, phy, num_stations):
+        graph = fully_connected_scenario(num_stations)
+        slotted = run_slotted(standard_80211_scheme(phy), num_stations,
+                              duration=1.0, warmup=0.2, phy=phy, seed=3)
+        event = run_event_driven(standard_80211_scheme(phy), graph,
+                                 duration=1.0, warmup=0.2, phy=phy, seed=3)
+        assert event.total_throughput_bps == pytest.approx(
+            slotted.total_throughput_bps, rel=0.10
+        )
+
+    def test_p_persistent_agreement_with_each_other_and_eq3(self, phy):
+        n, p = 10, 0.02
+        graph = fully_connected_scenario(n)
+        analytic = system_throughput_weighted(p, [1.0] * n, phy)
+        slotted = run_slotted(fixed_p_persistent_scheme(p), n,
+                              duration=1.0, warmup=0.2, phy=phy, seed=4)
+        event = run_event_driven(fixed_p_persistent_scheme(p), graph,
+                                 duration=1.0, warmup=0.2, phy=phy, seed=4)
+        assert slotted.total_throughput_bps == pytest.approx(analytic, rel=0.10)
+        assert event.total_throughput_bps == pytest.approx(analytic, rel=0.12)
+
+    def test_randomreset_agreement_with_fixed_point_model(self, phy):
+        n, stage, p0 = 10, 0, 0.5
+        graph = fully_connected_scenario(n)
+        analytic = randomreset_throughput(stage, p0, n, phy)
+        slotted = run_slotted(fixed_randomreset_scheme(stage, p0, phy), n,
+                              duration=1.0, warmup=0.2, phy=phy, seed=5)
+        event = run_event_driven(fixed_randomreset_scheme(stage, p0, phy), graph,
+                                 duration=1.0, warmup=0.2, phy=phy, seed=5)
+        # The fixed-point model itself is an approximation, so allow a wider
+        # band against it but require the two simulators to roughly agree.
+        assert slotted.total_throughput_bps == pytest.approx(analytic, rel=0.2)
+        assert event.total_throughput_bps == pytest.approx(
+            slotted.total_throughput_bps, rel=0.12
+        )
+
+    def test_per_station_fairness_in_both_simulators(self, phy):
+        n, p = 8, 0.03
+        graph = fully_connected_scenario(n)
+        for result in (
+            run_slotted(fixed_p_persistent_scheme(p), n, duration=1.5, warmup=0.2,
+                        phy=phy, seed=6),
+            run_event_driven(fixed_p_persistent_scheme(p), graph, duration=1.5,
+                             warmup=0.2, phy=phy, seed=6),
+        ):
+            throughputs = result.per_station_throughput_bps
+            mean = sum(throughputs) / len(throughputs)
+            assert all(abs(t - mean) / mean < 0.35 for t in throughputs)

@@ -1,0 +1,58 @@
+"""Tests for the dynamic-activity schedules."""
+
+import pytest
+
+from repro.sim.dynamics import ActivitySchedule, constant_activity, step_activity
+
+
+class TestConstantActivity:
+    def test_constant_count(self):
+        schedule = constant_activity(7)
+        assert schedule.active_count(0.0) == 7
+        assert schedule.active_count(123.4) == 7
+        assert schedule.max_active == 7
+        assert schedule.change_times() == ()
+
+    def test_rejects_zero_stations(self):
+        with pytest.raises(ValueError):
+            constant_activity(0)
+
+
+class TestStepActivity:
+    def test_piecewise_counts(self):
+        schedule = step_activity([(0.0, 10), (5.0, 30), (12.0, 20)])
+        assert schedule.active_count(0.0) == 10
+        assert schedule.active_count(4.999) == 10
+        assert schedule.active_count(5.0) == 30
+        assert schedule.active_count(11.0) == 30
+        assert schedule.active_count(12.0) == 20
+        assert schedule.active_count(100.0) == 20
+
+    def test_max_active_and_change_times(self):
+        schedule = step_activity([(0.0, 10), (5.0, 30), (12.0, 20)])
+        assert schedule.max_active == 30
+        assert schedule.change_times() == (5.0, 12.0)
+
+    def test_is_active_uses_index_order(self):
+        schedule = step_activity([(0.0, 2), (1.0, 4)])
+        assert schedule.is_active(1, 0.5)
+        assert not schedule.is_active(3, 0.5)
+        assert schedule.is_active(3, 1.5)
+
+    def test_events_between(self):
+        schedule = step_activity([(0.0, 1), (2.0, 5), (4.0, 3)])
+        assert schedule.events_between(0.0, 3.0) == ((2.0, 5),)
+        assert schedule.events_between(2.0, 4.0) == ((4.0, 3),)
+        assert schedule.events_between(4.0, 10.0) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_activity([])
+        with pytest.raises(ValueError):
+            step_activity([(1.0, 5)])          # does not start at 0
+        with pytest.raises(ValueError):
+            step_activity([(0.0, 5), (0.0, 6)])  # non-increasing times
+        with pytest.raises(ValueError):
+            step_activity([(0.0, 0)])            # zero active stations
+        with pytest.raises(ValueError):
+            ActivitySchedule(breakpoints=((0.0, 3),)).active_count(-1.0)

@@ -1,0 +1,113 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(30, order.append, "c")
+        scheduler.schedule_at(10, order.append, "a")
+        scheduler.schedule_at(20, order.append, "b")
+        scheduler.run_until(100)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(10, order.append, 1)
+        scheduler.schedule_at(10, order.append, 2)
+        scheduler.schedule_at(10, order.append, 3)
+        scheduler.run_until(10)
+        assert order == [1, 2, 3]
+
+    def test_schedule_in_is_relative_to_now(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule_at(100, lambda: scheduler.schedule_in(50, lambda: times.append(scheduler.now_ns)))
+        scheduler.run_until(200)
+        assert times == [150]
+
+    def test_clock_advances_to_run_until_limit(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(10, lambda: None)
+        scheduler.run_until(500)
+        assert scheduler.now_ns == 500
+        assert scheduler.now == pytest.approx(5e-7)
+
+    def test_events_after_limit_not_run(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(100, fired.append, "late")
+        scheduler.run_until(50)
+        assert fired == []
+        scheduler.run_until(150)
+        assert fired == ["late"]
+
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(100, lambda: None)
+        scheduler.run_until(100)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(50, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule_in(-1, lambda: None)
+
+    def test_cannot_run_into_the_past(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(100)
+        with pytest.raises(ValueError):
+            scheduler.run_until(50)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule_at(10, fired.append, "x")
+        scheduler.cancel(event)
+        scheduler.run_until(100)
+        assert fired == []
+
+    def test_cancel_none_is_noop(self):
+        EventScheduler().cancel(None)
+
+    def test_cancelled_events_do_not_count_as_processed(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule_at(10, lambda: None)
+        scheduler.schedule_at(20, lambda: None)
+        scheduler.cancel(event)
+        scheduler.run_until(100)
+        assert scheduler.processed_events == 1
+
+
+class TestStepAndDrain:
+    def test_step_runs_single_event(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(5, fired.append, 1)
+        scheduler.schedule_at(10, fired.append, 2)
+        assert scheduler.step()
+        assert fired == [1]
+        assert scheduler.step()
+        assert not scheduler.step()
+
+    def test_run_until_empty_guard(self):
+        scheduler = EventScheduler()
+
+        def reschedule():
+            scheduler.schedule_in(1, reschedule)
+
+        scheduler.schedule_at(0, reschedule)
+        with pytest.raises(RuntimeError):
+            scheduler.run_until_empty(max_events=100)
+
+    def test_clock_handle_reflects_scheduler_time(self):
+        scheduler = EventScheduler()
+        clock = scheduler.clock()
+        scheduler.run_until(2_000_000_000)
+        assert clock.now_ns == 2_000_000_000
+        assert clock.now == pytest.approx(2.0)

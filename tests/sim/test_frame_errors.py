@@ -1,0 +1,73 @@
+"""Tests for the i.i.d. channel-error extension (paper, footnote 1).
+
+The paper's model attributes all losses to collisions but notes that i.i.d.
+channel errors can be added straightforwardly; both simulators expose a
+``frame_error_rate`` for this.
+"""
+
+import pytest
+
+from repro.mac.schemes import fixed_p_persistent_scheme, standard_80211_scheme
+from repro.phy.constants import PhyParameters
+from repro.sim.simulation import WlanSimulation, run_event_driven
+from repro.sim.slotted import SlottedSimulator, run_slotted
+from repro.topology.scenarios import fully_connected_scenario
+
+
+class TestSlottedFrameErrors:
+    def test_errors_reduce_throughput(self, phy):
+        clean = run_slotted(fixed_p_persistent_scheme(0.02), 10,
+                            duration=0.8, warmup=0.2, phy=phy, seed=1)
+        lossy = run_slotted(fixed_p_persistent_scheme(0.02), 10,
+                            duration=0.8, warmup=0.2, phy=phy, seed=1,
+                            frame_error_rate=0.3)
+        assert lossy.total_throughput_bps < 0.85 * clean.total_throughput_bps
+        assert lossy.total_failures > clean.total_failures
+
+    def test_error_rate_roughly_matches_loss_fraction(self, phy):
+        # With a fixed window (p-persistent) policy the collision pattern is
+        # unchanged, so the extra failures should be ~30% of the would-be
+        # successes.
+        lossy = run_slotted(fixed_p_persistent_scheme(0.01), 10,
+                            duration=1.5, warmup=0.2, phy=phy, seed=2,
+                            frame_error_rate=0.3)
+        error_fraction = 1.0 - lossy.total_successes / (
+            lossy.total_successes + lossy.total_failures
+        )
+        # Collisions also contribute, so the observed fraction exceeds 0.3 but
+        # should be well below certain loss.
+        assert 0.3 <= error_fraction <= 0.65
+
+    def test_invalid_rate_rejected(self, phy):
+        with pytest.raises(ValueError):
+            SlottedSimulator(standard_80211_scheme(phy), num_stations=2,
+                             phy=phy, frame_error_rate=1.0)
+        with pytest.raises(ValueError):
+            SlottedSimulator(standard_80211_scheme(phy), num_stations=2,
+                             phy=phy, frame_error_rate=-0.1)
+
+
+class TestEventDrivenFrameErrors:
+    def test_errors_reduce_throughput(self, phy):
+        graph = fully_connected_scenario(5)
+        clean = run_event_driven(standard_80211_scheme(phy), graph,
+                                 duration=0.5, warmup=0.1, phy=phy, seed=1)
+        lossy = run_event_driven(standard_80211_scheme(phy), graph,
+                                 duration=0.5, warmup=0.1, phy=phy, seed=1,
+                                 frame_error_rate=0.4)
+        assert lossy.total_throughput_bps < 0.85 * clean.total_throughput_bps
+
+    def test_single_station_sees_only_channel_errors(self, phy):
+        graph = fully_connected_scenario(1)
+        result = run_event_driven(standard_80211_scheme(phy), graph,
+                                  duration=0.5, warmup=0.1, phy=phy, seed=1,
+                                  frame_error_rate=0.25)
+        attempts = result.total_successes + result.total_failures
+        assert result.total_failures > 0
+        assert result.total_failures / attempts == pytest.approx(0.25, abs=0.1)
+
+    def test_invalid_rate_rejected(self, phy):
+        graph = fully_connected_scenario(2)
+        with pytest.raises(ValueError):
+            WlanSimulation(scheme=standard_80211_scheme(phy), connectivity=graph,
+                           phy=phy, frame_error_rate=1.5)

@@ -1,0 +1,177 @@
+"""Tests for the shared medium (carrier sensing and overlap collisions)."""
+
+import pytest
+
+from repro.phy.constants import PhyParameters
+from repro.phy.frame import FrameFactory
+from repro.sim.engine import EventScheduler
+from repro.sim.medium import AP_NODE_ID, Medium
+
+
+class RecordingListener:
+    def __init__(self):
+        self.events = []
+
+    def on_medium_busy(self, now_ns, transmission):
+        self.events.append(("busy", now_ns, transmission.source))
+
+    def on_medium_idle(self, now_ns):
+        self.events.append(("idle", now_ns))
+
+
+def make_medium(sensing_sets):
+    scheduler = EventScheduler()
+    medium = Medium(scheduler, [set(s) for s in sensing_sets])
+    listeners = []
+    for station in range(len(sensing_sets)):
+        listener = RecordingListener()
+        medium.register_listener(station, listener)
+        listeners.append(listener)
+    factory = FrameFactory(PhyParameters())
+    return scheduler, medium, listeners, factory
+
+
+class TestCarrierSensing:
+    def test_mutually_sensing_stations_get_notified(self):
+        scheduler, medium, listeners, frames = make_medium([{0, 1}, {0, 1}])
+        tx = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 1000)
+        assert listeners[1].events == [("busy", 0, 0)]
+        assert listeners[0].events == []  # a station never senses itself
+        scheduler.run_until(1000)
+        medium.end_transmission(tx)
+        assert listeners[1].events[-1] == ("idle", 1000)
+
+    def test_hidden_station_not_notified(self):
+        # Station 1 cannot sense station 0.
+        scheduler, medium, listeners, frames = make_medium([{0}, {1}])
+        tx = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 1000)
+        assert listeners[1].events == []
+        assert medium.is_busy_for(1) is False
+        assert medium.is_busy_for(0) is False
+        medium.end_transmission(tx)
+
+    def test_busy_state_tracks_overlapping_transmissions(self):
+        scheduler, medium, listeners, frames = make_medium(
+            [{0, 1, 2}, {0, 1, 2}, {0, 1, 2}]
+        )
+        tx_a = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 1000)
+        tx_b = medium.start_transmission(1, frames.data(1, AP_NODE_ID), 2000)
+        assert medium.is_busy_for(2)
+        medium.end_transmission(tx_a)
+        # Still busy because station 1 is still transmitting.
+        assert medium.is_busy_for(2)
+        medium.end_transmission(tx_b)
+        assert not medium.is_busy_for(2)
+        # Only one busy/idle transition pair despite two transmissions.
+        transitions = [e[0] for e in listeners[2].events]
+        assert transitions == ["busy", "idle"]
+
+    def test_ap_transmissions_sensed_by_everyone(self):
+        scheduler, medium, listeners, frames = make_medium([{0}, {1}])
+        ack = frames.ack(AP_NODE_ID, 0, acked_frame_id=1)
+        tx = medium.start_transmission(AP_NODE_ID, ack, 500)
+        assert listeners[0].events[-1][0] == "busy"
+        assert listeners[1].events[-1][0] == "busy"
+        medium.end_transmission(tx)
+
+    def test_register_listener_unknown_station_rejected(self):
+        scheduler, medium, _, _ = make_medium([{0}])
+        with pytest.raises(ValueError):
+            medium.register_listener(5, RecordingListener())
+
+    def test_sensing_set_with_unknown_station_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            Medium(scheduler, [{0, 7}])
+
+
+class TestCollisionSemantics:
+    def test_overlapping_data_frames_corrupt_each_other(self):
+        scheduler, medium, _, frames = make_medium([{0}, {1}])
+        tx_a = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 1000)
+        tx_b = medium.start_transmission(1, frames.data(1, AP_NODE_ID), 1000)
+        assert tx_a.corrupted and tx_b.corrupted
+
+    def test_non_overlapping_data_frames_unharmed(self):
+        scheduler, medium, _, frames = make_medium([{0}, {1}])
+        tx_a = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 1000)
+        scheduler.run_until(1000)
+        medium.end_transmission(tx_a)
+        tx_b = medium.start_transmission(1, frames.data(1, AP_NODE_ID), 1000)
+        assert not tx_a.corrupted and not tx_b.corrupted
+
+    def test_ack_does_not_corrupt_data(self):
+        scheduler, medium, _, frames = make_medium([{0}, {1}])
+        tx_data = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 1000)
+        ack = medium.start_transmission(AP_NODE_ID, frames.ack(AP_NODE_ID, 1, 1), 200)
+        assert not tx_data.corrupted
+        assert not ack.corrupted
+
+    def test_three_way_collision_marks_all(self):
+        scheduler, medium, _, frames = make_medium([{0}, {1}, {2}])
+        txs = [
+            medium.start_transmission(i, frames.data(i, AP_NODE_ID), 1000)
+            for i in range(3)
+        ]
+        assert all(tx.corrupted for tx in txs)
+
+    def test_end_of_unknown_transmission_rejected(self):
+        scheduler, medium, _, frames = make_medium([{0}])
+        tx = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 100)
+        medium.end_transmission(tx)
+        with pytest.raises(ValueError):
+            medium.end_transmission(tx)
+
+
+class TestOccupancyStatistics:
+    def test_busy_time_accumulates_union_of_data_airtime(self):
+        scheduler, medium, _, frames = make_medium([{0}, {1}])
+        tx_a = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 1000)
+        scheduler.run_until(500)
+        tx_b = medium.start_transmission(1, frames.data(1, AP_NODE_ID), 1000)
+        scheduler.run_until(1000)
+        medium.end_transmission(tx_a)
+        scheduler.run_until(1500)
+        medium.end_transmission(tx_b)
+        # Union of [0, 1000] and [500, 1500] = 1500 ns, one busy period.
+        assert medium.data_busy_total_ns == 1500
+        assert medium.data_busy_periods == 1
+
+    def test_separate_busy_periods_counted(self):
+        scheduler, medium, _, frames = make_medium([{0}])
+        tx_a = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 100)
+        scheduler.run_until(100)
+        medium.end_transmission(tx_a)
+        scheduler.run_until(500)
+        tx_b = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 100)
+        scheduler.run_until(600)
+        medium.end_transmission(tx_b)
+        assert medium.data_busy_periods == 2
+        assert medium.data_busy_total_ns == 200
+
+    def test_ack_time_not_counted_as_data_busy(self):
+        scheduler, medium, _, frames = make_medium([{0}])
+        ack = medium.start_transmission(AP_NODE_ID, frames.ack(AP_NODE_ID, 0, 1), 400)
+        scheduler.run_until(400)
+        medium.end_transmission(ack)
+        assert medium.data_busy_total_ns == 0
+        assert medium.data_busy_periods == 0
+
+    def test_reset_occupancy_statistics(self):
+        scheduler, medium, _, frames = make_medium([{0}])
+        tx = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 100)
+        scheduler.run_until(100)
+        medium.end_transmission(tx)
+        medium.reset_occupancy_statistics()
+        assert medium.data_busy_total_ns == 0
+        assert medium.data_busy_periods == 0
+
+    def test_start_observer_called_for_every_transmission(self):
+        scheduler, medium, _, frames = make_medium([{0}])
+        seen = []
+        medium.add_start_observer(lambda tx: seen.append(tx.source))
+        tx = medium.start_transmission(0, frames.data(0, AP_NODE_ID), 100)
+        medium.end_transmission(tx)
+        ack = medium.start_transmission(AP_NODE_ID, frames.ack(AP_NODE_ID, 0, 1), 50)
+        medium.end_transmission(ack)
+        assert seen == [0, AP_NODE_ID]

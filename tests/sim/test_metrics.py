@@ -1,0 +1,101 @@
+"""Tests for simulation metrics collection."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector, SimulationResult, StationStats
+
+
+class TestMetricsCollector:
+    def test_throughput_computation(self):
+        collector = MetricsCollector(2)
+        collector.record_success(0, 8000)
+        collector.record_success(0, 8000)
+        collector.record_success(1, 8000)
+        result = collector.result(duration=2.0)
+        assert result.total_throughput_bps == pytest.approx(12000.0)
+        assert result.station_stats[0].throughput_bps == pytest.approx(8000.0)
+        assert result.station_stats[1].throughput_bps == pytest.approx(4000.0)
+
+    def test_failures_tracked_per_station(self):
+        collector = MetricsCollector(2)
+        collector.record_failure(1)
+        collector.record_failure(1)
+        collector.record_success(1, 100)
+        result = collector.result(duration=1.0)
+        assert result.station_stats[1].failures == 2
+        assert result.station_stats[1].collision_fraction == pytest.approx(2 / 3)
+        assert result.collision_fraction == pytest.approx(2 / 3)
+
+    def test_idle_and_busy_counters(self):
+        collector = MetricsCollector(1)
+        collector.record_idle_slots(30)
+        collector.record_busy_period(10)
+        result = collector.result(duration=1.0)
+        assert result.average_idle_slots_per_transmission == pytest.approx(3.0)
+
+    def test_idle_metric_zero_without_busy_periods(self):
+        collector = MetricsCollector(1)
+        collector.record_idle_slots(10)
+        assert collector.result(1.0).average_idle_slots_per_transmission == 0.0
+
+    def test_timelines_recorded(self):
+        collector = MetricsCollector(1)
+        collector.record_throughput_sample(0.5, 1e6)
+        collector.record_control_sample(0.5, 0.1)
+        result = collector.result(duration=1.0)
+        assert result.throughput_timeline == ((0.5, 1e6),)
+        assert result.control_timeline == ((0.5, 0.1),)
+
+    def test_reset_clears_counters(self):
+        collector = MetricsCollector(1)
+        collector.record_success(0, 8000)
+        collector.record_idle_slots(5)
+        collector.reset()
+        result = collector.result(duration=1.0)
+        assert result.total_throughput_bps == 0.0
+        assert result.idle_slots == 0
+
+    def test_extra_metadata_attached(self):
+        collector = MetricsCollector(1)
+        result = collector.result(duration=1.0, extra={"scheme": "x"})
+        assert result.extra["scheme"] == "x"
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(0)
+        collector = MetricsCollector(1)
+        with pytest.raises(ValueError):
+            collector.record_idle_slots(-1)
+        with pytest.raises(ValueError):
+            collector.result(duration=0.0)
+
+
+class TestSimulationResultViews:
+    def make_result(self):
+        stats = (
+            StationStats(station=0, successes=10, failures=5, payload_bits=80_000,
+                         throughput_bps=80_000.0),
+            StationStats(station=1, successes=20, failures=0, payload_bits=160_000,
+                         throughput_bps=160_000.0),
+        )
+        return SimulationResult(
+            duration=1.0, station_stats=stats, total_throughput_bps=240_000.0
+        )
+
+    def test_aggregates(self):
+        result = self.make_result()
+        assert result.num_stations == 2
+        assert result.total_successes == 30
+        assert result.total_failures == 5
+        assert result.total_throughput_mbps == pytest.approx(0.24)
+        assert result.per_station_throughput_bps == (80_000.0, 160_000.0)
+
+    def test_station_stats_attempts(self):
+        stats = self.make_result().station_stats[0]
+        assert stats.attempts == 15
+        assert stats.collision_fraction == pytest.approx(1 / 3)
+
+    def test_zero_attempt_station_has_zero_collision_fraction(self):
+        stats = StationStats(station=0, successes=0, failures=0, payload_bits=0,
+                             throughput_bps=0.0)
+        assert stats.collision_fraction == 0.0

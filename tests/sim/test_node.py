@@ -1,0 +1,200 @@
+"""Unit tests for the station MAC state machine (event-driven simulator).
+
+These tests build a tiny simulation by hand (scheduler + medium + one or two
+stations + a fake access point) so individual state transitions can be
+asserted without running a full WlanSimulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mac.backoff import FixedWindowBackoff, PPersistentBackoff
+from repro.mac.idlesense import IdleSenseBackoff
+from repro.phy.constants import PhyParameters
+from repro.phy.frame import FrameFactory
+from repro.sim.engine import EventScheduler
+from repro.sim.medium import AP_NODE_ID, Medium
+from repro.sim.node import StationProcess, StationState
+
+
+class FakeAccessPoint:
+    """Records transmission-end callbacks; outcome delivery is manual."""
+
+    def __init__(self):
+        self.ended = []
+
+    def on_transmission_end(self, station_id, transmission, now_ns):
+        self.ended.append((station_id, transmission, now_ns))
+
+
+def build(num_stations=1, sensing=None, policy_factory=None, phy=None):
+    phy = phy or PhyParameters()
+    scheduler = EventScheduler()
+    sensing = sensing or [set(range(num_stations)) for _ in range(num_stations)]
+    medium = Medium(scheduler, [set(s) for s in sensing])
+    frames = FrameFactory(phy)
+    ap = FakeAccessPoint()
+    stations = []
+    for station_id in range(num_stations):
+        policy = (policy_factory(station_id) if policy_factory
+                  else FixedWindowBackoff(window=4))
+        station = StationProcess(
+            station_id=station_id,
+            policy=policy,
+            scheduler=scheduler,
+            medium=medium,
+            frame_factory=frames,
+            phy=phy,
+            rng=np.random.default_rng(station_id + 1),
+            on_transmission_end=ap.on_transmission_end,
+        )
+        stations.append(station)
+    return phy, scheduler, medium, ap, stations
+
+
+class TestBasicLifecycle:
+    def test_station_transmits_after_difs_and_backoff(self):
+        phy, scheduler, medium, ap, (station,) = build()
+        station.activate()
+        assert station.state in (StationState.WAITING_DIFS, StationState.COUNTING)
+        # Upper bound: DIFS + (window-1) slots + data airtime.
+        horizon = phy.difs_ns + 4 * phy.slot_time_ns + phy.data_tx_time_ns + 1000
+        scheduler.run_until(horizon)
+        assert len(ap.ended) == 1
+        station_id, transmission, _ = ap.ended[0]
+        assert station_id == 0
+        assert not transmission.corrupted
+
+    def test_inactive_station_never_transmits(self):
+        phy, scheduler, medium, ap, (station,) = build()
+        scheduler.run_until(10_000_000)
+        assert ap.ended == []
+        assert station.state is StationState.INACTIVE
+
+    def test_outcome_delivery_success_draws_new_backoff(self):
+        phy, scheduler, medium, ap, (station,) = build()
+        station.activate()
+        scheduler.run_until(phy.difs_ns + 4 * phy.slot_time_ns + phy.data_tx_time_ns + 1000)
+        assert station.state is StationState.AWAITING_OUTCOME
+        station.deliver_success({})
+        assert station.successes == 1
+        assert station.state in (StationState.WAITING_DIFS, StationState.COUNTING,
+                                 StationState.DEFERRING)
+
+    def test_outcome_delivery_failure_counts_failure(self):
+        phy, scheduler, medium, ap, (station,) = build()
+        station.activate()
+        scheduler.run_until(phy.difs_ns + 4 * phy.slot_time_ns + phy.data_tx_time_ns + 1000)
+        station.deliver_failure()
+        assert station.failures == 1
+
+    def test_saturated_station_keeps_transmitting(self):
+        phy, scheduler, medium, ap, (station,) = build()
+        station.activate()
+        # Run for a while, delivering success at every transmission end.
+        end = 20 * (phy.difs_ns + 4 * phy.slot_time_ns + phy.data_tx_time_ns)
+        last_seen = 0
+        while scheduler.now_ns < end:
+            scheduler.run_until(min(scheduler.now_ns + phy.data_tx_time_ns, end))
+            while last_seen < len(ap.ended):
+                station.deliver_success({})
+                last_seen += 1
+        assert station.successes >= 5
+
+    def test_deactivate_cancels_pending_transmission(self):
+        phy, scheduler, medium, ap, (station,) = build()
+        station.activate()
+        station.deactivate()
+        scheduler.run_until(10_000_000)
+        assert ap.ended == []
+
+
+class TestCarrierSenseBehaviour:
+    def test_station_defers_while_other_transmits(self):
+        phy, scheduler, medium, ap, stations = build(
+            num_stations=2,
+            policy_factory=lambda i: FixedWindowBackoff(window=1 if i == 0 else 64),
+        )
+        # Station 0 transmits almost immediately; station 1 has a long backoff
+        # and must freeze while 0 is on the air.
+        stations[0].activate()
+        stations[1].activate()
+        scheduler.run_until(phy.difs_ns + phy.slot_time_ns)
+        assert stations[0].state is StationState.TRANSMITTING
+        assert stations[1].state is StationState.DEFERRING
+
+    def test_hidden_stations_do_not_defer(self):
+        phy, scheduler, medium, ap, stations = build(
+            num_stations=2,
+            sensing=[{0}, {1}],
+            policy_factory=lambda i: FixedWindowBackoff(window=1),
+        )
+        stations[0].activate()
+        stations[1].activate()
+        scheduler.run_until(phy.difs_ns + 2 * phy.slot_time_ns)
+        # Both are on the air simultaneously because neither senses the other.
+        assert stations[0].state is StationState.TRANSMITTING
+        assert stations[1].state is StationState.TRANSMITTING
+        scheduler.run_until(phy.difs_ns + 2 * phy.slot_time_ns + phy.data_tx_time_ns)
+        assert all(tx.corrupted for _, tx, _ in ap.ended)
+
+    def test_same_slot_choices_collide_when_connected(self):
+        phy, scheduler, medium, ap, stations = build(
+            num_stations=2,
+            policy_factory=lambda i: FixedWindowBackoff(window=1),
+        )
+        for station in stations:
+            station.activate()
+        scheduler.run_until(phy.difs_ns + phy.slot_time_ns + phy.data_tx_time_ns + 1000)
+        assert len(ap.ended) == 2
+        assert all(tx.corrupted for _, tx, _ in ap.ended)
+
+    def test_frozen_backoff_resumes_with_remaining_slots(self):
+        phy, scheduler, medium, ap, stations = build(
+            num_stations=2,
+            policy_factory=lambda i: FixedWindowBackoff(window=1 if i == 0 else 8),
+        )
+        stations[0].activate()
+        stations[1].activate()
+        # Let station 0 transmit and finish.  Its outcome is deliberately not
+        # delivered, so it stays silent (AWAITING_OUTCOME) and station 1 gets
+        # the channel to itself afterwards.
+        scheduler.run_until(phy.difs_ns + phy.slot_time_ns + phy.data_tx_time_ns + 1)
+        remaining_after_freeze = stations[1].remaining_slots
+        assert 0 <= remaining_after_freeze < 8
+        # Station 1 eventually transmits too.
+        scheduler.run_until(scheduler.now_ns + phy.difs_ns
+                            + 10 * phy.slot_time_ns + phy.data_tx_time_ns + 1000)
+        assert any(station_id == 1 for station_id, _, _ in ap.ended)
+
+
+class TestControlAndObservation:
+    def test_overheard_ack_updates_policy(self):
+        phy, scheduler, medium, ap, (station,) = build(
+            policy_factory=lambda i: PPersistentBackoff(p=0.1)
+        )
+        station.activate()
+        station.overhear_ack({"p": 0.03})
+        assert station.policy.base_probability == pytest.approx(0.03)
+
+    def test_success_control_applied_before_new_backoff(self):
+        phy, scheduler, medium, ap, (station,) = build(
+            policy_factory=lambda i: PPersistentBackoff(p=0.1)
+        )
+        station.activate()
+        scheduler.run_until(phy.difs_ns + 200 * phy.slot_time_ns + phy.data_tx_time_ns)
+        if station.state is StationState.AWAITING_OUTCOME:
+            station.deliver_success({"p": 0.5})
+            assert station.policy.base_probability == pytest.approx(0.5)
+
+    def test_idlesense_station_observes_other_transmissions(self):
+        phy, scheduler, medium, ap, stations = build(
+            num_stations=2,
+            policy_factory=lambda i: (FixedWindowBackoff(window=1) if i == 0
+                                      else IdleSenseBackoff(PhyParameters())),
+        )
+        stations[0].activate()
+        stations[1].activate()
+        scheduler.run_until(phy.difs_ns + phy.slot_time_ns + 100)
+        observer = stations[1].policy
+        assert observer.observed_average_idle_slots() is not None

@@ -1,0 +1,173 @@
+"""Integration tests for the event-driven WLAN simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bianchi import dcf_saturation_throughput
+from repro.mac.schemes import (
+    fixed_p_persistent_scheme,
+    idlesense_scheme,
+    standard_80211_scheme,
+    tora_csma_scheme,
+    wtop_csma_scheme,
+)
+from repro.phy.constants import PhyParameters
+from repro.sim.dynamics import step_activity
+from repro.sim.simulation import WlanSimulation, run_event_driven
+from repro.topology.scenarios import (
+    fully_connected_scenario,
+    two_cluster_hidden_scenario,
+)
+
+
+class TestFullyConnectedBehaviour:
+    def test_standard_80211_close_to_bianchi(self, phy):
+        graph = fully_connected_scenario(10)
+        result = run_event_driven(standard_80211_scheme(phy), graph,
+                                  duration=0.8, warmup=0.2, phy=phy, seed=1)
+        expected = dcf_saturation_throughput(10, phy)
+        assert result.total_throughput_bps == pytest.approx(expected, rel=0.12)
+
+    def test_all_stations_get_service(self, phy):
+        graph = fully_connected_scenario(8)
+        result = run_event_driven(standard_80211_scheme(phy), graph,
+                                  duration=0.8, warmup=0.2, phy=phy, seed=2)
+        assert all(s.successes > 0 for s in result.station_stats)
+
+    def test_reproducibility(self, phy):
+        graph = fully_connected_scenario(6)
+        a = run_event_driven(standard_80211_scheme(phy), graph,
+                             duration=0.4, phy=phy, seed=9)
+        b = run_event_driven(standard_80211_scheme(phy), graph,
+                             duration=0.4, phy=phy, seed=9)
+        assert a.per_station_throughput_bps == b.per_station_throughput_bps
+
+    def test_result_metadata_records_topology(self, phy):
+        graph = fully_connected_scenario(4)
+        result = run_event_driven(standard_80211_scheme(phy), graph,
+                                  duration=0.2, phy=phy, seed=1)
+        assert result.extra["simulator"] == "event-driven"
+        assert result.extra["hidden_pairs"] == 0
+
+    def test_single_station_no_collisions(self, phy):
+        graph = fully_connected_scenario(1)
+        result = run_event_driven(standard_80211_scheme(phy), graph,
+                                  duration=0.3, phy=phy, seed=1)
+        assert result.total_failures == 0
+        # A lone saturated station should use most of the channel.
+        assert result.total_throughput_mbps > 20.0
+
+
+class TestHiddenNodeBehaviour:
+    def test_hidden_clusters_collide_often(self, phy):
+        # Two mutually hidden clusters with aggressive fixed p: lots of
+        # overlap collisions even though carrier sensing works inside each
+        # cluster.
+        graph = two_cluster_hidden_scenario(3, separation=28.0, spread=0.5)
+        result = run_event_driven(fixed_p_persistent_scheme(0.05), graph,
+                                  duration=0.8, warmup=0.2, phy=phy, seed=3)
+        assert result.collision_fraction > 0.2
+
+    def test_hidden_topology_loses_throughput_vs_connected(self, phy):
+        connected = fully_connected_scenario(6)
+        hidden = two_cluster_hidden_scenario(3, separation=28.0, spread=0.5)
+        p = 0.05
+        result_connected = run_event_driven(fixed_p_persistent_scheme(p), connected,
+                                            duration=0.8, warmup=0.2, phy=phy, seed=4)
+        result_hidden = run_event_driven(fixed_p_persistent_scheme(p), hidden,
+                                         duration=0.8, warmup=0.2, phy=phy, seed=4)
+        assert result_hidden.total_throughput_bps < result_connected.total_throughput_bps
+
+    def test_idlesense_degrades_with_hidden_nodes(self, phy):
+        # The paper's motivating observation (Figure 1 / Table III).
+        connected = fully_connected_scenario(6)
+        hidden = two_cluster_hidden_scenario(3, separation=28.0, spread=0.5)
+        result_connected = run_event_driven(idlesense_scheme(phy), connected,
+                                            duration=1.0, warmup=1.0, phy=phy, seed=5)
+        result_hidden = run_event_driven(idlesense_scheme(phy), hidden,
+                                         duration=1.0, warmup=1.0, phy=phy, seed=5)
+        assert result_hidden.total_throughput_bps < 0.8 * result_connected.total_throughput_bps
+
+
+class TestControllersInTheLoop:
+    def test_wtop_controller_adapts_and_broadcasts(self, phy):
+        graph = fully_connected_scenario(8)
+        simulation = WlanSimulation(
+            scheme=wtop_csma_scheme(phy, update_period=0.02),
+            connectivity=graph, phy=phy, seed=1,
+        )
+        simulation.run(duration=1.0)
+        assert simulation.controller.updates > 5
+        advertised = simulation.controller.control()["p"]
+        for policy in simulation.policies:
+            assert policy.base_probability == pytest.approx(advertised)
+
+    def test_tora_controller_adapts(self, phy):
+        graph = fully_connected_scenario(8)
+        simulation = WlanSimulation(
+            scheme=tora_csma_scheme(phy, update_period=0.02),
+            connectivity=graph, phy=phy, seed=1,
+        )
+        result = simulation.run(duration=1.0)
+        assert simulation.controller.updates > 5
+        assert result.total_throughput_mbps > 10.0
+
+    def test_report_interval_produces_timelines(self, phy):
+        graph = fully_connected_scenario(5)
+        simulation = WlanSimulation(
+            scheme=wtop_csma_scheme(phy, update_period=0.02),
+            connectivity=graph, phy=phy, seed=1, report_interval=0.1,
+        )
+        result = simulation.run(duration=0.5)
+        assert len(result.throughput_timeline) >= 4
+        assert len(result.control_timeline) >= 4
+
+
+class TestDynamicActivity:
+    def test_station_joining_later_gets_less_service(self, phy):
+        graph = fully_connected_scenario(4)
+        schedule = step_activity([(0.0, 2), (0.4, 4)])
+        simulation = WlanSimulation(
+            scheme=standard_80211_scheme(phy), connectivity=graph,
+            phy=phy, seed=1, activity=schedule,
+        )
+        result = simulation.run(duration=0.8)
+        assert result.station_stats[3].successes > 0
+        assert result.station_stats[0].payload_bits > result.station_stats[3].payload_bits
+
+    def test_station_leaving_stops_transmitting(self, phy):
+        graph = fully_connected_scenario(4)
+        schedule = step_activity([(0.0, 4), (0.2, 2)])
+        simulation = WlanSimulation(
+            scheme=standard_80211_scheme(phy), connectivity=graph,
+            phy=phy, seed=1, activity=schedule,
+        )
+        result = simulation.run(duration=1.0)
+        # Stations 2 and 3 were only active for the first 0.2 s.
+        active_share = result.station_stats[0].payload_bits
+        inactive_share = result.station_stats[3].payload_bits
+        assert inactive_share < active_share * 0.6
+
+    def test_activity_larger_than_topology_rejected(self, phy):
+        graph = fully_connected_scenario(2)
+        schedule = step_activity([(0.0, 4)])
+        with pytest.raises(ValueError):
+            WlanSimulation(scheme=standard_80211_scheme(phy), connectivity=graph,
+                           phy=phy, activity=schedule)
+
+
+class TestValidation:
+    def test_rejects_bad_durations(self, phy):
+        graph = fully_connected_scenario(2)
+        simulation = WlanSimulation(scheme=standard_80211_scheme(phy),
+                                    connectivity=graph, phy=phy)
+        with pytest.raises(ValueError):
+            simulation.run(duration=0.0)
+        with pytest.raises(ValueError):
+            simulation.run(duration=1.0, warmup=-0.5)
+
+    def test_rejects_bad_report_interval(self, phy):
+        graph = fully_connected_scenario(2)
+        with pytest.raises(ValueError):
+            WlanSimulation(scheme=standard_80211_scheme(phy), connectivity=graph,
+                           phy=phy, report_interval=0.0)

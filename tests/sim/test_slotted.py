@@ -1,0 +1,179 @@
+"""Tests for the slotted (fully connected) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bianchi import dcf_saturation_throughput
+from repro.analysis.persistent import (
+    optimal_attempt_probability,
+    system_throughput_weighted,
+)
+from repro.core.controller import AccessPointController
+from repro.mac.schemes import (
+    Scheme,
+    fixed_p_persistent_scheme,
+    idlesense_scheme,
+    standard_80211_scheme,
+    wtop_csma_scheme,
+)
+from repro.phy.constants import PhyParameters
+from repro.sim.dynamics import step_activity
+from repro.sim.slotted import SlottedSimulator, run_slotted
+
+
+class TestAgainstAnalyticalModels:
+    def test_standard_80211_matches_bianchi(self, phy):
+        for n in (5, 20):
+            result = run_slotted(
+                standard_80211_scheme(phy), num_stations=n,
+                duration=1.5, warmup=0.3, phy=phy, seed=1,
+            )
+            expected = dcf_saturation_throughput(n, phy)
+            assert result.total_throughput_bps == pytest.approx(expected, rel=0.08)
+
+    def test_p_persistent_matches_eq3(self, phy):
+        n, p = 15, 0.02
+        result = run_slotted(
+            fixed_p_persistent_scheme(p), num_stations=n,
+            duration=1.5, warmup=0.3, phy=phy, seed=2,
+        )
+        expected = system_throughput_weighted(p, [1.0] * n, phy)
+        assert result.total_throughput_bps == pytest.approx(expected, rel=0.08)
+
+    def test_throughput_unimodal_in_p(self, phy):
+        # Coarse simulated version of Figure 2's bell shape.
+        n = 20
+        ps = [0.001, 0.005, 0.02, 0.1, 0.4]
+        values = [
+            run_slotted(fixed_p_persistent_scheme(p), num_stations=n,
+                        duration=0.6, warmup=0.2, phy=phy, seed=3).total_throughput_bps
+            for p in ps
+        ]
+        peak = int(np.argmax(values))
+        assert 0 < peak < len(ps) - 1
+        assert values[peak] > values[0] and values[peak] > values[-1]
+
+    def test_optimal_p_beats_standard_80211(self, phy):
+        n = 40
+        p_star = optimal_attempt_probability(n, phy)
+        optimal = run_slotted(fixed_p_persistent_scheme(p_star), num_stations=n,
+                              duration=1.0, warmup=0.3, phy=phy, seed=4)
+        standard = run_slotted(standard_80211_scheme(phy), num_stations=n,
+                               duration=1.0, warmup=0.3, phy=phy, seed=4)
+        assert optimal.total_throughput_bps > standard.total_throughput_bps
+
+
+class TestMechanics:
+    def test_reproducible_with_same_seed(self, phy):
+        a = run_slotted(standard_80211_scheme(phy), 10, duration=0.5, warmup=0.1,
+                        phy=phy, seed=7)
+        b = run_slotted(standard_80211_scheme(phy), 10, duration=0.5, warmup=0.1,
+                        phy=phy, seed=7)
+        assert a.total_throughput_bps == b.total_throughput_bps
+        assert a.per_station_throughput_bps == b.per_station_throughput_bps
+
+    def test_different_seeds_differ(self, phy):
+        a = run_slotted(standard_80211_scheme(phy), 10, duration=0.5, phy=phy, seed=1)
+        b = run_slotted(standard_80211_scheme(phy), 10, duration=0.5, phy=phy, seed=2)
+        assert a.total_throughput_bps != b.total_throughput_bps
+
+    def test_single_station_never_collides(self, phy):
+        result = run_slotted(standard_80211_scheme(phy), 1, duration=0.5, phy=phy, seed=1)
+        assert result.total_failures == 0
+        assert result.total_throughput_bps > 0
+
+    def test_metrics_exclude_warmup(self, phy):
+        long_warmup = run_slotted(standard_80211_scheme(phy), 10,
+                                  duration=0.5, warmup=1.0, phy=phy, seed=5)
+        # Throughput is a rate, so it should be in the same ballpark with and
+        # without warm-up, not double.
+        no_warmup = run_slotted(standard_80211_scheme(phy), 10,
+                                duration=0.5, warmup=0.0, phy=phy, seed=5)
+        assert long_warmup.total_throughput_bps == pytest.approx(
+            no_warmup.total_throughput_bps, rel=0.15
+        )
+
+    def test_result_metadata(self, phy):
+        result = run_slotted(standard_80211_scheme(phy), 5, duration=0.2, phy=phy, seed=1)
+        assert result.extra["simulator"] == "slotted"
+        assert result.extra["num_stations"] == 5
+        assert result.duration == pytest.approx(0.2)
+
+    def test_idle_slot_accounting_positive(self, phy):
+        result = run_slotted(standard_80211_scheme(phy), 5, duration=0.3, phy=phy, seed=1)
+        assert result.idle_slots > 0
+        assert result.busy_periods > 0
+
+    def test_rejects_invalid_arguments(self, phy):
+        simulator = SlottedSimulator(standard_80211_scheme(phy), num_stations=3, phy=phy)
+        with pytest.raises(ValueError):
+            simulator.run(duration=0.0)
+        with pytest.raises(ValueError):
+            simulator.run(duration=1.0, warmup=-1.0)
+        with pytest.raises(ValueError):
+            SlottedSimulator(standard_80211_scheme(phy))
+        with pytest.raises(ValueError):
+            SlottedSimulator(standard_80211_scheme(phy), num_stations=3,
+                             report_interval=0.0)
+
+
+class TestDynamicActivity:
+    def test_only_active_stations_get_throughput(self, phy):
+        schedule = step_activity([(0.0, 2), (0.5, 4)])
+        simulator = SlottedSimulator(
+            standard_80211_scheme(phy), activity=schedule, phy=phy, seed=3
+        )
+        result = simulator.run(duration=1.0)
+        # Stations 2 and 3 joined halfway: they must have received service
+        # after joining but strictly less than stations 0 and 1 overall.
+        assert result.station_stats[2].successes > 0
+        assert result.station_stats[0].payload_bits > result.station_stats[2].payload_bits
+
+    def test_timeline_sampling(self, phy):
+        simulator = SlottedSimulator(
+            wtop_csma_scheme(phy, update_period=0.05), num_stations=5, phy=phy,
+            seed=1, report_interval=0.1,
+        )
+        result = simulator.run(duration=1.0)
+        assert len(result.throughput_timeline) >= 8
+        assert len(result.control_timeline) >= 8
+        times = [t for t, _ in result.throughput_timeline]
+        assert times == sorted(times)
+
+    def test_activity_schedule_larger_than_stations_rejected(self, phy):
+        schedule = step_activity([(0.0, 5)])
+        with pytest.raises(ValueError):
+            SlottedSimulator(standard_80211_scheme(phy), num_stations=3,
+                             phy=phy, activity=schedule)
+
+
+class TestControllerIntegration:
+    def test_wtop_controller_receives_updates(self, phy):
+        simulator = SlottedSimulator(
+            wtop_csma_scheme(phy, update_period=0.02), num_stations=10, phy=phy, seed=1
+        )
+        simulator.run(duration=1.0)
+        assert simulator.controller.updates > 5
+
+    def test_station_policies_follow_advertised_p(self, phy):
+        simulator = SlottedSimulator(
+            wtop_csma_scheme(phy, update_period=0.02), num_stations=10, phy=phy, seed=1
+        )
+        simulator.run(duration=0.5)
+        advertised = simulator.controller.control()["p"]
+        for policy in simulator.policies:
+            assert policy.base_probability == pytest.approx(advertised)
+
+    def test_idlesense_achieves_target_idle_slots(self, phy):
+        result = run_slotted(idlesense_scheme(phy), num_stations=20,
+                             duration=1.5, warmup=1.5, phy=phy, seed=1)
+        assert result.average_idle_slots_per_transmission == pytest.approx(3.1, rel=0.35)
+
+    def test_starved_controller_recovers_via_ticks(self, phy):
+        # Start wTOP from a absurdly aggressive probability: with 20 stations
+        # the channel is jammed by collisions, so only the tick path can close
+        # segments and move the probe away.  Throughput must become non-zero.
+        scheme = wtop_csma_scheme(phy, update_period=0.02, initial_control=1.0)
+        result = run_slotted(scheme, num_stations=20, duration=1.0, warmup=4.0,
+                             phy=phy, seed=2)
+        assert result.total_throughput_mbps > 5.0

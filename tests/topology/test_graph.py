@@ -1,0 +1,136 @@
+"""Tests for connectivity graphs and hidden-node analysis."""
+
+import numpy as np
+import pytest
+
+from repro.phy.propagation import RangeBasedPropagation
+from repro.topology.graph import ConnectivityGraph, build_connectivity
+from repro.topology.placement import explicit_placement, ring_placement
+
+
+def paper_model():
+    return RangeBasedPropagation(transmission_range=16.0, carrier_sense_range=24.0)
+
+
+class TestFullyConnectedDetection:
+    def test_ring_radius_8_is_fully_connected(self):
+        graph = ConnectivityGraph(ring_placement(20, radius=8.0), paper_model())
+        assert graph.is_fully_connected()
+        assert graph.hidden_pairs() == frozenset()
+
+    def test_each_station_senses_everyone(self):
+        graph = ConnectivityGraph(ring_placement(10, radius=8.0), paper_model())
+        for station in range(10):
+            assert graph.sensing_set(station) == frozenset(range(10))
+
+    def test_report_for_connected_network(self):
+        graph = ConnectivityGraph(ring_placement(10, radius=8.0), paper_model())
+        report = graph.hidden_node_report()
+        assert report.is_fully_connected
+        assert report.num_hidden_pairs == 0
+        assert report.hidden_pair_fraction == 0.0
+
+
+class TestHiddenPairDetection:
+    def make_hidden_triangle(self):
+        # Stations at (-14, 0) and (14, 0): both within 16 of the AP at the
+        # origin, but 28 > 24 apart so they are hidden from each other.  A
+        # third station at (0, 5) senses both.
+        placement = explicit_placement([(-14, 0), (14, 0), (0, 5)])
+        return ConnectivityGraph(placement, paper_model())
+
+    def test_hidden_pair_found(self):
+        graph = self.make_hidden_triangle()
+        assert graph.hidden_pairs() == frozenset({(0, 1)})
+        assert not graph.is_fully_connected()
+
+    def test_sensing_sets_are_asymmetry_free(self):
+        graph = self.make_hidden_triangle()
+        assert 1 not in graph.sensing_set(0)
+        assert 0 not in graph.sensing_set(1)
+        assert graph.can_sense(0, 2) and graph.can_sense(2, 0)
+        assert graph.can_sense(1, 2) and graph.can_sense(2, 1)
+
+    def test_hidden_peers(self):
+        graph = self.make_hidden_triangle()
+        assert graph.hidden_peers(0) == frozenset({1})
+        assert graph.hidden_peers(2) == frozenset()
+
+    def test_report_counts(self):
+        report = self.make_hidden_triangle().hidden_node_report()
+        assert report.num_hidden_pairs == 1
+        assert report.num_possible_pairs == 3
+        assert report.stations_with_hidden_peer == 2
+        assert report.hidden_pair_fraction == pytest.approx(1 / 3)
+
+    def test_adjacency_matrix_symmetric_with_true_diagonal(self):
+        graph = self.make_hidden_triangle()
+        matrix = graph.adjacency_matrix()
+        assert matrix.shape == (3, 3)
+        assert np.all(np.diag(matrix))
+        assert np.array_equal(matrix, matrix.T)
+        assert not matrix[0, 1]
+
+
+class TestApCoverage:
+    def test_station_outside_ap_range_rejected(self):
+        placement = explicit_placement([(30, 0)])
+        with pytest.raises(ValueError):
+            ConnectivityGraph(placement, paper_model())
+
+    def test_uncovered_station_allowed_when_not_required(self):
+        placement = explicit_placement([(30, 0)])
+        graph = ConnectivityGraph(placement, paper_model(), require_ap_coverage=False)
+        assert graph.uncovered_stations == (0,)
+
+
+class TestShadowing:
+    def test_shadowing_can_create_hidden_pair(self):
+        # Two stations 10 apart would normally sense each other; 40 dB of
+        # shadowing between them pushes the effective distance beyond the
+        # 24-unit sensing range.
+        placement = explicit_placement([(-5, 0), (5, 0)])
+        shadowing = np.array([[0.0, 40.0], [40.0, 0.0]])
+        graph = ConnectivityGraph(placement, paper_model(), shadowing_db=shadowing)
+        assert graph.hidden_pairs() == frozenset({(0, 1)})
+
+    def test_zero_shadowing_matrix_is_no_op(self):
+        placement = explicit_placement([(-5, 0), (5, 0)])
+        graph = ConnectivityGraph(placement, paper_model(),
+                                  shadowing_db=np.zeros((2, 2)))
+        assert graph.is_fully_connected()
+
+    def test_rejects_wrong_shape(self):
+        placement = explicit_placement([(-5, 0), (5, 0)])
+        with pytest.raises(ValueError):
+            ConnectivityGraph(placement, paper_model(), shadowing_db=np.zeros((3, 3)))
+
+    def test_rejects_asymmetric_matrix(self):
+        placement = explicit_placement([(-5, 0), (5, 0)])
+        shadowing = np.array([[0.0, 10.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            ConnectivityGraph(placement, paper_model(), shadowing_db=shadowing)
+
+
+class TestGraphViews:
+    def test_sensing_density_of_complete_graph(self):
+        graph = ConnectivityGraph(ring_placement(6, radius=8.0), paper_model())
+        assert graph.sensing_density() == pytest.approx(1.0)
+
+    def test_sensing_components_single_for_connected(self):
+        graph = ConnectivityGraph(ring_placement(6, radius=8.0), paper_model())
+        components = graph.sensing_components()
+        assert len(components) == 1
+        assert components[0] == set(range(6))
+
+    def test_build_connectivity_helper(self):
+        graph = build_connectivity(ring_placement(4, radius=8.0), paper_model())
+        assert isinstance(graph, ConnectivityGraph)
+        assert graph.num_stations == 4
+
+    def test_decode_graph_edges_subset_of_sensing_edges(self):
+        placement = explicit_placement([(-10, 0), (10, 0), (0, 5)])
+        graph = ConnectivityGraph(placement, paper_model())
+        decode_edges = set(graph.decode_graph.edges())
+        sensing_edges = set(graph.sensing_graph.edges())
+        assert decode_edges.issubset(sensing_edges)

@@ -1,0 +1,78 @@
+"""Tests for the pre-packaged paper scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.topology.scenarios import (
+    FULLY_CONNECTED_RING_RADIUS,
+    HIDDEN_DISC_RADIUS_LARGE,
+    HIDDEN_DISC_RADIUS_SMALL,
+    fully_connected_scenario,
+    hidden_node_scenario,
+    paper_propagation,
+    two_cluster_hidden_scenario,
+)
+
+
+class TestPaperPropagation:
+    def test_ranges_match_paper(self):
+        model = paper_propagation()
+        assert model.decode_range == 16.0
+        assert model.sense_range == 24.0
+
+
+class TestFullyConnectedScenario:
+    @pytest.mark.parametrize("n", [2, 10, 40])
+    def test_no_hidden_pairs(self, n):
+        graph = fully_connected_scenario(n)
+        assert graph.is_fully_connected()
+        assert graph.num_stations == n
+
+    def test_default_radius_is_papers(self):
+        assert FULLY_CONNECTED_RING_RADIUS == 8.0
+
+    def test_too_large_radius_rejected(self):
+        # Ring of radius 16 has diameter 32 > sensing range 24.
+        with pytest.raises(ValueError):
+            fully_connected_scenario(10, radius=16.0)
+
+
+class TestHiddenNodeScenario:
+    def test_radii_constants_match_paper(self):
+        assert HIDDEN_DISC_RADIUS_SMALL == 16.0
+        assert HIDDEN_DISC_RADIUS_LARGE == 20.0
+
+    def test_require_hidden_pairs_produces_hidden_pairs(self):
+        rng = np.random.default_rng(5)
+        graph = hidden_node_scenario(30, rng, radius=20.0, require_hidden_pairs=True)
+        assert not graph.is_fully_connected()
+
+    def test_every_station_covered_by_ap(self):
+        rng = np.random.default_rng(5)
+        graph = hidden_node_scenario(20, rng, radius=16.0)
+        assert graph.uncovered_stations == ()
+
+    def test_reproducible_given_seeded_rng(self):
+        a = hidden_node_scenario(15, np.random.default_rng(9), radius=16.0)
+        b = hidden_node_scenario(15, np.random.default_rng(9), radius=16.0)
+        assert a.placement.stations == b.placement.stations
+
+
+class TestTwoClusterScenario:
+    def test_cross_cluster_pairs_all_hidden(self):
+        graph = two_cluster_hidden_scenario(3, separation=28.0, spread=0.5)
+        hidden = graph.hidden_pairs()
+        cross_pairs = {(i, j) for i in range(3) for j in range(3, 6)}
+        for i, j in cross_pairs:
+            pair = (min(i, j), max(i, j))
+            assert pair in hidden
+
+    def test_intra_cluster_pairs_sense_each_other(self):
+        graph = two_cluster_hidden_scenario(3, separation=28.0, spread=0.5)
+        for i in range(3):
+            for j in range(3):
+                assert graph.can_sense(i, j)
+
+    def test_rejects_empty_clusters(self):
+        with pytest.raises(ValueError):
+            two_cluster_hidden_scenario(0)

@@ -4,8 +4,28 @@ Each ``run_*`` function returns an :class:`~repro.experiments.runner.ExperimentR
 that can be rendered with :func:`~repro.experiments.reporting.format_result`.
 ``EXPERIMENT_REGISTRY`` maps experiment ids to their runners so the benchmark
 harness and the examples can iterate over them uniformly.
+
+Every simulation-backed runner accepts an optional ``executor`` — a
+:class:`~repro.experiments.campaign.CampaignExecutor` — through which it
+submits its whole (scheme x topology x seed) grid as one flat task list.
+Passing a shared executor with ``jobs > 1`` parallelises the evaluation over
+worker processes, and a ``cache_dir`` makes re-runs skip completed cells;
+``python -m repro.experiments all --jobs N`` wires this up from the command
+line.  Without an executor the runners fall back to serial in-process
+execution, producing bit-identical results.
 """
 
+from .campaign import (
+    CampaignExecutor,
+    CampaignStats,
+    ResultCache,
+    RunTask,
+    SchemeSpec,
+    SweepSpec,
+    TopologySpec,
+    derive_seed,
+    execute_task,
+)
 from .config import PAPER, QUICK, ExperimentConfig
 from .fig1 import run_fig1
 from .fig2 import default_probability_grid, run_fig2
@@ -22,9 +42,14 @@ from .runner import (
     ExperimentResult,
     ExperimentRow,
     average_throughput_mbps,
+    connected_task,
+    default_executor,
+    group_results,
+    hidden_task,
     make_connected_topology,
     make_hidden_topology,
     paper_scheme_factories,
+    paper_scheme_specs,
     run_scheme_connected,
     run_scheme_on_topology,
 )
@@ -54,6 +79,20 @@ __all__ = [
     "PAPER",
     "QUICK",
     "ExperimentConfig",
+    "CampaignExecutor",
+    "CampaignStats",
+    "ResultCache",
+    "RunTask",
+    "SchemeSpec",
+    "SweepSpec",
+    "TopologySpec",
+    "derive_seed",
+    "execute_task",
+    "connected_task",
+    "default_executor",
+    "group_results",
+    "hidden_task",
+    "paper_scheme_specs",
     "run_fig1",
     "default_probability_grid",
     "run_fig2",

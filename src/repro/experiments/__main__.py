@@ -6,10 +6,19 @@ Usage::
     python -m repro.experiments fig3
     python -m repro.experiments table2 fig12 --preset quick
     python -m repro.experiments fig6 --preset paper --output results/
+    python -m repro.experiments all --jobs 8 --cache-dir .repro-cache
 
 Each experiment id corresponds to one table or figure of the paper (see
-DESIGN.md section 4).  Results are printed as text tables and optionally
-written to ``<output>/<experiment>.txt``.
+DESIGN.md section 4); the pseudo-id ``all`` expands to every experiment so
+the entire evaluation runs as one campaign.  Results are printed as text
+tables and optionally written to ``<output>/<experiment>.txt``.
+
+Simulation cells are executed through a shared
+:class:`~repro.experiments.campaign.CampaignExecutor`: ``--jobs`` fans them
+out over worker processes (bit-identical to serial execution), and
+``--cache-dir`` persists every completed cell so interrupted or repeated
+invocations only simulate what is missing.  ``--progress`` streams one line
+per completed cell to stderr.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import time
 from typing import List, Optional
 
 from . import EXPERIMENT_REGISTRY, PAPER, QUICK
+from .campaign import CampaignExecutor, stderr_progress
 from .config import ExperimentConfig
 from .reporting import format_result
 
@@ -31,6 +41,9 @@ _PRESETS = {"quick": QUICK, "paper": PAPER}
 #: Experiments whose runners take no ExperimentConfig (purely analytical).
 _ANALYTICAL = {"table1", "fig12"}
 
+#: Pseudo experiment id expanding to the whole evaluation.
+_ALL = "all"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -39,7 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiments", nargs="*",
-        help="experiment ids (e.g. fig3 table2); omit with --list to enumerate",
+        help=(
+            "experiment ids (e.g. fig3 table2), or 'all' for the entire "
+            "evaluation; omit with --list to enumerate"
+        ),
     )
     parser.add_argument("--list", action="store_true", dest="list_experiments",
                         help="list available experiment ids and exit")
@@ -49,15 +65,54 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory to write <experiment>.txt files into")
     parser.add_argument("--precision", type=int, default=3,
                         help="decimal places in printed tables (default: 3)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "worker processes for simulation cells (default: 1 = serial; "
+            "0 = one per CPU); results are identical for every value"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="cache completed simulation cells as JSON under DIR and reuse "
+             "them on later runs",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the result cache even if --cache-dir is set",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed simulation cell to stderr",
+    )
     return parser
 
 
-def _run_one(name: str, config: ExperimentConfig) -> str:
+def _resolve_experiments(requested: List[str],
+                         parser: argparse.ArgumentParser) -> List[str]:
+    unknown = [
+        name for name in requested
+        if name not in EXPERIMENT_REGISTRY and name != _ALL
+    ]
+    if unknown:
+        parser.error(
+            f"unknown experiment id(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(EXPERIMENT_REGISTRY))} (or 'all')"
+        )
+    if _ALL in requested:
+        # 'all' expands in registry order (table1 first, then the figures as
+        # the paper presents them); explicit extra ids are redundant.
+        return list(EXPERIMENT_REGISTRY)
+    return requested
+
+
+def _run_one(name: str, config: ExperimentConfig,
+             executor: CampaignExecutor) -> str:
     runner = EXPERIMENT_REGISTRY[name]
     if name in _ANALYTICAL:
         result = runner()
     else:
-        result = runner(config)
+        result = runner(config, executor=executor)
     return format_result(result)
 
 
@@ -73,25 +128,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.experiments:
         parser.error("no experiments given (use --list to see the available ids)")
 
-    unknown = [name for name in args.experiments if name not in EXPERIMENT_REGISTRY]
-    if unknown:
-        parser.error(
-            f"unknown experiment id(s): {', '.join(unknown)}; "
-            f"available: {', '.join(sorted(EXPERIMENT_REGISTRY))}"
-        )
-
+    names = _resolve_experiments(args.experiments, parser)
     config = _PRESETS[args.preset]
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
+    if (args.cache_dir is not None and args.cache_dir.exists()
+            and not args.cache_dir.is_dir()):
+        parser.error(f"--cache-dir: '{args.cache_dir}' exists and is not a directory")
 
-    for name in args.experiments:
+    executor = CampaignExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=stderr_progress if args.progress else None,
+    )
+
+    for name in names:
         started = time.perf_counter()
-        text = _run_one(name, config)
+        text = _run_one(name, config, executor)
         elapsed = time.perf_counter() - started
         print(text)
         print(f"[{name} regenerated in {elapsed:.1f} s]\n")
         if args.output is not None:
             (args.output / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    if executor.stats.total:
+        print(f"[campaign: {executor.stats.summary()}, jobs={executor.jobs}]")
     return 0
 
 

@@ -1,0 +1,151 @@
+"""On-disk JSON result cache for campaign tasks.
+
+Each completed :class:`~repro.experiments.campaign.specs.RunTask` is stored
+as one JSON file named after its :meth:`task_key`, containing the task
+descriptor (for debuggability) and the full serialised
+:class:`~repro.sim.metrics.SimulationResult`.  Because Python's JSON encoder
+emits shortest round-trip float representations, a result loaded from the
+cache is bit-identical to the freshly computed one, so cached and simulated
+cells can be mixed freely inside one campaign.
+
+Corrupt or version-mismatched entries are treated as misses (and re-run),
+never as errors: a cache must not be able to break a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional
+
+from ...sim.metrics import SimulationResult, StationStats
+from .specs import CACHE_VERSION, RunTask
+
+__all__ = ["ResultCache", "result_to_dict", "result_from_dict"]
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """Serialise a :class:`SimulationResult` to plain JSON-able types."""
+    return {
+        "duration": result.duration,
+        "total_throughput_bps": result.total_throughput_bps,
+        "idle_slots": result.idle_slots,
+        "busy_periods": result.busy_periods,
+        "station_stats": [
+            {
+                "station": s.station,
+                "successes": s.successes,
+                "failures": s.failures,
+                "payload_bits": s.payload_bits,
+                "throughput_bps": s.throughput_bps,
+            }
+            for s in result.station_stats
+        ],
+        "throughput_timeline": [[t, v] for t, v in result.throughput_timeline],
+        "control_timeline": [[t, v] for t, v in result.control_timeline],
+        "extra": dict(result.extra),
+    }
+
+
+def result_from_dict(payload: Dict[str, object]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict` (exact float round-trip)."""
+    return SimulationResult(
+        duration=payload["duration"],
+        station_stats=tuple(
+            StationStats(
+                station=s["station"],
+                successes=s["successes"],
+                failures=s["failures"],
+                payload_bits=s["payload_bits"],
+                throughput_bps=s["throughput_bps"],
+            )
+            for s in payload["station_stats"]
+        ),
+        total_throughput_bps=payload["total_throughput_bps"],
+        idle_slots=payload["idle_slots"],
+        busy_periods=payload["busy_periods"],
+        throughput_timeline=tuple(
+            (t, v) for t, v in payload["throughput_timeline"]
+        ),
+        control_timeline=tuple((t, v) for t, v in payload["control_timeline"]),
+        extra=dict(payload["extra"]),
+    )
+
+
+class ResultCache:
+    """Directory of ``<task_key>.json`` files, one per completed task."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self._root = pathlib.Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> pathlib.Path:
+        return self._root
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self._root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        try:
+            if payload.get("version") != CACHE_VERSION:
+                return None
+            return result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, task: RunTask, result: SimulationResult) -> pathlib.Path:
+        """Persist one completed task atomically; returns the entry path."""
+        key = task.task_key()
+        payload = {
+            "version": CACHE_VERSION,
+            "task_key": key,
+            "label": task.label,
+            "task": task.to_json(),
+            "result": result_to_dict(result),
+        }
+        path = self.path_for(key)
+        # Atomic replace so a crashed/parallel writer never leaves a torn
+        # file behind (concurrent writers of the same key write identical
+        # content, so last-write-wins is safe).
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self._root, prefix=f".{key[:12]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self._root.glob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self._root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

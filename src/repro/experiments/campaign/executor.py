@@ -1,0 +1,286 @@
+"""Campaign execution: fan tasks out over processes, with caching.
+
+:func:`execute_task` turns one :class:`RunTask` descriptor into a
+:class:`~repro.sim.metrics.SimulationResult`; it is a pure function of the
+descriptor, which is what makes everything else here trivial to reason
+about: running tasks serially, in a process pool, or loading them from the
+on-disk cache all produce bit-identical results.
+
+:class:`CampaignExecutor` is the engine the per-figure runners hand their
+task lists to.  It deduplicates identical tasks, satisfies what it can from
+the :class:`~repro.experiments.campaign.cache.ResultCache`, fans the misses
+out over a ``ProcessPoolExecutor`` (``jobs > 1``) or an in-process loop
+(``jobs == 1``), stores fresh results back into the cache, and reports
+progress through a callback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...mac.idlesense import IdleSenseBackoff
+from ...sim.dynamics import step_activity
+from ...sim.metrics import SimulationResult
+from ...sim.simulation import WlanSimulation
+from ...sim.slotted import SlottedSimulator
+from .cache import ResultCache
+from .specs import RunTask
+
+__all__ = [
+    "execute_task",
+    "CampaignExecutor",
+    "CampaignStats",
+    "CampaignEvent",
+    "stderr_progress",
+]
+
+
+def _station_observed_idle(policies) -> Optional[float]:
+    """Mean station-observed idle average (IdleSense stations), if any."""
+    observed = [
+        policy.observed_average_idle_slots()
+        for policy in policies
+        if isinstance(policy, IdleSenseBackoff)
+        and policy.observed_average_idle_slots() is not None
+    ]
+    if not observed:
+        return None
+    return float(np.mean(observed))
+
+
+def execute_task(task: RunTask) -> SimulationResult:
+    """Run one task descriptor to completion (pure, process-safe).
+
+    The returned result's ``extra`` mapping is annotated with the task key,
+    seed and label, plus ``station_observed_idle`` when the scheme's stations
+    track their own idle average (Table III needs it).
+    """
+    scheme = task.scheme.build(task.phy)
+    activity = step_activity(task.activity) if task.activity else None
+
+    if task.resolved_simulator() == "slotted":
+        simulator = SlottedSimulator(
+            scheme,
+            num_stations=task.topology.num_stations,
+            phy=task.phy,
+            seed=task.seed,
+            activity=activity,
+            report_interval=task.report_interval,
+            frame_error_rate=task.frame_error_rate,
+        )
+        result = simulator.run(duration=task.duration, warmup=task.warmup)
+        policies = simulator.policies
+    else:
+        simulation = WlanSimulation(
+            scheme=scheme,
+            connectivity=task.topology.build(),
+            phy=task.phy,
+            seed=task.seed,
+            activity=activity,
+            report_interval=task.report_interval,
+            frame_error_rate=task.frame_error_rate,
+        )
+        result = simulation.run(duration=task.duration, warmup=task.warmup)
+        policies = simulation.policies
+
+    extra = dict(result.extra)
+    extra["task_key"] = task.task_key()
+    extra["seed"] = task.seed
+    if task.label:
+        extra["label"] = task.label
+    station_idle = _station_observed_idle(policies)
+    if station_idle is not None:
+        extra["station_observed_idle"] = station_idle
+    return dataclasses.replace(result, extra=extra)
+
+
+@dataclass
+class CampaignStats:
+    """Counters describing how a campaign's cells were satisfied."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    deduplicated: int = 0
+
+    def merge(self, other: "CampaignStats") -> None:
+        self.total += other.total
+        self.executed += other.executed
+        self.cached += other.cached
+        self.deduplicated += other.deduplicated
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} task(s): {self.executed} simulated, "
+            f"{self.cached} from cache, {self.deduplicated} deduplicated"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One progress notification (a cell finished or was served from cache)."""
+
+    completed: int
+    total: int
+    label: str
+    key: str
+    source: str  # "run" or "cache"
+    elapsed_s: float
+
+
+def stderr_progress(event: CampaignEvent) -> None:
+    """Stock progress reporter: one line per completed cell on stderr."""
+    print(
+        f"[campaign {event.completed}/{event.total}] "
+        f"{event.label or event.key[:12]} ({event.source}, {event.elapsed_s:.1f}s)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+class CampaignExecutor:
+    """Runs lists of :class:`RunTask` cells, in parallel and/or from cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (default) runs tasks in-process;
+        ``0``/negative means "one per CPU".  Because each task derives all of
+        its randomness from its own descriptor, results are bit-identical for
+        every value of ``jobs``.
+    cache_dir:
+        When given, completed cells are stored as JSON under this directory
+        and later campaigns skip any cell whose task hash is already present.
+    use_cache:
+        Set False to ignore ``cache_dir`` entirely (force re-simulation).
+    progress:
+        Optional callback receiving a :class:`CampaignEvent` per completed
+        cell (see :func:`stderr_progress`).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+        progress: Optional[Callable[[CampaignEvent], None]] = None,
+    ) -> None:
+        if jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self._jobs = int(jobs)
+        self._cache = (
+            ResultCache(cache_dir) if (cache_dir is not None and use_cache) else None
+        )
+        self._progress = progress
+        #: Cumulative counters across every :meth:`run` call.
+        self.stats = CampaignStats()
+        #: Counters of the most recent :meth:`run` call only.
+        self.last_run_stats = CampaignStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[RunTask]) -> List[SimulationResult]:
+        """Execute all tasks; results come back in input order.
+
+        Identical tasks (same :meth:`RunTask.task_key`) are simulated once
+        and fanned back out to every position that requested them.
+        """
+        tasks = list(tasks)
+        stats = CampaignStats(total=len(tasks))
+        started = time.perf_counter()
+
+        # Deduplicate by content hash, preserving first-seen order.
+        first_task: Dict[str, RunTask] = {}
+        positions: Dict[str, List[int]] = {}
+        for index, task in enumerate(tasks):
+            key = task.task_key()
+            if key in positions:
+                stats.deduplicated += 1
+            else:
+                first_task[key] = task
+            positions.setdefault(key, []).append(index)
+
+        resolved: Dict[str, SimulationResult] = {}
+        completed = 0
+
+        def report(key: str, source: str) -> None:
+            nonlocal completed
+            completed += 1
+            if self._progress is not None:
+                self._progress(CampaignEvent(
+                    completed=completed,
+                    total=len(first_task),
+                    label=first_task[key].label,
+                    key=key,
+                    source=source,
+                    elapsed_s=time.perf_counter() - started,
+                ))
+
+        # Serve cache hits first so only true misses hit the pool.
+        pending: List[str] = []
+        for key in first_task:
+            cached = self._cache.load(key) if self._cache is not None else None
+            if cached is not None:
+                resolved[key] = cached
+                stats.cached += 1
+                report(key, "cache")
+            else:
+                pending.append(key)
+
+        if pending:
+            if self._jobs == 1 or len(pending) == 1:
+                for key in pending:
+                    resolved[key] = execute_task(first_task[key])
+                    stats.executed += 1
+                    self._store(first_task[key], resolved[key])
+                    report(key, "run")
+            else:
+                self._run_parallel(first_task, pending, resolved, stats, report)
+
+        self.last_run_stats = stats
+        self.stats.merge(stats)
+        return [resolved[task.task_key()] for task in tasks]
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        first_task: Dict[str, RunTask],
+        pending: Sequence[str],
+        resolved: Dict[str, SimulationResult],
+        stats: CampaignStats,
+        report: Callable[[str, str], None],
+    ) -> None:
+        workers = min(self._jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_task, first_task[key]): key for key in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures[future]
+                    resolved[key] = future.result()
+                    stats.executed += 1
+                    self._store(first_task[key], resolved[key])
+                    report(key, "run")
+
+    def _store(self, task: RunTask, result: SimulationResult) -> None:
+        if self._cache is not None:
+            self._cache.store(task, result)

@@ -1,0 +1,411 @@
+"""Declarative run descriptors for the experiment campaign engine.
+
+The per-figure runners used to call the simulators directly from nested
+loops, which made the evaluation inherently serial: nothing described a run
+without executing it.  This module introduces picklable, hashable *value
+objects* that fully describe one simulation:
+
+* :class:`SchemeSpec` — names a MAC scheme factory plus its keyword
+  parameters (schemes themselves hold lambdas and mutable controllers, so
+  they cannot cross process boundaries; the spec is rebuilt in each worker);
+* :class:`TopologySpec` — a fully connected ring or a seeded uniform-disc
+  hidden-node placement;
+* :class:`RunTask` — one complete simulation cell: scheme, topology,
+  activity schedule, PHY, seed, durations and sampling options;
+* :class:`SweepSpec` — a declarative (scheme x station-count x repetition)
+  grid that expands into :class:`RunTask` lists with deterministic per-cell
+  seed derivation (:func:`derive_seed`), so the same spec always yields the
+  same tasks regardless of expansion or execution order.
+
+Every descriptor serialises to canonical JSON (:meth:`RunTask.to_json`), and
+:meth:`RunTask.task_key` hashes that JSON into the stable cache key used by
+:class:`~repro.experiments.campaign.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ...mac.schemes import (
+    Scheme,
+    fixed_p_persistent_scheme,
+    fixed_randomreset_scheme,
+    idlesense_scheme,
+    n_estimating_scheme,
+    standard_80211_scheme,
+    tora_csma_scheme,
+    wtop_csma_scheme,
+)
+from ...phy.constants import PhyParameters
+from ...topology.graph import ConnectivityGraph
+from ...topology.scenarios import fully_connected_scenario, hidden_node_scenario
+
+__all__ = [
+    "SCHEME_SPEC_KINDS",
+    "SchemeSpec",
+    "TopologySpec",
+    "RunTask",
+    "SweepSpec",
+    "derive_seed",
+    "CACHE_VERSION",
+]
+
+#: Bump when the serialised task format or simulator semantics change in a
+#: way that invalidates previously cached results.
+CACHE_VERSION = 1
+
+
+def _canonical(value):
+    """Coerce a parameter value into plain JSON-able Python types.
+
+    numpy scalars (which leak out of ``np.exp`` / ``np.linspace`` grids) are
+    converted to their Python equivalents so that task hashes do not depend
+    on whether the caller used numpy or builtin floats.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if hasattr(value, "item") and not isinstance(value, (tuple, list, dict)):
+        return _canonical(value.item())
+    if isinstance(value, (tuple, list)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+    raise TypeError(f"unsupported spec parameter type: {type(value)!r}")
+
+
+def _jsonable(value):
+    """Canonical value -> JSON structure (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Scheme specifications
+# ----------------------------------------------------------------------
+def _build_fixed_p(phy, p, weights=None):
+    return fixed_p_persistent_scheme(p, weights)
+
+
+def _build_fixed_randomreset(phy, stage, p0):
+    return fixed_randomreset_scheme(stage, p0, phy)
+
+
+_SCHEME_BUILDERS = {
+    "standard-802.11": lambda phy, **kw: standard_80211_scheme(phy, **kw),
+    "idlesense": lambda phy, **kw: idlesense_scheme(phy, **kw),
+    "wtop-csma": lambda phy, **kw: wtop_csma_scheme(phy, **kw),
+    "tora-csma": lambda phy, **kw: tora_csma_scheme(phy, **kw),
+    "n-estimating": lambda phy, **kw: n_estimating_scheme(phy, **kw),
+    "fixed-p": _build_fixed_p,
+    "fixed-randomreset": _build_fixed_randomreset,
+}
+
+#: Scheme kinds accepted by :meth:`SchemeSpec.make`.
+SCHEME_SPEC_KINDS = tuple(sorted(_SCHEME_BUILDERS))
+
+#: Kinds whose controllers/policies adapt over time (they need the longer
+#: adaptive warm-up before steady-state throughput is measured).
+_ADAPTIVE_KINDS = frozenset({"idlesense", "wtop-csma", "tora-csma", "n-estimating"})
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Declarative, picklable reference to a MAC scheme factory.
+
+    ``kind`` selects one of the factories in :mod:`repro.mac.schemes` and
+    ``params`` holds its keyword arguments as a sorted tuple of pairs (so the
+    spec is hashable and its serialisation canonical).  Use :meth:`make`
+    rather than the raw constructor.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **params: object) -> "SchemeSpec":
+        if kind not in _SCHEME_BUILDERS:
+            raise ValueError(
+                f"unknown scheme kind '{kind}'; expected one of {SCHEME_SPEC_KINDS}"
+            )
+        normalized = tuple(
+            sorted((name, _canonical(value)) for name, value in params.items())
+        )
+        return cls(kind=kind, params=normalized)
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether the scheme adapts (determines the warm-up budget)."""
+        return self.kind in _ADAPTIVE_KINDS
+
+    def build(self, phy: Optional[PhyParameters] = None) -> Scheme:
+        """Instantiate a fresh :class:`~repro.mac.schemes.Scheme`."""
+        builder = _SCHEME_BUILDERS[self.kind]
+        return builder(phy, **dict(self.params))
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "params": {name: _jsonable(value) for name, value in self.params},
+        }
+
+
+# ----------------------------------------------------------------------
+# Topology specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative placement: fully connected ring or seeded hidden-node disc."""
+
+    kind: str
+    num_stations: int
+    radius: Optional[float] = None
+    topology_seed: Optional[int] = None
+    require_hidden_pairs: bool = True
+
+    @classmethod
+    def connected(cls, num_stations: int) -> "TopologySpec":
+        """The paper's fully connected placement (ring of radius 8)."""
+        return cls(kind="connected", num_stations=int(num_stations))
+
+    @classmethod
+    def hidden_disc(cls, num_stations: int, radius: float, topology_seed: int,
+                    require_hidden_pairs: bool = True) -> "TopologySpec":
+        """The paper's hidden-node placement (uniform disc of ``radius``)."""
+        return cls(
+            kind="hidden-disc",
+            num_stations=int(num_stations),
+            radius=float(radius),
+            topology_seed=int(topology_seed),
+            require_hidden_pairs=bool(require_hidden_pairs),
+        )
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("connected", "hidden-disc"):
+            raise ValueError(f"unknown topology kind '{self.kind}'")
+        if self.num_stations < 1:
+            raise ValueError("num_stations must be at least 1")
+        if self.kind == "hidden-disc":
+            if self.radius is None or self.radius <= 0:
+                raise ValueError("hidden-disc topologies need a positive radius")
+            if self.topology_seed is None:
+                raise ValueError("hidden-disc topologies need a topology_seed")
+
+    def build(self) -> ConnectivityGraph:
+        """Materialise the :class:`ConnectivityGraph` for the event simulator."""
+        import numpy as np
+
+        if self.kind == "connected":
+            return fully_connected_scenario(self.num_stations)
+        rng = np.random.default_rng(self.topology_seed)
+        return hidden_node_scenario(
+            self.num_stations, rng, radius=self.radius,
+            require_hidden_pairs=self.require_hidden_pairs,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "kind": self.kind,
+            "num_stations": self.num_stations,
+        }
+        if self.kind == "hidden-disc":
+            payload.update(
+                radius=self.radius,
+                topology_seed=self.topology_seed,
+                require_hidden_pairs=self.require_hidden_pairs,
+            )
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Run tasks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunTask:
+    """One independently schedulable simulation cell.
+
+    A task is a pure value: executing it twice (in any process) yields
+    bit-identical :class:`~repro.sim.metrics.SimulationResult` objects, which
+    is what makes both process-level parallelism and on-disk caching safe.
+
+    ``simulator`` is ``"auto"`` (slotted for connected topologies, event-
+    driven otherwise), ``"slotted"`` or ``"event"``.  ``label`` is cosmetic
+    (progress lines, result metadata) and deliberately excluded from
+    :meth:`task_key` so renaming a sweep does not invalidate its cache.
+    """
+
+    scheme: SchemeSpec
+    topology: TopologySpec
+    seed: int
+    duration: float
+    warmup: float = 0.0
+    simulator: str = "auto"
+    report_interval: Optional[float] = None
+    frame_error_rate: float = 0.0
+    activity: Optional[Tuple[Tuple[float, int], ...]] = None
+    phy: Optional[PhyParameters] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.simulator not in ("auto", "slotted", "event"):
+            raise ValueError("simulator must be 'auto', 'slotted' or 'event'")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.simulator == "slotted" and self.topology.kind != "connected":
+            raise ValueError("the slotted simulator only models connected topologies")
+        if self.activity is not None:
+            object.__setattr__(
+                self, "activity",
+                tuple((float(t), int(c)) for t, c in self.activity),
+            )
+
+    # ------------------------------------------------------------------
+    def resolved_simulator(self) -> str:
+        """The simulator that will actually execute this task."""
+        if self.simulator != "auto":
+            return self.simulator
+        return "slotted" if self.topology.kind == "connected" else "event"
+
+    def to_json(self) -> Dict[str, object]:
+        """Canonical JSON description (the input of :meth:`task_key`)."""
+        phy = None
+        if self.phy is not None:
+            phy = dict(sorted(dataclasses.asdict(self.phy).items()))
+        return {
+            "version": CACHE_VERSION,
+            "scheme": self.scheme.to_json(),
+            "topology": self.topology.to_json(),
+            "seed": self.seed,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "simulator": self.resolved_simulator(),
+            "report_interval": self.report_interval,
+            "frame_error_rate": self.frame_error_rate,
+            "activity": [[t, c] for t, c in self.activity] if self.activity else None,
+            "phy": phy,
+        }
+
+    def task_key(self) -> str:
+        """Stable content hash identifying this task across runs/processes."""
+        payload = json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def with_label(self, label: str) -> "RunTask":
+        return dataclasses.replace(self, label=label)
+
+
+# ----------------------------------------------------------------------
+# Deterministic seed derivation
+# ----------------------------------------------------------------------
+def derive_seed(*components: object) -> int:
+    """Derive a stable 63-bit seed from arbitrary hashable components.
+
+    Unlike ``hash()`` this is stable across processes and Python versions
+    (it goes through SHA-256 of the canonical JSON of the components), so a
+    sweep expanded on one machine and resumed on another maps every cell to
+    the same seed — the property that makes parallel campaign execution
+    bit-identical to serial execution.
+    """
+    payload = json.dumps(
+        [_jsonable(_canonical(c)) for c in components],
+        sort_keys=True, separators=(",", ":"),
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# ----------------------------------------------------------------------
+# Sweep specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative (scheme x station count x repetition) campaign grid.
+
+    ``schemes`` maps display labels to :class:`SchemeSpec` entries.  Each
+    grid cell receives a deterministic seed from :func:`derive_seed` applied
+    to ``(name, base_seed, scheme label, node count, repetition)``, so tasks
+    are reproducible regardless of iteration or execution order.  Hidden-node
+    cells additionally derive a per-cell topology seed (matching the paper's
+    practice of drawing a fresh placement per repetition).
+    """
+
+    name: str
+    schemes: Tuple[Tuple[str, SchemeSpec], ...]
+    node_counts: Tuple[int, ...]
+    duration: float
+    warmup: float = 0.0
+    adaptive_warmup: Optional[float] = None
+    repetitions: int = 1
+    base_seed: int = 0
+    topology: str = "connected"
+    radius: Optional[float] = None
+    report_interval: Optional[float] = None
+    frame_error_rate: float = 0.0
+    phy: Optional[PhyParameters] = None
+
+    @classmethod
+    def make(cls, name: str, schemes: Mapping[str, SchemeSpec],
+             node_counts: Sequence[int], duration: float, **kwargs) -> "SweepSpec":
+        return cls(
+            name=name,
+            schemes=tuple(schemes.items()),
+            node_counts=tuple(int(n) for n in node_counts),
+            duration=float(duration),
+            **kwargs,
+        )
+
+    def __post_init__(self) -> None:
+        if not self.schemes:
+            raise ValueError("a sweep needs at least one scheme")
+        if not self.node_counts:
+            raise ValueError("a sweep needs at least one node count")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        if self.topology not in ("connected", "hidden-disc"):
+            raise ValueError(f"unknown topology kind '{self.topology}'")
+        if self.topology == "hidden-disc" and not self.radius:
+            raise ValueError("hidden-disc sweeps need a radius")
+
+    def _warmup_for(self, spec: SchemeSpec) -> float:
+        if spec.adaptive and self.adaptive_warmup is not None:
+            return self.adaptive_warmup
+        return self.warmup
+
+    def expand(self) -> Tuple[RunTask, ...]:
+        """Expand the grid into concrete :class:`RunTask` descriptors."""
+        tasks = []
+        for scheme_label, spec in self.schemes:
+            for num_stations in self.node_counts:
+                for rep in range(self.repetitions):
+                    seed = derive_seed(
+                        self.name, self.base_seed, scheme_label, num_stations, rep
+                    )
+                    if self.topology == "connected":
+                        topology = TopologySpec.connected(num_stations)
+                    else:
+                        topo_seed = derive_seed(
+                            self.name, self.base_seed, "topology", num_stations, rep
+                        )
+                        topology = TopologySpec.hidden_disc(
+                            num_stations, self.radius, topo_seed
+                        )
+                    tasks.append(RunTask(
+                        scheme=spec,
+                        topology=topology,
+                        seed=seed,
+                        duration=self.duration,
+                        warmup=self._warmup_for(spec),
+                        report_interval=self.report_interval,
+                        frame_error_rate=self.frame_error_rate,
+                        phy=self.phy,
+                        label=f"{self.name}/{scheme_label}/N={num_stations}/rep={rep}",
+                    ))
+        return tuple(tasks)

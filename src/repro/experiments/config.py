@@ -64,6 +64,18 @@ class ExperimentConfig:
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
 
+    def durations_for(self, adaptive: bool) -> Tuple[float, float]:
+        """``(measure_duration, warmup)`` appropriate for a scheme.
+
+        Adaptive schemes (IdleSense, wTOP-CSMA, TORA-CSMA) get the longer
+        :attr:`adaptive_warmup` so their controllers converge before
+        steady-state throughput is measured; open-loop schemes get the short
+        :attr:`warmup`.  Both the legacy direct-run helpers and the campaign
+        task builders in :mod:`repro.experiments.runner` use this, so every
+        execution path measures with identical budgets.
+        """
+        return self.measure_duration, (self.adaptive_warmup if adaptive else self.warmup)
+
 
 #: Fast preset used by the benchmark harness (minutes, not hours).
 QUICK = ExperimentConfig(

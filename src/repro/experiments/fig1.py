@@ -7,65 +7,83 @@ Expected shape (paper):
   roughly flat with N while 802.11 degrades;
 * with hidden nodes IdleSense drops *below* standard 802.11 — the motivating
   observation of the paper.
+
+The grid (4 scheme/topology columns x node counts x seeds) is emitted as one
+flat campaign so the executor can parallelise and cache every cell.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..mac.schemes import idlesense_scheme, standard_80211_scheme
 from ..phy.constants import PhyParameters
+from .campaign import CampaignExecutor, SchemeSpec
 from .config import ExperimentConfig, QUICK
 from .runner import (
     ExperimentResult,
     ExperimentRow,
     average_throughput_mbps,
-    make_connected_topology,
-    make_hidden_topology,
-    run_scheme_connected,
-    run_scheme_on_topology,
+    connected_task,
+    default_executor,
+    group_results,
+    hidden_task,
 )
 
 __all__ = ["run_fig1"]
 
 
 def run_fig1(config: ExperimentConfig = QUICK,
-             phy: Optional[PhyParameters] = None) -> ExperimentResult:
+             phy: Optional[PhyParameters] = None,
+             executor: Optional[CampaignExecutor] = None) -> ExperimentResult:
     """Reproduce Figure 1 (throughput vs N for 802.11/IdleSense, +- hidden)."""
+    executor = executor or default_executor()
     columns = (
         "IdleSense (no hidden)",
         "802.11 (no hidden)",
         "802.11 (hidden)",
         "IdleSense (hidden)",
     )
-    rows = []
+    specs = {
+        "IdleSense (no hidden)": SchemeSpec.make("idlesense"),
+        "802.11 (no hidden)": SchemeSpec.make("standard-802.11"),
+        "802.11 (hidden)": SchemeSpec.make("standard-802.11"),
+        "IdleSense (hidden)": SchemeSpec.make("idlesense"),
+    }
+
+    tasks, keys = [], []
     for num_stations in config.node_counts:
-        values = {}
-        # Fully connected cases: slotted simulator.
-        for name, factory in (
-            ("IdleSense (no hidden)", lambda: idlesense_scheme(phy)),
-            ("802.11 (no hidden)", lambda: standard_80211_scheme(phy)),
-        ):
-            results = [
-                run_scheme_connected(factory, num_stations, config, seed, phy=phy)
-                for seed in config.seeds
-            ]
-            values[name] = average_throughput_mbps(results)
-        # Hidden-node cases: event-driven simulator on random disc placements.
-        for name, factory in (
-            ("802.11 (hidden)", lambda: standard_80211_scheme(phy)),
-            ("IdleSense (hidden)", lambda: idlesense_scheme(phy)),
-        ):
-            results = []
+        for name in columns:
+            hidden = "(hidden)" in name
             for seed in config.seeds:
-                topology = make_hidden_topology(
-                    num_stations, config.hidden_disc_radius_small, seed
-                )
-                results.append(
-                    run_scheme_on_topology(factory, topology, config, seed, phy=phy)
-                )
-            values[name] = average_throughput_mbps(results)
-        rows.append(ExperimentRow(label=f"N={num_stations}", values=values))
+                label = f"fig1/{name}/N={num_stations}/seed={seed}"
+                if hidden:
+                    # Hidden-node cases: event-driven simulator on random
+                    # disc placements, one placement per seed.
+                    task = hidden_task(
+                        specs[name], num_stations,
+                        config.hidden_disc_radius_small, seed,
+                        config, seed, phy=phy, label=label,
+                    )
+                else:
+                    # Fully connected cases: slotted simulator.
+                    task = connected_task(
+                        specs[name], num_stations, config, seed,
+                        phy=phy, label=label,
+                    )
+                tasks.append(task)
+                keys.append((name, num_stations))
+    grouped = group_results(keys, executor.run(tasks))
+
+    rows = [
+        ExperimentRow(
+            label=f"N={num_stations}",
+            values={
+                name: average_throughput_mbps(grouped[(name, num_stations)])
+                for name in columns
+            },
+        )
+        for num_stations in config.node_counts
+    ]
     return ExperimentResult(
         name="Figure 1",
         description=(

@@ -14,14 +14,16 @@ from typing import Optional, Sequence
 
 from ..analysis.quasiconcavity import check_quasiconcavity
 from ..analysis.randomreset import randomreset_throughput
-from ..mac.schemes import fixed_randomreset_scheme
 from ..phy.constants import PhyParameters
+from .campaign import CampaignExecutor, SchemeSpec
 from .config import ExperimentConfig, QUICK
 from .runner import (
     ExperimentResult,
     ExperimentRow,
     average_throughput_mbps,
-    run_scheme_connected,
+    connected_task,
+    default_executor,
+    group_results,
 )
 
 __all__ = ["run_fig13"]
@@ -34,14 +36,29 @@ def run_fig13(
     reset_probabilities: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
     stage: int = 0,
     simulate: bool = True,
+    executor: Optional[CampaignExecutor] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 13 (RandomReset p0 sweep, fully connected)."""
+    executor = executor or default_executor()
     phy = phy or PhyParameters()
     columns = []
     for n in node_counts:
         columns.append(f"analytic N={n}")
         if simulate:
             columns.append(f"simulated N={n}")
+
+    tasks, keys = [], []
+    if simulate:
+        for p0 in reset_probabilities:
+            for n in node_counts:
+                for seed in config.seeds:
+                    tasks.append(connected_task(
+                        SchemeSpec.make("fixed-randomreset", stage=stage, p0=p0),
+                        n, config, seed, phy=phy,
+                        label=f"fig13/p0={float(p0):.2f}/N={n}/seed={seed}",
+                    ))
+                    keys.append((float(p0), n))
+    grouped = group_results(keys, executor.run(tasks))
 
     curves = {column: [] for column in columns}
     rows = []
@@ -52,14 +69,7 @@ def run_fig13(
             values[f"analytic N={n}"] = analytic
             curves[f"analytic N={n}"].append(analytic)
             if simulate:
-                results = [
-                    run_scheme_connected(
-                        lambda p0=p0: fixed_randomreset_scheme(stage, p0, phy),
-                        n, config, seed, phy=phy,
-                    )
-                    for seed in config.seeds
-                ]
-                simulated = average_throughput_mbps(results)
+                simulated = average_throughput_mbps(grouped[(float(p0), n)])
                 values[f"simulated N={n}"] = simulated
                 curves[f"simulated N={n}"].append(simulated)
         rows.append(ExperimentRow(label=f"p0={p0:.2f}", values=values))

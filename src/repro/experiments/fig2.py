@@ -15,14 +15,16 @@ import numpy as np
 
 from ..analysis.persistent import system_throughput_weighted
 from ..analysis.quasiconcavity import check_quasiconcavity
-from ..mac.schemes import fixed_p_persistent_scheme
 from ..phy.constants import PhyParameters
+from .campaign import CampaignExecutor, SchemeSpec
 from .config import ExperimentConfig, QUICK
 from .runner import (
     ExperimentResult,
     ExperimentRow,
     average_throughput_mbps,
-    run_scheme_connected,
+    connected_task,
+    default_executor,
+    group_results,
 )
 
 __all__ = ["run_fig2", "default_probability_grid"]
@@ -43,8 +45,10 @@ def run_fig2(
     node_counts: Sequence[int] = (20, 40),
     probabilities: Optional[Sequence[float]] = None,
     simulate: bool = True,
+    executor: Optional[CampaignExecutor] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 2 (throughput vs attempt probability, connected)."""
+    executor = executor or default_executor()
     phy = phy or PhyParameters()
     probabilities = tuple(probabilities or default_probability_grid())
     columns = []
@@ -52,6 +56,18 @@ def run_fig2(
         columns.append(f"analytic N={n}")
         if simulate:
             columns.append(f"simulated N={n}")
+
+    tasks, keys = [], []
+    if simulate:
+        for p in probabilities:
+            for n in node_counts:
+                for seed in config.seeds:
+                    tasks.append(connected_task(
+                        SchemeSpec.make("fixed-p", p=p), n, config, seed,
+                        phy=phy, label=f"fig2/p={float(p):.6g}/N={n}/seed={seed}",
+                    ))
+                    keys.append((float(p), n))
+    grouped = group_results(keys, executor.run(tasks))
 
     rows = []
     curves = {}
@@ -62,13 +78,7 @@ def run_fig2(
             values[f"analytic N={n}"] = analytic
             curves.setdefault(f"analytic N={n}", []).append(analytic)
             if simulate:
-                results = [
-                    run_scheme_connected(
-                        lambda p=p: fixed_p_persistent_scheme(p), n, config, seed, phy=phy
-                    )
-                    for seed in config.seeds
-                ]
-                simulated = average_throughput_mbps(results)
+                simulated = average_throughput_mbps(grouped[(float(p), n)])
                 values[f"simulated N={n}"] = simulated
                 curves.setdefault(f"simulated N={n}", []).append(simulated)
         rows.append(ExperimentRow(label=f"log(p)={np.log(p):.2f}", values=values))

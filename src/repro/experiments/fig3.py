@@ -11,13 +11,16 @@ from typing import Optional
 
 from ..analysis.persistent import optimal_attempt_probability, system_throughput_weighted
 from ..phy.constants import PhyParameters
+from .campaign import CampaignExecutor
 from .config import ExperimentConfig, QUICK
 from .runner import (
     ExperimentResult,
     ExperimentRow,
     average_throughput_mbps,
-    paper_scheme_factories,
-    run_scheme_connected,
+    connected_task,
+    default_executor,
+    group_results,
+    paper_scheme_specs,
 )
 
 __all__ = ["run_fig3"]
@@ -25,23 +28,33 @@ __all__ = ["run_fig3"]
 
 def run_fig3(config: ExperimentConfig = QUICK,
              phy: Optional[PhyParameters] = None,
-             include_optimum: bool = True) -> ExperimentResult:
+             include_optimum: bool = True,
+             executor: Optional[CampaignExecutor] = None) -> ExperimentResult:
     """Reproduce Figure 3 (scheme comparison, fully connected)."""
+    executor = executor or default_executor()
     phy_obj = phy or PhyParameters()
-    factories = paper_scheme_factories(config, phy)
-    columns = list(factories.keys())
+    specs = paper_scheme_specs(config)
+    columns = list(specs.keys())
     if include_optimum:
         columns.append("Analytic optimum")
 
+    tasks, keys = [], []
+    for num_stations in config.node_counts:
+        for name, spec in specs.items():
+            for seed in config.seeds:
+                tasks.append(connected_task(
+                    spec, num_stations, config, seed, phy=phy,
+                    label=f"fig3/{name}/N={num_stations}/seed={seed}",
+                ))
+                keys.append((name, num_stations))
+    grouped = group_results(keys, executor.run(tasks))
+
     rows = []
     for num_stations in config.node_counts:
-        values = {}
-        for name, factory in factories.items():
-            results = [
-                run_scheme_connected(factory, num_stations, config, seed, phy=phy)
-                for seed in config.seeds
-            ]
-            values[name] = average_throughput_mbps(results)
+        values = {
+            name: average_throughput_mbps(grouped[(name, num_stations)])
+            for name in specs
+        }
         if include_optimum:
             p_star = optimal_attempt_probability(num_stations, phy_obj)
             values["Analytic optimum"] = (

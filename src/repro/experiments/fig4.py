@@ -15,16 +15,17 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.quasiconcavity import check_quasiconcavity
-from ..mac.schemes import fixed_p_persistent_scheme
 from ..phy.constants import PhyParameters
+from .campaign import CampaignExecutor, SchemeSpec
 from .config import ExperimentConfig, QUICK
 from .fig2 import default_probability_grid
 from .runner import (
     ExperimentResult,
     ExperimentRow,
     average_throughput_mbps,
-    make_hidden_topology,
-    run_scheme_on_topology,
+    default_executor,
+    group_results,
+    hidden_task,
 )
 
 __all__ = ["run_fig4"]
@@ -36,12 +37,14 @@ def run_fig4(
     node_counts: Sequence[int] = (20, 40),
     probabilities: Optional[Sequence[float]] = None,
     topology_seeds: Sequence[int] = (11, 12),
+    executor: Optional[CampaignExecutor] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 4 (p-persistent sweep with hidden nodes).
 
     ``topology_seeds`` picks the random hidden-node placements; the paper
     similarly shows two scenarios per node count.
     """
+    executor = executor or default_executor()
     phy = phy or PhyParameters()
     probabilities = tuple(probabilities or default_probability_grid(9))
     columns = [
@@ -51,23 +54,31 @@ def run_fig4(
     ]
     curves = {column: [] for column in columns}
 
+    tasks, keys = [], []
+    for p in probabilities:
+        for n in node_counts:
+            for scenario_index, topo_seed in enumerate(topology_seeds):
+                column = f"N={n} scenario {scenario_index + 1}"
+                for seed in config.seeds:
+                    tasks.append(hidden_task(
+                        SchemeSpec.make("fixed-p", p=p), n,
+                        config.hidden_disc_radius_small, topo_seed,
+                        config, seed, phy=phy,
+                        label=(
+                            f"fig4/p={float(p):.6g}/N={n}"
+                            f"/scenario={scenario_index + 1}/seed={seed}"
+                        ),
+                    ))
+                    keys.append((float(p), column))
+    grouped = group_results(keys, executor.run(tasks))
+
     rows = []
     for p in probabilities:
         values = {}
         for n in node_counts:
-            for scenario_index, topo_seed in enumerate(topology_seeds):
+            for scenario_index in range(len(topology_seeds)):
                 column = f"N={n} scenario {scenario_index + 1}"
-                topology = make_hidden_topology(
-                    n, config.hidden_disc_radius_small, topo_seed
-                )
-                results = [
-                    run_scheme_on_topology(
-                        lambda p=p: fixed_p_persistent_scheme(p),
-                        topology, config, seed, phy=phy,
-                    )
-                    for seed in config.seeds
-                ]
-                value = average_throughput_mbps(results)
+                value = average_throughput_mbps(grouped[(float(p), column)])
                 values[column] = value
                 curves[column].append(value)
         rows.append(ExperimentRow(label=f"log(p)={np.log(p):.2f}", values=values))

@@ -14,15 +14,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..analysis.quasiconcavity import check_quasiconcavity
-from ..mac.schemes import fixed_randomreset_scheme
 from ..phy.constants import PhyParameters
+from .campaign import CampaignExecutor, SchemeSpec
 from .config import ExperimentConfig, QUICK
 from .runner import (
     ExperimentResult,
     ExperimentRow,
     average_throughput_mbps,
-    make_hidden_topology,
-    run_scheme_on_topology,
+    default_executor,
+    group_results,
+    hidden_task,
 )
 
 __all__ = ["run_fig5"]
@@ -35,8 +36,10 @@ def run_fig5(
     reset_probabilities: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
     stage: int = 0,
     topology_seeds: Sequence[int] = (11, 12),
+    executor: Optional[CampaignExecutor] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 5 (RandomReset p0 sweep with hidden nodes)."""
+    executor = executor or default_executor()
     phy = phy or PhyParameters()
     columns = [
         f"N={n} scenario {scenario_index + 1}"
@@ -45,23 +48,31 @@ def run_fig5(
     ]
     curves = {column: [] for column in columns}
 
+    tasks, keys = [], []
+    for p0 in reset_probabilities:
+        for n in node_counts:
+            for scenario_index, topo_seed in enumerate(topology_seeds):
+                column = f"N={n} scenario {scenario_index + 1}"
+                for seed in config.seeds:
+                    tasks.append(hidden_task(
+                        SchemeSpec.make("fixed-randomreset", stage=stage, p0=p0),
+                        n, config.hidden_disc_radius_small, topo_seed,
+                        config, seed, phy=phy,
+                        label=(
+                            f"fig5/p0={float(p0):.2f}/N={n}"
+                            f"/scenario={scenario_index + 1}/seed={seed}"
+                        ),
+                    ))
+                    keys.append((float(p0), column))
+    grouped = group_results(keys, executor.run(tasks))
+
     rows = []
     for p0 in reset_probabilities:
         values = {}
         for n in node_counts:
-            for scenario_index, topo_seed in enumerate(topology_seeds):
+            for scenario_index in range(len(topology_seeds)):
                 column = f"N={n} scenario {scenario_index + 1}"
-                topology = make_hidden_topology(
-                    n, config.hidden_disc_radius_small, topo_seed
-                )
-                results = [
-                    run_scheme_on_topology(
-                        lambda p0=p0: fixed_randomreset_scheme(stage, p0, phy),
-                        topology, config, seed, phy=phy,
-                    )
-                    for seed in config.seeds
-                ]
-                value = average_throughput_mbps(results)
+                value = average_throughput_mbps(grouped[(float(p0), column)])
                 values[column] = value
                 curves[column].append(value)
         rows.append(ExperimentRow(label=f"p0={p0:.2f}", values=values))

@@ -12,14 +12,16 @@ from __future__ import annotations
 from typing import Optional
 
 from ..phy.constants import PhyParameters
+from .campaign import CampaignExecutor
 from .config import ExperimentConfig, QUICK
 from .runner import (
     ExperimentResult,
     ExperimentRow,
     average_throughput_mbps,
-    make_hidden_topology,
-    paper_scheme_factories,
-    run_scheme_on_topology,
+    default_executor,
+    group_results,
+    hidden_task,
+    paper_scheme_specs,
 )
 
 __all__ = ["run_fig6", "run_fig7", "run_hidden_comparison"]
@@ -27,28 +29,43 @@ __all__ = ["run_fig6", "run_fig7", "run_hidden_comparison"]
 
 def run_hidden_comparison(radius: float, name: str,
                           config: ExperimentConfig = QUICK,
-                          phy: Optional[PhyParameters] = None) -> ExperimentResult:
+                          phy: Optional[PhyParameters] = None,
+                          executor: Optional[CampaignExecutor] = None
+                          ) -> ExperimentResult:
     """Scheme comparison on hidden-node topologies of the given disc radius."""
-    factories = paper_scheme_factories(config, phy)
-    rows = []
+    executor = executor or default_executor()
+    specs = paper_scheme_specs(config)
+
+    tasks, keys = [], []
     for num_stations in config.node_counts:
-        values = {}
-        for scheme_name, factory in factories.items():
-            results = []
+        for scheme_name, spec in specs.items():
             for seed in config.seeds:
-                topology = make_hidden_topology(num_stations, radius, seed)
-                results.append(
-                    run_scheme_on_topology(factory, topology, config, seed, phy=phy)
+                tasks.append(hidden_task(
+                    spec, num_stations, radius, seed, config, seed, phy=phy,
+                    label=f"{name}/{scheme_name}/N={num_stations}/seed={seed}",
+                ))
+                keys.append((scheme_name, num_stations))
+    grouped = group_results(keys, executor.run(tasks))
+
+    rows = [
+        ExperimentRow(
+            label=f"N={num_stations}",
+            values={
+                scheme_name: average_throughput_mbps(
+                    grouped[(scheme_name, num_stations)]
                 )
-            values[scheme_name] = average_throughput_mbps(results)
-        rows.append(ExperimentRow(label=f"N={num_stations}", values=values))
+                for scheme_name in specs
+            },
+        )
+        for num_stations in config.node_counts
+    ]
     return ExperimentResult(
         name=name,
         description=(
             f"Throughput (Mbps) vs number of stations, nodes uniform in a disc "
             f"of radius {radius:g} (hidden nodes present)"
         ),
-        columns=tuple(factories.keys()),
+        columns=tuple(specs.keys()),
         rows=tuple(rows),
         metadata={
             "disc_radius": radius,
@@ -61,16 +78,18 @@ def run_hidden_comparison(radius: float, name: str,
 
 
 def run_fig6(config: ExperimentConfig = QUICK,
-             phy: Optional[PhyParameters] = None) -> ExperimentResult:
+             phy: Optional[PhyParameters] = None,
+             executor: Optional[CampaignExecutor] = None) -> ExperimentResult:
     """Reproduce Figure 6 (disc radius 16)."""
     return run_hidden_comparison(
-        config.hidden_disc_radius_small, "Figure 6", config, phy
+        config.hidden_disc_radius_small, "Figure 6", config, phy, executor
     )
 
 
 def run_fig7(config: ExperimentConfig = QUICK,
-             phy: Optional[PhyParameters] = None) -> ExperimentResult:
+             phy: Optional[PhyParameters] = None,
+             executor: Optional[CampaignExecutor] = None) -> ExperimentResult:
     """Reproduce Figure 7 (disc radius 20)."""
     return run_hidden_comparison(
-        config.hidden_disc_radius_large, "Figure 7", config, phy
+        config.hidden_disc_radius_large, "Figure 7", config, phy, executor
     )

@@ -16,16 +16,16 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from ..mac.schemes import wtop_csma_scheme
 from ..phy.constants import PhyParameters
 from ..sim.dynamics import ActivitySchedule, step_activity
+from .campaign import CampaignExecutor, SchemeSpec
 from .config import ExperimentConfig, QUICK
 from .runner import (
     ExperimentResult,
     ExperimentRow,
-    make_hidden_topology,
-    run_scheme_connected,
-    run_scheme_on_topology,
+    connected_task,
+    default_executor,
+    hidden_task,
 )
 
 __all__ = ["run_fig8_9", "default_station_steps"]
@@ -49,6 +49,7 @@ def run_fig8_9(
     phy: Optional[PhyParameters] = None,
     include_hidden: bool = False,
     seed: int = 1,
+    executor: Optional[CampaignExecutor] = None,
 ) -> ExperimentResult:
     """Reproduce Figures 8 and 9 (wTOP-CSMA dynamics).
 
@@ -56,27 +57,29 @@ def run_fig8_9(
     advertised attempt probability and the active station count, for the
     no-hidden case and (optionally) a hidden-node case.
     """
+    executor = executor or default_executor()
     schedule = default_station_steps(config.dynamic_segment_duration)
     total_duration = config.dynamic_segment_duration * len(schedule.breakpoints)
-    factory = lambda: wtop_csma_scheme(phy, update_period=config.update_period)
+    spec = SchemeSpec.make("wtop-csma", update_period=config.update_period)
 
     dynamic_config = config.evolve(
         measure_duration=total_duration, adaptive_warmup=0.0, warmup=0.0
     )
-    connected = run_scheme_connected(
-        factory, schedule.max_active, dynamic_config, seed, phy=phy,
-        activity=schedule, report_interval=config.report_interval,
-    )
-
-    hidden = None
+    tasks = [connected_task(
+        spec, schedule.max_active, dynamic_config, seed, phy=phy,
+        activity=schedule.breakpoints, report_interval=config.report_interval,
+        label=f"fig8_9/connected/seed={seed}",
+    )]
     if include_hidden:
-        topology = make_hidden_topology(
-            schedule.max_active, config.hidden_disc_radius_small, seed
-        )
-        hidden = run_scheme_on_topology(
-            factory, topology, dynamic_config, seed, phy=phy,
-            activity=schedule, report_interval=config.report_interval,
-        )
+        tasks.append(hidden_task(
+            spec, schedule.max_active, config.hidden_disc_radius_small, seed,
+            dynamic_config, seed, phy=phy,
+            activity=schedule.breakpoints, report_interval=config.report_interval,
+            label=f"fig8_9/hidden/seed={seed}",
+        ))
+    results = executor.run(tasks)
+    connected = results[0]
+    hidden = results[1] if include_hidden else None
 
     columns = ["throughput (no hidden)", "p (no hidden)", "active stations"]
     if hidden is not None:

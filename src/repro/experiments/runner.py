@@ -4,13 +4,18 @@ The runners all need the same few operations:
 
 * build the paper's topologies (ring of radius 8, or uniform disc of radius
   16/20) for a given node count and seed;
-* run one MAC scheme on a topology with the right simulator (slotted for
-  fully connected topologies, event-driven whenever hidden nodes can exist);
-* average throughput over seeds;
-* express results as plain rows that the reporting module can format.
+* describe one MAC-scheme-on-topology simulation as a declarative
+  :class:`~repro.experiments.campaign.RunTask` (:func:`connected_task`,
+  :func:`hidden_task`) so whole figures execute through a
+  :class:`~repro.experiments.campaign.CampaignExecutor` — in parallel and
+  with result caching;
+* run one such cell directly (:func:`run_scheme_connected`,
+  :func:`run_scheme_on_topology`) for interactive/benchmark use;
+* average throughput over seeds and express results as plain rows that the
+  reporting module can format.
 
 Keeping this logic in one place guarantees that every figure uses identical
-measurement methodology.
+measurement methodology, whichever execution path it takes.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from ..sim.simulation import WlanSimulation
 from ..sim.slotted import SlottedSimulator
 from ..topology.graph import ConnectivityGraph
 from ..topology.scenarios import fully_connected_scenario, hidden_node_scenario
+from .campaign import CampaignExecutor, RunTask, SchemeSpec, TopologySpec
 from .config import ExperimentConfig
 
 __all__ = [
@@ -40,6 +46,11 @@ __all__ = [
     "run_scheme_on_topology",
     "average_throughput_mbps",
     "paper_scheme_factories",
+    "paper_scheme_specs",
+    "connected_task",
+    "hidden_task",
+    "group_results",
+    "default_executor",
 ]
 
 #: A callable producing a fresh Scheme (schemes hold mutable controllers, so
@@ -100,11 +111,86 @@ def make_hidden_topology(num_stations: int, radius: float,
 
 
 # ----------------------------------------------------------------------
+# Campaign task construction
+# ----------------------------------------------------------------------
+def default_executor() -> CampaignExecutor:
+    """Serial, cache-less executor used when a runner gets none injected."""
+    return CampaignExecutor(jobs=1)
+
+
+def connected_task(
+    spec: SchemeSpec,
+    num_stations: int,
+    config: ExperimentConfig,
+    seed: int,
+    phy: Optional[PhyParameters] = None,
+    activity: Optional[Sequence[Tuple[float, int]]] = None,
+    report_interval: Optional[float] = None,
+    label: str = "",
+) -> RunTask:
+    """Task for one scheme on a fully connected network (slotted simulator)."""
+    duration, warmup = config.durations_for(spec.adaptive)
+    return RunTask(
+        scheme=spec,
+        topology=TopologySpec.connected(num_stations),
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+        report_interval=report_interval,
+        activity=tuple(activity) if activity is not None else None,
+        phy=phy,
+        label=label,
+    )
+
+
+def hidden_task(
+    spec: SchemeSpec,
+    num_stations: int,
+    radius: float,
+    topology_seed: int,
+    config: ExperimentConfig,
+    seed: int,
+    phy: Optional[PhyParameters] = None,
+    activity: Optional[Sequence[Tuple[float, int]]] = None,
+    report_interval: Optional[float] = None,
+    label: str = "",
+) -> RunTask:
+    """Task for one scheme on a hidden-node disc (event-driven simulator)."""
+    duration, warmup = config.durations_for(spec.adaptive)
+    return RunTask(
+        scheme=spec,
+        topology=TopologySpec.hidden_disc(num_stations, radius, topology_seed),
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+        report_interval=report_interval,
+        activity=tuple(activity) if activity is not None else None,
+        phy=phy,
+        label=label,
+    )
+
+
+def group_results(
+    keys: Sequence[object], results: Sequence[SimulationResult]
+) -> Dict[object, List[SimulationResult]]:
+    """Re-group a flat campaign result list by the caller's cell keys.
+
+    The runners submit their whole figure grid as one flat task list (so the
+    executor can parallelise across every cell at once) and tag each task
+    with a key such as ``(column, num_stations)``; this folds the flat result
+    list back into per-cell buckets, preserving submission order within each.
+    """
+    grouped: Dict[object, List[SimulationResult]] = {}
+    for key, result in zip(keys, results):
+        grouped.setdefault(key, []).append(result)
+    return grouped
+
+
+# ----------------------------------------------------------------------
 # Simulation execution helpers
 # ----------------------------------------------------------------------
 def _durations_for(scheme: Scheme, config: ExperimentConfig) -> Tuple[float, float]:
-    warmup = config.adaptive_warmup if scheme.adaptive else config.warmup
-    return config.measure_duration, warmup
+    return config.durations_for(scheme.adaptive)
 
 
 def run_scheme_connected(
@@ -179,4 +265,23 @@ def paper_scheme_factories(config: ExperimentConfig,
         "IdleSense": lambda: idlesense_scheme(phy),
         "wTOP-CSMA": lambda: wtop_csma_scheme(phy, update_period=config.update_period),
         "TORA-CSMA": lambda: tora_csma_scheme(phy, update_period=config.update_period),
+    }
+
+
+def paper_scheme_specs(config: ExperimentConfig) -> Dict[str, SchemeSpec]:
+    """Declarative counterparts of :func:`paper_scheme_factories`.
+
+    These build the same four schemes (the PHY is supplied by the task that
+    embeds the spec), but as picklable descriptors the campaign engine can
+    hash, cache and ship to worker processes.
+    """
+    return {
+        "Standard 802.11": SchemeSpec.make("standard-802.11"),
+        "IdleSense": SchemeSpec.make("idlesense"),
+        "wTOP-CSMA": SchemeSpec.make(
+            "wtop-csma", update_period=config.update_period
+        ),
+        "TORA-CSMA": SchemeSpec.make(
+            "tora-csma", update_period=config.update_period
+        ),
     }

@@ -14,10 +14,15 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.fairness import weighted_fairness_report
-from ..mac.schemes import wtop_csma_scheme
 from ..phy.constants import PhyParameters
+from .campaign import CampaignExecutor, SchemeSpec
 from .config import ExperimentConfig, QUICK
-from .runner import ExperimentResult, ExperimentRow, run_scheme_connected
+from .runner import (
+    ExperimentResult,
+    ExperimentRow,
+    connected_task,
+    default_executor,
+)
 
 __all__ = ["run_table2", "PAPER_WEIGHTS"]
 
@@ -30,13 +35,18 @@ def run_table2(
     phy: Optional[PhyParameters] = None,
     weights: Sequence[float] = PAPER_WEIGHTS,
     seed: int = 1,
+    executor: Optional[CampaignExecutor] = None,
 ) -> ExperimentResult:
     """Reproduce Table II (per-station weighted fairness under wTOP-CSMA)."""
+    executor = executor or default_executor()
     weights = tuple(float(w) for w in weights)
-    factory = lambda: wtop_csma_scheme(
-        phy, weights=weights, update_period=config.update_period
+    spec = SchemeSpec.make(
+        "wtop-csma", weights=weights, update_period=config.update_period
     )
-    result = run_scheme_connected(factory, len(weights), config, seed, phy=phy)
+    [result] = executor.run([connected_task(
+        spec, len(weights), config, seed, phy=phy,
+        label=f"table2/seed={seed}",
+    )])
     report = weighted_fairness_report(result.per_station_throughput_bps, weights)
 
     rows = [

@@ -20,59 +20,35 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
-from ..mac.idlesense import IdleSenseBackoff
-from ..mac.schemes import idlesense_scheme, wtop_csma_scheme
 from ..phy.constants import PhyParameters
-from ..sim.simulation import WlanSimulation
-from ..sim.slotted import SlottedSimulator
+from ..sim.metrics import SimulationResult
+from .campaign import CampaignExecutor, SchemeSpec
 from .config import ExperimentConfig, QUICK
 from .runner import (
     ExperimentResult,
     ExperimentRow,
-    make_connected_topology,
-    make_hidden_topology,
+    connected_task,
+    default_executor,
+    group_results,
+    hidden_task,
 )
 
 __all__ = ["run_table3"]
 
 
-def _station_observed_idle(policies) -> float:
-    """Mean of the per-station observed idle averages (IdleSense stations)."""
-    observed = [
-        policy.observed_average_idle_slots()
-        for policy in policies
-        if isinstance(policy, IdleSenseBackoff)
-        and policy.observed_average_idle_slots() is not None
-    ]
-    if not observed:
-        return float("nan")
-    return float(np.mean(observed))
+def _idle_metric(result: SimulationResult) -> float:
+    """The idle-slot figure reported for one case.
 
-
-def _run_case(scheme_factory, topology, config: ExperimentConfig,
-              phy: Optional[PhyParameters], seed: int, connected: bool):
-    scheme = scheme_factory()
-    warmup = config.adaptive_warmup if scheme.adaptive else config.warmup
-    if connected:
-        simulator = SlottedSimulator(
-            scheme, num_stations=topology.num_stations, phy=phy, seed=seed
-        )
-        result = simulator.run(duration=config.measure_duration, warmup=warmup)
-        policies = simulator.policies
-    else:
-        simulation = WlanSimulation(
-            scheme=scheme, connectivity=topology, phy=phy, seed=seed
-        )
-        result = simulation.run(duration=config.measure_duration, warmup=warmup)
-        policies = simulation.policies
-    station_idle = _station_observed_idle(policies)
-    idle_metric = (
-        station_idle if not np.isnan(station_idle)
-        else result.average_idle_slots_per_transmission
-    )
-    return result, idle_metric
+    ``station_observed_idle`` is the mean of the per-station observed idle
+    averages — :func:`~repro.experiments.campaign.execute_task` annotates it
+    whenever the scheme's stations (IdleSense) track one, because that is the
+    quantity the AIMD law actually regulates.  Other schemes fall back to the
+    system-level contention idle slots measured at the channel.
+    """
+    station_idle = result.extra.get("station_observed_idle")
+    if station_idle is not None:
+        return float(station_idle)
+    return result.average_idle_slots_per_transmission
 
 
 def run_table3(
@@ -81,8 +57,10 @@ def run_table3(
     num_stations: int = 40,
     hidden_case_seeds: Sequence[int] = (11, 12),
     seed: int = 1,
+    executor: Optional[CampaignExecutor] = None,
 ) -> ExperimentResult:
     """Reproduce Table III (idle slots and throughput, 40 stations)."""
+    executor = executor or default_executor()
     cases = [("Without hidden nodes", None)]
     cases.extend(
         (f"With hidden nodes (case {index + 1})", topo_seed)
@@ -90,25 +68,35 @@ def run_table3(
     )
 
     schemes = {
-        "IdleSense": lambda: idlesense_scheme(phy),
-        "wTOP-CSMA": lambda: wtop_csma_scheme(phy, update_period=config.update_period),
+        "IdleSense": SchemeSpec.make("idlesense"),
+        "wTOP-CSMA": SchemeSpec.make(
+            "wtop-csma", update_period=config.update_period
+        ),
     }
 
-    rows = []
+    tasks, keys = [], []
     for case_label, topo_seed in cases:
-        connected = topo_seed is None
-        if connected:
-            topology = make_connected_topology(num_stations)
-        else:
-            topology = make_hidden_topology(
-                num_stations, config.hidden_disc_radius_small, topo_seed
-            )
+        for scheme_name, spec in schemes.items():
+            label = f"table3/{case_label}/{scheme_name}/seed={seed}"
+            if topo_seed is None:
+                task = connected_task(
+                    spec, num_stations, config, seed, phy=phy, label=label
+                )
+            else:
+                task = hidden_task(
+                    spec, num_stations, config.hidden_disc_radius_small,
+                    topo_seed, config, seed, phy=phy, label=label,
+                )
+            tasks.append(task)
+            keys.append((case_label, scheme_name))
+    grouped = group_results(keys, executor.run(tasks))
+
+    rows = []
+    for case_label, _topo_seed in cases:
         values = {}
-        for scheme_name, factory in schemes.items():
-            result, idle_metric = _run_case(
-                factory, topology, config, phy, seed, connected
-            )
-            values[f"{scheme_name} idle slots"] = idle_metric
+        for scheme_name in schemes:
+            [result] = grouped[(case_label, scheme_name)]
+            values[f"{scheme_name} idle slots"] = _idle_metric(result)
             values[f"{scheme_name} throughput (Mbps)"] = result.total_throughput_mbps
         rows.append(ExperimentRow(label=case_label, values=values))
 

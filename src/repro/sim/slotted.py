@@ -191,7 +191,15 @@ class SlottedSimulator:
                 metrics.reset()
                 bits_at_last_report = 0
                 cumulative_bits = 0
-                report_at = self._report_interval if self._report_interval else math.inf
+                # Anchor the reporting grid at the warmup boundary itself:
+                # `now` may have overshot it by part of a busy slot, and that
+                # overshoot must count against the first reporting interval or
+                # the entire timeline shifts late and the final sample (at
+                # warmup + duration) is silently dropped.
+                if self._report_interval:
+                    report_at = self._report_interval - (now - warmup)
+                else:
+                    report_at = math.inf
 
             window = counters[:active]
             min_counter = int(window.min()) if active > 0 else 0
@@ -216,7 +224,8 @@ class SlottedSimulator:
                     report_at -= advance * sigma
                     if report_at <= 0:
                         report_at = self._sample_reports(
-                            metrics, now, cumulative_bits, bits_at_last_report
+                            metrics, now, cumulative_bits, bits_at_last_report,
+                            report_at,
                         )
                         bits_at_last_report = cumulative_bits
                 if now >= next_tick:
@@ -275,7 +284,7 @@ class SlottedSimulator:
 
             if measuring and report_at <= 0:
                 report_at = self._sample_reports(
-                    metrics, now, cumulative_bits, bits_at_last_report
+                    metrics, now, cumulative_bits, bits_at_last_report, report_at
                 )
                 bits_at_last_report = cumulative_bits
 
@@ -309,15 +318,22 @@ class SlottedSimulator:
             counters[station] = policy.initial_backoff(self._rng)
 
     def _sample_reports(self, metrics: MetricsCollector, now: float,
-                        cumulative_bits: int, bits_at_last_report: int) -> float:
-        """Record timeline samples and return the refreshed report countdown."""
+                        cumulative_bits: int, bits_at_last_report: int,
+                        deficit: float = 0.0) -> float:
+        """Record timeline samples and return the refreshed report countdown.
+
+        ``deficit`` is the (non-positive) remainder of the countdown at the
+        moment the sample fired; crediting it against the next interval keeps
+        the samples anchored to the ``warmup + k * report_interval`` grid
+        instead of drifting later by one busy slot per sample.
+        """
         interval = self._report_interval or 0.0
         delta_bits = cumulative_bits - bits_at_last_report
         metrics.record_throughput_sample(now, delta_bits / interval if interval else 0.0)
         control_value = _primary_control_value(self._controller.control())
         if control_value is not None:
             metrics.record_control_sample(now, control_value)
-        return interval
+        return interval + deficit
 
 
 def run_slotted(

@@ -1,0 +1,345 @@
+"""Tests for the parallel experiment campaign engine.
+
+The load-bearing guarantees:
+
+* a task is a pure value — executing it serially, in a process pool, or
+  loading it from the on-disk cache yields bit-identical results;
+* task hashes are stable, label-independent and sensitive to everything
+  that affects the simulation;
+* sweep expansion derives per-cell seeds deterministically.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignExecutor,
+    ResultCache,
+    RunTask,
+    SchemeSpec,
+    SweepSpec,
+    TopologySpec,
+    derive_seed,
+    execute_task,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.campaign import executor as executor_module
+from repro.phy.constants import PhyParameters
+
+
+def _quick_task(seed=1, num_stations=4, duration=0.25, **overrides):
+    defaults = dict(
+        scheme=SchemeSpec.make("standard-802.11"),
+        topology=TopologySpec.connected(num_stations),
+        seed=seed,
+        duration=duration,
+        warmup=0.05,
+        phy=PhyParameters(),
+    )
+    defaults.update(overrides)
+    return RunTask(**defaults)
+
+
+class TestSchemeSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SchemeSpec.make("carrier-pigeon")
+
+    def test_params_are_order_independent(self):
+        a = SchemeSpec.make("wtop-csma", update_period=0.05, initial_control=0.4)
+        b = SchemeSpec.make("wtop-csma", initial_control=0.4, update_period=0.05)
+        assert a == b
+
+    def test_numpy_scalars_normalised(self):
+        a = SchemeSpec.make("fixed-p", p=np.float64(0.02))
+        b = SchemeSpec.make("fixed-p", p=0.02)
+        assert a == b
+
+    def test_adaptive_flag(self):
+        assert SchemeSpec.make("idlesense").adaptive
+        assert SchemeSpec.make("tora-csma").adaptive
+        assert not SchemeSpec.make("standard-802.11").adaptive
+        assert not SchemeSpec.make("fixed-p", p=0.1).adaptive
+
+    def test_build_produces_fresh_schemes(self, phy):
+        spec = SchemeSpec.make("wtop-csma", update_period=0.05)
+        assert spec.build(phy).make_controller() is not spec.build(phy).make_controller()
+
+    def test_build_with_weights(self, phy):
+        spec = SchemeSpec.make("wtop-csma", weights=(1.0, 2.0), update_period=0.05)
+        policies = spec.build(phy).make_policies(2)
+        assert policies[0].weight != policies[1].weight
+
+
+class TestTopologySpec:
+    def test_connected_builds_fully_connected(self):
+        assert TopologySpec.connected(6).build().is_fully_connected()
+
+    def test_hidden_disc_is_seeded(self):
+        a = TopologySpec.hidden_disc(15, 16.0, topology_seed=3).build()
+        b = TopologySpec.hidden_disc(15, 16.0, topology_seed=3).build()
+        assert a.hidden_pairs() == b.hidden_pairs()
+        assert not a.is_fully_connected()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopologySpec(kind="mesh", num_stations=4)
+        with pytest.raises(ValueError):
+            TopologySpec(kind="hidden-disc", num_stations=4, radius=16.0)
+        with pytest.raises(ValueError):
+            TopologySpec.connected(0)
+
+
+class TestRunTask:
+    def test_task_key_is_stable_and_label_independent(self):
+        task = _quick_task()
+        assert task.task_key() == _quick_task().task_key()
+        assert task.with_label("renamed").task_key() == task.task_key()
+
+    def test_task_key_sensitive_to_simulation_inputs(self):
+        base = _quick_task()
+        assert _quick_task(seed=2).task_key() != base.task_key()
+        assert _quick_task(duration=0.3).task_key() != base.task_key()
+        assert _quick_task(num_stations=5).task_key() != base.task_key()
+        assert _quick_task(frame_error_rate=0.1).task_key() != base.task_key()
+        assert (_quick_task(scheme=SchemeSpec.make("idlesense")).task_key()
+                != base.task_key())
+
+    def test_auto_simulator_resolution(self):
+        assert _quick_task().resolved_simulator() == "slotted"
+        hidden = _quick_task(
+            num_stations=10,
+            topology=TopologySpec.hidden_disc(10, 16.0, 1),
+        )
+        assert hidden.resolved_simulator() == "event"
+
+    def test_slotted_rejected_on_hidden_topology(self):
+        with pytest.raises(ValueError):
+            _quick_task(
+                topology=TopologySpec.hidden_disc(10, 16.0, 1),
+                simulator="slotted",
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _quick_task(duration=0.0)
+        with pytest.raises(ValueError):
+            _quick_task(warmup=-1.0)
+        with pytest.raises(ValueError):
+            _quick_task(simulator="quantum")
+
+    def test_to_json_round_trips_through_json(self):
+        payload = json.dumps(_quick_task().to_json(), sort_keys=True)
+        assert json.loads(payload)["seed"] == 1
+
+
+class TestExecuteTask:
+    def test_result_annotated_with_task_identity(self):
+        task = _quick_task().with_label("unit/label")
+        result = execute_task(task)
+        assert result.extra["task_key"] == task.task_key()
+        assert result.extra["seed"] == task.seed
+        assert result.extra["label"] == "unit/label"
+        assert result.extra["simulator"] == "slotted"
+
+    def test_idlesense_station_observed_idle_annotated(self, phy):
+        task = _quick_task(
+            scheme=SchemeSpec.make("idlesense"), duration=0.5, warmup=1.0,
+        )
+        result = execute_task(task)
+        assert result.extra["station_observed_idle"] > 0
+
+    def test_event_simulator_override_on_connected_topology(self):
+        result = execute_task(_quick_task(simulator="event"))
+        assert result.extra["simulator"] == "event-driven"
+        assert result.total_throughput_bps > 0
+
+    def test_activity_schedule_honoured(self):
+        task = _quick_task(num_stations=4, activity=((0.0, 2), (0.15, 4)))
+        result = execute_task(task)
+        assert result.station_stats[0].payload_bits > result.station_stats[3].payload_bits
+
+
+class TestDeterministicSeeding:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed("camp", 7, "dcf", 10, 0) == derive_seed("camp", 7, "dcf", 10, 0)
+
+    def test_derive_seed_distinguishes_components(self):
+        seeds = {
+            derive_seed("camp", 7, "dcf", n, rep)
+            for n in (10, 20, 30)
+            for rep in range(4)
+        }
+        assert len(seeds) == 12
+
+    def test_derive_seed_fits_numpy(self):
+        seed = derive_seed("x")
+        np.random.default_rng(seed)  # must not raise
+        assert 0 <= seed < 2 ** 63
+
+
+class TestSweepSpec:
+    def _sweep(self, **overrides):
+        settings = dict(
+            warmup=0.05, adaptive_warmup=0.4, repetitions=2, base_seed=9,
+        )
+        settings.update(overrides)
+        return SweepSpec.make(
+            "unit-sweep",
+            {
+                "dcf": SchemeSpec.make("standard-802.11"),
+                "idlesense": SchemeSpec.make("idlesense"),
+            },
+            node_counts=(3, 5),
+            duration=0.2,
+            **settings,
+        )
+
+    def test_expansion_is_deterministic(self):
+        assert self._sweep().expand() == self._sweep().expand()
+
+    def test_grid_size_and_labels(self):
+        tasks = self._sweep().expand()
+        assert len(tasks) == 2 * 2 * 2
+        assert tasks[0].label == "unit-sweep/dcf/N=3/rep=0"
+        assert len({t.task_key() for t in tasks}) == len(tasks)
+
+    def test_adaptive_schemes_get_adaptive_warmup(self):
+        tasks = {t.label: t for t in self._sweep().expand()}
+        assert tasks["unit-sweep/dcf/N=3/rep=0"].warmup == 0.05
+        assert tasks["unit-sweep/idlesense/N=3/rep=0"].warmup == 0.4
+
+    def test_hidden_sweep_derives_topology_seeds(self):
+        tasks = self._sweep(topology="hidden-disc", radius=16.0).expand()
+        assert all(t.topology.kind == "hidden-disc" for t in tasks)
+        # Same cell -> same placement for every scheme (paired comparison),
+        # different repetition -> different placement.
+        by_label = {t.label: t for t in tasks}
+        assert (by_label["unit-sweep/dcf/N=3/rep=0"].topology.topology_seed
+                == by_label["unit-sweep/idlesense/N=3/rep=0"].topology.topology_seed)
+        assert (by_label["unit-sweep/dcf/N=3/rep=0"].topology.topology_seed
+                != by_label["unit-sweep/dcf/N=3/rep=1"].topology.topology_seed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec.make("s", {}, (3,), 0.2)
+        with pytest.raises(ValueError):
+            self._sweep(repetitions=0)
+        with pytest.raises(ValueError):
+            self._sweep(topology="hidden-disc")  # no radius
+
+
+class TestCampaignExecutorDeterminism:
+    def test_parallel_results_bit_identical_to_serial(self):
+        """Acceptance criterion: jobs=4 output equals jobs=1 output exactly."""
+        spec = SweepSpec.make(
+            "determinism",
+            {"dcf": SchemeSpec.make("standard-802.11"),
+             "fixed": SchemeSpec.make("fixed-p", p=0.05)},
+            node_counts=(3, 5),
+            duration=0.2,
+            warmup=0.05,
+            repetitions=2,
+            base_seed=11,
+        )
+        tasks = spec.expand()
+        serial = CampaignExecutor(jobs=1).run(tasks)
+        parallel = CampaignExecutor(jobs=4).run(tasks)
+        assert len(serial) == len(tasks)
+        for left, right in zip(serial, parallel):
+            assert left == right  # full SimulationResult equality, bit for bit
+
+    def test_results_come_back_in_input_order(self):
+        tasks = [_quick_task(seed=s) for s in (5, 3, 4)]
+        results = CampaignExecutor(jobs=2).run(tasks)
+        assert [r.extra["seed"] for r in results] == [5, 3, 4]
+
+    def test_duplicate_tasks_simulated_once(self):
+        executor = CampaignExecutor(jobs=1)
+        results = executor.run([_quick_task(seed=1), _quick_task(seed=1)])
+        assert executor.last_run_stats.executed == 1
+        assert executor.last_run_stats.deduplicated == 1
+        assert results[0] == results[1]
+
+
+class TestCampaignCache:
+    def test_cache_round_trip_is_exact(self, tmp_path):
+        task = _quick_task(report_interval=0.1)
+        result = execute_task(task)
+        cache = ResultCache(tmp_path)
+        cache.store(task, result)
+        assert task.task_key() in cache
+        assert cache.load(task.task_key()) == result
+
+    def test_result_dict_round_trip(self):
+        result = execute_task(_quick_task(report_interval=0.1))
+        assert result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        ) == result
+
+    def test_warm_cache_performs_zero_simulator_runs(self, tmp_path, monkeypatch):
+        """Acceptance criterion: second invocation never touches a simulator."""
+        tasks = [_quick_task(seed=s) for s in (1, 2, 3)]
+        cold = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        cold_results = cold.run(tasks)
+        assert cold.last_run_stats.executed == 3
+
+        def _boom(task):
+            raise AssertionError("simulator invoked despite warm cache")
+
+        monkeypatch.setattr(executor_module, "execute_task", _boom)
+        warm = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        warm_results = warm.run(tasks)
+        assert warm.last_run_stats.executed == 0
+        assert warm.last_run_stats.cached == 3
+        assert warm_results == cold_results
+
+    def test_corrupt_cache_entry_treated_as_miss(self, tmp_path):
+        task = _quick_task()
+        cache = ResultCache(tmp_path)
+        cache.store(task, execute_task(task))
+        cache.path_for(task.task_key()).write_text("{not json", encoding="utf-8")
+        executor = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        executor.run([task])
+        assert executor.last_run_stats.executed == 1
+
+    def test_use_cache_false_ignores_cache_dir(self, tmp_path):
+        task = _quick_task()
+        CampaignExecutor(jobs=1, cache_dir=tmp_path).run([task])
+        executor = CampaignExecutor(jobs=1, cache_dir=tmp_path, use_cache=False)
+        executor.run([task])
+        assert executor.last_run_stats.executed == 1
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        tasks = [_quick_task(seed=s) for s in (1, 2, 3, 4)]
+        parallel = CampaignExecutor(jobs=4, cache_dir=tmp_path)
+        first = parallel.run(tasks)
+        serial = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        second = serial.run(tasks)
+        assert serial.last_run_stats.cached == 4
+        assert first == second
+
+    def test_stats_accumulate_across_runs(self, tmp_path):
+        executor = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        executor.run([_quick_task(seed=1)])
+        executor.run([_quick_task(seed=1)])
+        assert executor.stats.total == 2
+        assert executor.stats.executed == 1
+        assert executor.stats.cached == 1
+
+    def test_progress_events_emitted(self, tmp_path):
+        events = []
+        executor = CampaignExecutor(
+            jobs=1, cache_dir=tmp_path, progress=events.append
+        )
+        executor.run([_quick_task(seed=1), _quick_task(seed=2)])
+        assert [e.source for e in events] == ["run", "run"]
+        assert events[-1].completed == events[-1].total == 2
+        events.clear()
+        CampaignExecutor(jobs=1, cache_dir=tmp_path, progress=events.append).run(
+            [_quick_task(seed=1)]
+        )
+        assert [e.source for e in events] == ["cache"]

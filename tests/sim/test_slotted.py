@@ -116,6 +116,35 @@ class TestMechanics:
             SlottedSimulator(standard_80211_scheme(phy), num_stations=3,
                              report_interval=0.0)
 
+    @pytest.mark.parametrize("bad_interval", [0.0, -0.25])
+    def test_report_interval_must_be_positive(self, phy, bad_interval):
+        with pytest.raises(ValueError):
+            SlottedSimulator(standard_80211_scheme(phy), num_stations=3,
+                             phy=phy, report_interval=bad_interval)
+
+    @pytest.mark.parametrize("bad_rate", [-0.1, 1.0, 1.5])
+    def test_frame_error_rate_bounds_rejected(self, phy, bad_rate):
+        with pytest.raises(ValueError):
+            SlottedSimulator(standard_80211_scheme(phy), num_stations=3,
+                             phy=phy, frame_error_rate=bad_rate)
+
+    def test_frame_error_rate_boundaries_accepted(self, phy):
+        # 0.0 (no channel errors) is valid; rates just below 1.0 are valid
+        # but catastrophic for throughput.
+        for rate in (0.0, 0.99):
+            SlottedSimulator(standard_80211_scheme(phy), num_stations=3,
+                             phy=phy, frame_error_rate=rate)
+
+    def test_frame_errors_reduce_throughput_and_count_as_failures(self, phy):
+        clean = run_slotted(standard_80211_scheme(phy), 1, duration=0.5,
+                            phy=phy, seed=9)
+        noisy = run_slotted(standard_80211_scheme(phy), 1, duration=0.5,
+                            phy=phy, seed=9, frame_error_rate=0.4)
+        assert noisy.total_throughput_bps < clean.total_throughput_bps
+        # A single station never collides, so every failure is a channel error.
+        assert clean.total_failures == 0
+        assert noisy.total_failures > 0
+
 
 class TestDynamicActivity:
     def test_only_active_stations_get_throughput(self, phy):
@@ -145,6 +174,58 @@ class TestDynamicActivity:
         with pytest.raises(ValueError):
             SlottedSimulator(standard_80211_scheme(phy), num_stations=3,
                              phy=phy, activity=schedule)
+
+    def test_joining_station_applies_current_control_values(self, phy):
+        # A station activated by the schedule must pick up the controller's
+        # *current* advertised control (and a fresh backoff) at the moment it
+        # joins — stations that have not joined keep their defaults.
+        scheme = wtop_csma_scheme(phy, update_period=50.0, initial_station_p=0.1)
+        schedule = step_activity([(0.0, 2), (0.3, 3)])
+        simulator = SlottedSimulator(
+            scheme, activity=schedule, phy=phy, seed=4, broadcast_control=False
+        )
+        advertised = simulator.controller.control()["p"]
+        assert advertised != pytest.approx(0.1)
+        counters = np.zeros(3, dtype=np.int64)
+        simulator._handle_activity_change(2, 3, counters)
+        assert simulator.policies[2].base_probability == pytest.approx(advertised)
+        # Stations that did not join keep the default initial probability.
+        assert simulator.policies[0].base_probability == pytest.approx(0.1)
+        assert counters[2] >= 0
+
+    def test_joining_station_tracks_controller_end_to_end(self, phy):
+        # With broadcast off a station only learns control from its own ACKs
+        # or at join time; either way the late joiner must end the run on the
+        # controller's advertised probability, not its construction default.
+        scheme = wtop_csma_scheme(phy, update_period=50.0, initial_station_p=0.1)
+        schedule = step_activity([(0.0, 2), (0.3, 3)])
+        simulator = SlottedSimulator(
+            scheme, activity=schedule, phy=phy, seed=4, broadcast_control=False
+        )
+        simulator.run(duration=0.6)
+        advertised = simulator.controller.control()["p"]
+        assert simulator.policies[2].base_probability == pytest.approx(advertised)
+        assert simulator.policies[2].base_probability != pytest.approx(0.1)
+
+    def test_report_samples_cover_interval_straddling_warmup_end(self, phy):
+        # Regression: the report countdown used to restart from the full
+        # interval at every sample (and at the warmup boundary), so sample
+        # times drifted late by one busy slot per sample and the final
+        # samples of the run were silently dropped.
+        cases = [(0.5, 0.2, 1.0), (0.35, 0.25, 1.0), (0.0, 0.25, 1.0)]
+        for warmup, interval, duration in cases:
+            result = run_slotted(
+                standard_80211_scheme(phy), 10, duration=duration,
+                warmup=warmup, phy=phy, seed=1, report_interval=interval,
+            )
+            times = [t for t, _ in result.throughput_timeline]
+            expected = int(duration / interval + 1e-9)
+            assert len(times) == expected, (warmup, interval, times)
+            # Samples stay anchored to the warmup + k * interval grid
+            # (within one busy-slot duration Ts of each grid point).
+            for k, time_s in enumerate(times, start=1):
+                grid_point = warmup + k * interval
+                assert grid_point <= time_s <= grid_point + phy.ts + phy.slot_time
 
 
 class TestControllerIntegration:

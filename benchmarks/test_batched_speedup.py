@@ -1,0 +1,85 @@
+"""Benchmark: batched vs scalar-slotted wall clock on the Figure 3 grid.
+
+The batched backend's reason to exist is campaign-scale throughput: one
+vectorized call sweeps a whole (scheme x N x seed) column at interpreter
+cost shared across cells.  This benchmark runs the Figure 3 grid through
+both backends with ``jobs=1``, checks that the per-(scheme, N) seed-averaged
+throughputs agree statistically, asserts a wall-clock speedup, and records
+the measured numbers under ``benchmarks/results/batched_speedup.txt``
+(the committed note in ``benchmarks/BATCHED_SPEEDUP.md`` quotes a
+representative run).
+
+The speedup grows with the number of cells per (scheme, duration) group:
+the quick preset's two seeds barely amortise the vectorization overhead,
+while eight seeds (still far below the PAPER preset's budget) exceed 5x.
+The assertion uses a conservative floor so CI machine noise cannot flake
+the suite; the recorded number documents the actual figure.
+"""
+
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments.campaign import CampaignExecutor
+from repro.experiments.fig3 import run_fig3
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Conservative CI floor; the recorded speedup on an idle machine is >5x.
+MIN_SPEEDUP = 2.0
+
+
+@pytest.mark.benchmark(group="batched-speedup")
+def test_batched_backend_speedup_on_fig3_grid(benchmark, bench_config_connected):
+    # Eight seeds widen the per-scheme groups enough to show the campaign-
+    # scale speedup; the slightly reduced budgets keep the slotted reference
+    # run (the slow side of the comparison) affordable in CI.
+    config = bench_config_connected.evolve(
+        seeds=tuple(range(1, 9)), measure_duration=1.0, adaptive_warmup=5.0,
+    )
+
+    def run(backend):
+        executor = CampaignExecutor(jobs=1, backend=backend)
+        started = time.perf_counter()
+        result = run_fig3(config, executor=executor, include_optimum=False)
+        return result, time.perf_counter() - started
+
+    batched, batched_s = benchmark.pedantic(
+        run, args=("batched",), rounds=1, iterations=1
+    )
+    slotted, slotted_s = run("slotted")
+    speedup = slotted_s / batched_s
+
+    lines = [
+        "Batched vs slotted backend on the Figure 3 grid",
+        f"grid: {len(config.node_counts)} node counts x "
+        f"{len(config.seeds)} seeds x 4 schemes "
+        f"({4 * len(config.node_counts) * len(config.seeds)} cells)",
+        f"slotted --jobs 1: {slotted_s:.1f} s",
+        f"batched --jobs 1: {batched_s:.1f} s",
+        f"speedup: {speedup:.1f}x",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "batched_speedup.txt").write_text(text + "\n",
+                                                     encoding="utf-8")
+
+    # Seed-averaged throughputs must agree between the two backends: same
+    # renewal model, same policies/controllers, independent random streams.
+    for row_b, row_s in zip(batched.rows, slotted.rows):
+        for column in batched.columns:
+            assert row_b.values[column] == pytest.approx(
+                row_s.values[column], rel=0.08
+            ), (row_b.label, column)
+
+    # Wall-clock ratios are meaningless on throttled shared CI runners, so
+    # the timing assertion only applies locally; the statistical-agreement
+    # assertions above always run.
+    if not os.environ.get("CI"):
+        assert speedup >= MIN_SPEEDUP, (
+            f"batched backend only {speedup:.1f}x faster than slotted on the "
+            f"fig3 grid (expected >= {MIN_SPEEDUP}x)"
+        )

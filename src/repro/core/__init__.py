@@ -1,6 +1,14 @@
 """Core contribution: Kiefer-Wolfowitz optimisation and the wTOP-CSMA /
 TORA-CSMA access-point controllers."""
 
+from .batched import (
+    BatchedControllerBank,
+    BatchedKwTracker,
+    BatchedSegmentMeter,
+    BatchedStaticBank,
+    BatchedToraBank,
+    BatchedWTopBank,
+)
 from .controller import (
     AccessPointController,
     ControlUpdate,
@@ -35,6 +43,12 @@ from .wtop import (
 )
 
 __all__ = [
+    "BatchedControllerBank",
+    "BatchedKwTracker",
+    "BatchedSegmentMeter",
+    "BatchedStaticBank",
+    "BatchedToraBank",
+    "BatchedWTopBank",
     "ControlMapping",
     "LinearMapping",
     "LogMapping",

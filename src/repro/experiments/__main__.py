@@ -30,7 +30,7 @@ import time
 from typing import List, Optional
 
 from . import EXPERIMENT_REGISTRY, PAPER, QUICK
-from .campaign import CampaignExecutor, stderr_progress
+from .campaign import BACKENDS, CampaignExecutor, stderr_progress
 from .config import ExperimentConfig
 from .reporting import format_result
 
@@ -70,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for simulation cells (default: 1 = serial; "
             "0 = one per CPU); results are identical for every value"
+        ),
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help=(
+            "simulator backend policy: 'auto' (default) runs eligible "
+            "hidden-node-free cells on the vectorized batched simulator and "
+            "everything else on the scalar slotted/event simulators, "
+            "'slotted' is the scalar-only policy, 'event' forces event-"
+            "driven simulation, 'batched' makes the batched preference "
+            "explicit; hidden-node cells always use the event simulator"
         ),
     )
     parser.add_argument(
@@ -141,6 +152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=stderr_progress if args.progress else None,
+        backend=args.backend,
     )
 
     for name in names:
@@ -153,7 +165,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             (args.output / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
     if executor.stats.total:
-        print(f"[campaign: {executor.stats.summary()}, jobs={executor.jobs}]")
+        print(f"[campaign: {executor.stats.summary()}, jobs={executor.jobs}, "
+              f"backend={executor.backend}]")
     return 0
 
 

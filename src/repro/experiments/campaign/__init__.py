@@ -35,8 +35,15 @@ through this API, and ``python -m repro.experiments all --jobs N`` runs the
 entire evaluation as one campaign.
 """
 
-from .cache import ResultCache, result_from_dict, result_to_dict
+from .batching import batch_eligible, batch_key, execute_batch, plan_batches
+from .cache import (
+    RESULT_SCHEMA_VERSION,
+    ResultCache,
+    result_from_dict,
+    result_to_dict,
+)
 from .executor import (
+    BACKENDS,
     CampaignEvent,
     CampaignExecutor,
     CampaignStats,
@@ -54,8 +61,14 @@ from .specs import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CACHE_VERSION",
+    "RESULT_SCHEMA_VERSION",
     "SCHEME_SPEC_KINDS",
+    "batch_eligible",
+    "batch_key",
+    "execute_batch",
+    "plan_batches",
     "CampaignEvent",
     "CampaignExecutor",
     "CampaignStats",

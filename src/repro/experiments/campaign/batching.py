@@ -1,0 +1,138 @@
+"""Batch planning: group compatible campaign tasks into vectorized calls.
+
+The batched simulator (:mod:`repro.sim.batched`) advances many fully
+connected cells at once, but only when they share everything except station
+count and seed: the scheme (with batched-kernel-supported parameters), PHY,
+durations, frame error rate, reporting options and activity schedule.  This
+module decides which tasks qualify (:func:`batch_eligible`), groups them
+(:func:`plan_batches`) and executes one group as a single vectorized run
+(:func:`execute_batch`), annotating each cell's result exactly like
+:func:`~repro.experiments.campaign.executor.execute_task` does.
+
+Because per-cell results are independent of batch composition (each cell
+consumes its own seeded random stream — see :mod:`repro.sim.batched`),
+grouping is purely a performance decision: any partition of the same tasks
+produces bit-identical per-cell results, so caching, deduplication and
+process-level parallelism all compose with batching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...phy.constants import PhyParameters
+from ...sim.batched import (
+    BatchedSlottedSimulator,
+    batchable_scheme,
+    make_batched_system,
+)
+from ...sim.dynamics import step_activity
+from ...sim.metrics import SimulationResult
+from .specs import RunTask
+
+__all__ = ["batch_eligible", "batch_key", "plan_batches", "execute_batch"]
+
+
+def batch_eligible(task: RunTask) -> bool:
+    """Whether this task can execute on the batched backend.
+
+    Eligibility is a pure function of the task (never of its neighbours), so
+    backend resolution is deterministic and cache keys stay stable across
+    campaigns that submit different task mixes.
+    """
+    if task.topology.kind != "connected":
+        return False
+    params = dict(task.scheme.params)
+    if not batchable_scheme(task.scheme.kind, params):
+        return False
+    weights = params.get("weights")
+    if weights is not None and len(weights) < task.topology.num_stations:
+        return False
+    return True
+
+
+def batch_key(task: RunTask) -> Tuple:
+    """Grouping key: everything a batch must share (not N, not seed)."""
+    return (
+        task.scheme,
+        task.phy,
+        task.duration,
+        task.warmup,
+        task.frame_error_rate,
+        task.report_interval,
+        task.activity,
+    )
+
+
+def plan_batches(tasks: Sequence[RunTask],
+                 target_units: Optional[int] = None) -> List[List[RunTask]]:
+    """Partition tasks into compatible groups, preserving first-seen order.
+
+    When ``target_units`` is given (the executor passes its worker count),
+    the largest groups are split in half until at least that many independent
+    units of work exist (or every group is a single cell), so process-level
+    parallelism is not capped at the number of distinct batch keys.  Splitting
+    is invisible in the per-cell results because cells are composition
+    independent.
+    """
+    groups: Dict[Tuple, List[RunTask]] = {}
+    for task in tasks:
+        groups.setdefault(batch_key(task), []).append(task)
+    planned = list(groups.values())
+    if target_units is not None:
+        while len(planned) < target_units:
+            largest = max(range(len(planned)), key=lambda i: len(planned[i]))
+            group = planned[largest]
+            if len(group) < 2:
+                break
+            middle = len(group) // 2
+            planned[largest:largest + 1] = [group[:middle], group[middle:]]
+    return planned
+
+
+def execute_batch(tasks: Sequence[RunTask]) -> List[SimulationResult]:
+    """Run one compatible group through the batched simulator (pure).
+
+    Results come back in task order, each annotated with the task key, seed
+    and label exactly as :func:`execute_task` annotates scalar runs, so the
+    two execution paths are interchangeable for callers and for the cache.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    key = batch_key(tasks[0])
+    for task in tasks[1:]:
+        if batch_key(task) != key:
+            raise ValueError("tasks in a batch must share a batch_key")
+    first = tasks[0]
+    phy = first.phy or PhyParameters()
+    policy_bank, controller_bank, scheme_name = make_batched_system(
+        first.scheme.kind,
+        dict(first.scheme.params),
+        len(tasks),
+        max(task.topology.num_stations for task in tasks),
+        phy,
+    )
+    simulator = BatchedSlottedSimulator(
+        policy_bank,
+        controller_bank,
+        num_stations=[task.topology.num_stations for task in tasks],
+        seeds=[task.seed for task in tasks],
+        duration=first.duration,
+        warmup=first.warmup,
+        phy=phy,
+        frame_error_rate=first.frame_error_rate,
+        report_interval=first.report_interval,
+        activity=step_activity(first.activity) if first.activity else None,
+        scheme_name=scheme_name,
+    )
+    annotated = []
+    for task, result in zip(tasks, simulator.run()):
+        extra = dict(result.extra)
+        extra["task_key"] = task.task_key()
+        extra["seed"] = task.seed
+        if task.label:
+            extra["label"] = task.label
+        annotated.append(dataclasses.replace(result, extra=extra))
+    return annotated

@@ -23,7 +23,19 @@ from typing import Dict, Optional
 from ...sim.metrics import SimulationResult, StationStats
 from .specs import CACHE_VERSION, RunTask
 
-__all__ = ["ResultCache", "result_to_dict", "result_from_dict"]
+__all__ = [
+    "ResultCache",
+    "result_to_dict",
+    "result_from_dict",
+    "RESULT_SCHEMA_VERSION",
+]
+
+#: Version of the *result payload* layout produced by :func:`result_to_dict`.
+#: Distinct from :data:`~repro.experiments.campaign.specs.CACHE_VERSION`
+#: (which covers the task descriptor and simulator semantics): bump this when
+#: the serialised result shape changes so that entries written by older code
+#: are invalidated on load instead of being deserialised into garbage.
+RESULT_SCHEMA_VERSION = 2
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:
@@ -99,6 +111,8 @@ class ResultCache:
         try:
             if payload.get("version") != CACHE_VERSION:
                 return None
+            if payload.get("schema_version") != RESULT_SCHEMA_VERSION:
+                return None
             return result_from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
             return None
@@ -108,6 +122,7 @@ class ResultCache:
         key = task.task_key()
         payload = {
             "version": CACHE_VERSION,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "task_key": key,
             "label": task.label,
             "task": task.to_json(),

@@ -7,11 +7,15 @@ about: running tasks serially, in a process pool, or loading them from the
 on-disk cache all produce bit-identical results.
 
 :class:`CampaignExecutor` is the engine the per-figure runners hand their
-task lists to.  It deduplicates identical tasks, satisfies what it can from
-the :class:`~repro.experiments.campaign.cache.ResultCache`, fans the misses
-out over a ``ProcessPoolExecutor`` (``jobs > 1``) or an in-process loop
-(``jobs == 1``), stores fresh results back into the cache, and reports
-progress through a callback.
+task lists to.  It resolves each ``auto`` task to a concrete backend
+(``batched`` for eligible hidden-node-free tasks under the default
+``backend="auto"`` policy, scalar ``slotted``/``event`` otherwise),
+deduplicates identical tasks, satisfies what it can from the
+:class:`~repro.experiments.campaign.cache.ResultCache`, groups batched
+misses into vectorized calls (:mod:`~repro.experiments.campaign.batching`),
+fans the remaining work out over a ``ProcessPoolExecutor`` (``jobs > 1``)
+or an in-process loop (``jobs == 1``), stores fresh results back into the
+cache, and reports progress through a callback.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from ...sim.dynamics import step_activity
 from ...sim.metrics import SimulationResult
 from ...sim.simulation import WlanSimulation
 from ...sim.slotted import SlottedSimulator
+from .batching import batch_eligible, execute_batch, plan_batches
 from .cache import ResultCache
 from .specs import RunTask
 
@@ -40,7 +45,17 @@ __all__ = [
     "CampaignStats",
     "CampaignEvent",
     "stderr_progress",
+    "BACKENDS",
 ]
+
+#: Backend policies accepted by :class:`CampaignExecutor` and the CLI.
+#: ``auto`` prefers the batched simulator for eligible connected tasks and
+#: falls back to the scalar simulators; ``slotted`` is the scalar-only policy
+#: (the pre-batching behaviour); ``event`` forces event-driven simulation
+#: everywhere; ``batched`` is an alias of ``auto``'s preference that makes
+#: the intent explicit.  Tasks whose ``simulator`` field is not ``auto`` are
+#: never rewritten, and hidden-node tasks always use the event simulator.
+BACKENDS = ("auto", "slotted", "event", "batched")
 
 
 def _station_observed_idle(policies) -> Optional[float]:
@@ -61,8 +76,14 @@ def execute_task(task: RunTask) -> SimulationResult:
 
     The returned result's ``extra`` mapping is annotated with the task key,
     seed and label, plus ``station_observed_idle`` when the scheme's stations
-    track their own idle average (Table III needs it).
+    track their own idle average (Table III needs it).  Tasks resolved to the
+    batched backend run as a batch of one (the executor groups them into
+    larger batches instead of coming through here).
     """
+    if task.resolved_simulator() == "batched":
+        [result] = execute_batch([task])
+        return result
+
     scheme = task.scheme.build(task.phy)
     activity = step_activity(task.activity) if task.activity else None
 
@@ -110,17 +131,21 @@ class CampaignStats:
     executed: int = 0
     cached: int = 0
     deduplicated: int = 0
+    #: Cells (not groups) that executed on the batched backend.
+    batched_cells: int = 0
 
     def merge(self, other: "CampaignStats") -> None:
         self.total += other.total
         self.executed += other.executed
         self.cached += other.cached
         self.deduplicated += other.deduplicated
+        self.batched_cells += other.batched_cells
 
     def summary(self) -> str:
         return (
-            f"{self.total} task(s): {self.executed} simulated, "
-            f"{self.cached} from cache, {self.deduplicated} deduplicated"
+            f"{self.total} task(s): {self.executed} simulated "
+            f"({self.batched_cells} batched), {self.cached} from cache, "
+            f"{self.deduplicated} deduplicated"
         )
 
 
@@ -134,13 +159,23 @@ class CampaignEvent:
     key: str
     source: str  # "run" or "cache"
     elapsed_s: float
+    #: Simulator backend that produced (or would produce) the cell.
+    backend: str = "?"
+
+    @property
+    def cells_per_s(self) -> float:
+        """Completed-cell throughput of the campaign so far."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed / self.elapsed_s
 
 
 def stderr_progress(event: CampaignEvent) -> None:
     """Stock progress reporter: one line per completed cell on stderr."""
     print(
         f"[campaign {event.completed}/{event.total}] "
-        f"{event.label or event.key[:12]} ({event.source}, {event.elapsed_s:.1f}s)",
+        f"{event.label or event.key[:12]} ({event.source}:{event.backend}, "
+        f"{event.elapsed_s:.1f}s, {event.cells_per_s:.1f} cells/s)",
         file=sys.stderr,
         flush=True,
     )
@@ -164,6 +199,11 @@ class CampaignExecutor:
     progress:
         Optional callback receiving a :class:`CampaignEvent` per completed
         cell (see :func:`stderr_progress`).
+    backend:
+        Backend policy for tasks whose ``simulator`` is ``auto`` (see
+        :data:`BACKENDS`).  Backend resolution is per-task and deterministic,
+        so results (and cache keys) depend only on the policy, never on
+        which other tasks happen to share the campaign.
     """
 
     def __init__(
@@ -172,10 +212,16 @@ class CampaignExecutor:
         cache_dir: Optional[os.PathLike] = None,
         use_cache: bool = True,
         progress: Optional[Callable[[CampaignEvent], None]] = None,
+        backend: str = "auto",
     ) -> None:
         if jobs <= 0:
             jobs = os.cpu_count() or 1
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend '{backend}'; expected one of {BACKENDS}"
+            )
         self._jobs = int(jobs)
+        self._backend = backend
         self._cache = (
             ResultCache(cache_dir) if (cache_dir is not None and use_cache) else None
         )
@@ -191,17 +237,40 @@ class CampaignExecutor:
         return self._jobs
 
     @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
     def cache(self) -> Optional[ResultCache]:
         return self._cache
+
+    # ------------------------------------------------------------------
+    def _resolve_backend(self, task: RunTask) -> RunTask:
+        """Rewrite an ``auto`` task to the backend this policy selects.
+
+        Explicit simulator choices are always respected; hidden-node tasks
+        always use the event-driven simulator.
+        """
+        if task.simulator != "auto":
+            return task
+        if self._backend == "event":
+            return dataclasses.replace(task, simulator="event")
+        if task.topology.kind != "connected":
+            return task  # auto resolves to the event simulator
+        if self._backend in ("auto", "batched") and batch_eligible(task):
+            return dataclasses.replace(task, simulator="batched")
+        return task  # auto resolves to the slotted simulator
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[RunTask]) -> List[SimulationResult]:
         """Execute all tasks; results come back in input order.
 
         Identical tasks (same :meth:`RunTask.task_key`) are simulated once
-        and fanned back out to every position that requested them.
+        and fanned back out to every position that requested them.  Pending
+        batched tasks are grouped into vectorized calls; per-cell results do
+        not depend on the grouping.
         """
-        tasks = list(tasks)
+        tasks = [self._resolve_backend(task) for task in tasks]
         stats = CampaignStats(total=len(tasks))
         started = time.perf_counter()
 
@@ -230,7 +299,16 @@ class CampaignExecutor:
                     key=key,
                     source=source,
                     elapsed_s=time.perf_counter() - started,
+                    backend=first_task[key].resolved_simulator(),
                 ))
+
+        def record(key: str, result: SimulationResult) -> None:
+            resolved[key] = result
+            stats.executed += 1
+            if first_task[key].resolved_simulator() == "batched":
+                stats.batched_cells += 1
+            self._store(first_task[key], result)
+            report(key, "run")
 
         # Serve cache hits first so only true misses hit the pool.
         pending: List[str] = []
@@ -243,15 +321,31 @@ class CampaignExecutor:
             else:
                 pending.append(key)
 
+        # Group pending batched tasks into vectorized units of work (split to
+        # keep every worker busy when running in a pool); every other pending
+        # task is a scalar unit of its own.
+        batch_groups = plan_batches(
+            [
+                first_task[key] for key in pending
+                if first_task[key].resolved_simulator() == "batched"
+            ],
+            target_units=self._jobs if self._jobs > 1 else None,
+        )
+        scalar_keys = [
+            key for key in pending
+            if first_task[key].resolved_simulator() != "batched"
+        ]
+
         if pending:
-            if self._jobs == 1 or len(pending) == 1:
-                for key in pending:
-                    resolved[key] = execute_task(first_task[key])
-                    stats.executed += 1
-                    self._store(first_task[key], resolved[key])
-                    report(key, "run")
+            units = len(batch_groups) + len(scalar_keys)
+            if self._jobs == 1 or units == 1:
+                for group in batch_groups:
+                    for task, result in zip(group, execute_batch(group)):
+                        record(task.task_key(), result)
+                for key in scalar_keys:
+                    record(key, execute_task(first_task[key]))
             else:
-                self._run_parallel(first_task, pending, resolved, stats, report)
+                self._run_parallel(first_task, batch_groups, scalar_keys, record)
 
         self.last_run_stats = stats
         self.stats.merge(stats)
@@ -261,25 +355,28 @@ class CampaignExecutor:
     def _run_parallel(
         self,
         first_task: Dict[str, RunTask],
-        pending: Sequence[str],
-        resolved: Dict[str, SimulationResult],
-        stats: CampaignStats,
-        report: Callable[[str, str], None],
+        batch_groups: Sequence[Sequence[RunTask]],
+        scalar_keys: Sequence[str],
+        record: Callable[[str, SimulationResult], None],
     ) -> None:
-        workers = min(self._jobs, len(pending))
+        units = len(batch_groups) + len(scalar_keys)
+        workers = min(self._jobs, units)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_task, first_task[key]): key for key in pending
-            }
+            futures = {}
+            for group in batch_groups:
+                futures[pool.submit(execute_batch, list(group))] = list(group)
+            for key in scalar_keys:
+                futures[pool.submit(execute_task, first_task[key])] = key
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
-                    key = futures[future]
-                    resolved[key] = future.result()
-                    stats.executed += 1
-                    self._store(first_task[key], resolved[key])
-                    report(key, "run")
+                    unit = futures[future]
+                    if isinstance(unit, list):
+                        for task, result in zip(unit, future.result()):
+                            record(task.task_key(), result)
+                    else:
+                        record(unit, future.result())
 
     def _store(self, task: RunTask, result: SimulationResult) -> None:
         if self._cache is not None:

@@ -235,7 +235,10 @@ class RunTask:
     is what makes both process-level parallelism and on-disk caching safe.
 
     ``simulator`` is ``"auto"`` (slotted for connected topologies, event-
-    driven otherwise), ``"slotted"`` or ``"event"``.  ``label`` is cosmetic
+    driven otherwise), ``"slotted"``, ``"event"`` or ``"batched"`` (the
+    vectorized multi-cell simulator; connected topologies only — the
+    executor's planner assigns it to eligible ``auto`` tasks, see
+    :mod:`repro.experiments.campaign.batching`).  ``label`` is cosmetic
     (progress lines, result metadata) and deliberately excluded from
     :meth:`task_key` so renaming a sweep does not invalidate its cache.
     """
@@ -253,14 +256,19 @@ class RunTask:
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.simulator not in ("auto", "slotted", "event"):
-            raise ValueError("simulator must be 'auto', 'slotted' or 'event'")
+        if self.simulator not in ("auto", "slotted", "event", "batched"):
+            raise ValueError(
+                "simulator must be 'auto', 'slotted', 'event' or 'batched'"
+            )
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.warmup < 0:
             raise ValueError("warmup must be non-negative")
-        if self.simulator == "slotted" and self.topology.kind != "connected":
-            raise ValueError("the slotted simulator only models connected topologies")
+        if (self.simulator in ("slotted", "batched")
+                and self.topology.kind != "connected"):
+            raise ValueError(
+                f"the {self.simulator} simulator only models connected topologies"
+            )
         if self.activity is not None:
             object.__setattr__(
                 self, "activity",

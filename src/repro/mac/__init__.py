@@ -7,6 +7,13 @@ from .backoff import (
     RandomResetBackoff,
     StandardExponentialBackoff,
 )
+from .batched import (
+    BatchedDcfBank,
+    BatchedIdleSenseBank,
+    BatchedPPersistentBank,
+    BatchedPolicyBank,
+    BatchedRandomResetBank,
+)
 from .idlesense import DEFAULT_TARGET_IDLE_SLOTS, IdleSenseBackoff
 from .ntuning import NEstimatingPersistentBackoff
 from .schemes import (
@@ -24,6 +31,11 @@ from .schemes import (
 
 __all__ = [
     "BackoffPolicy",
+    "BatchedDcfBank",
+    "BatchedIdleSenseBank",
+    "BatchedPPersistentBank",
+    "BatchedPolicyBank",
+    "BatchedRandomResetBank",
     "FixedWindowBackoff",
     "PPersistentBackoff",
     "RandomResetBackoff",

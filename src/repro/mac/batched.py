@@ -1,0 +1,369 @@
+"""Vectorized (batched) station backoff policies.
+
+The scalar policies in :mod:`repro.mac.backoff` are per-station objects whose
+methods the simulators call once per transmission event.  That design is what
+keeps the event-driven and slotted simulators simple, but it caps throughput
+at Python-interpreter speed: a campaign cell with 60 stations performs a
+couple of Python calls per virtual slot.
+
+This module re-expresses the same policies as *banks*: one object holding the
+state of every station of every cell in a batch as 2-D NumPy arrays (axis 0 =
+cell, axis 1 = station).  The batched slotted simulator
+(:mod:`repro.sim.batched`) advances all cells together and asks the bank to
+redraw backoff counters for the (few) stations that transmitted in the
+current virtual slot, passing pre-gathered uniform variates from each cell's
+own random stream.
+
+Equivalence contract: every draw is distributed exactly as its scalar
+counterpart (uniform windows become ``floor(u * W)``, geometric counts become
+the inverse-CDF transform), so batched results are statistically
+indistinguishable from slotted ones, though not bit-identical — the random
+streams are consumed in a different order.
+
+A bank consumes a *fixed* number of uniforms per event kind
+(:attr:`draws_initial` / :attr:`draws_success` / :attr:`draws_failure`),
+even when a particular draw ends up unused (e.g. RandomReset resetting
+straight to stage ``j``).  Fixed consumption is what makes a cell's random
+stream a function of its own trajectory only, which in turn makes per-cell
+results independent of the composition of the batch.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..phy.constants import PhyParameters
+
+__all__ = [
+    "BatchedPolicyBank",
+    "BatchedDcfBank",
+    "BatchedIdleSenseBank",
+    "BatchedPPersistentBank",
+    "BatchedRandomResetBank",
+]
+
+#: Cap on geometric backoff draws, mirroring ``PPersistentBackoff``.
+MAX_BACKOFF_SLOTS = 1_000_000
+
+
+def _uniform_window_draw(u: np.ndarray, window: np.ndarray) -> np.ndarray:
+    """``floor(u * W)`` — uniform over ``{0, ..., W-1}`` (0 when ``W <= 1``)."""
+    return (u * window).astype(np.int64)
+
+
+def _log_survival(p: np.ndarray) -> np.ndarray:
+    """``log(1 - p)`` with ``p`` clipped into (0, 1) so the value is finite."""
+    return np.log1p(-np.clip(p, 1e-12, 1.0 - 1e-12))
+
+
+def _geometric_draw(u: np.ndarray, log_q: np.ndarray) -> np.ndarray:
+    """Shifted-geometric inverse CDF: ``P(K = k) = p (1-p)^k`` for ``k >= 0``.
+
+    ``log_q`` is ``log(1 - p)`` precomputed by :func:`_log_survival`; both the
+    quotient and the cap are non-negative, so truncation equals floor.
+    """
+    raw = np.log1p(-u) / log_q
+    return np.minimum(raw, MAX_BACKOFF_SLOTS).astype(np.int64)
+
+
+class BatchedPolicyBank(ABC):
+    """State of one backoff policy for every (cell, station) of a batch.
+
+    ``cells`` / ``stations`` arguments are parallel flat index arrays naming
+    the (cell, station) pairs to redraw; ``u`` is a ``(len(cells), k)`` array
+    of uniforms gathered from each cell's own stream, where ``k`` is the
+    bank's fixed per-event draw count.
+    """
+
+    #: Whether stations observe channel activity (IdleSense does).
+    observes_channel = False
+
+    #: Uniforms consumed per initial draw / success redraw / failure redraw.
+    draws_initial = 1
+    draws_success = 1
+    draws_failure = 1
+
+    @abstractmethod
+    def initial_draw(self, cells: np.ndarray, stations: np.ndarray,
+                     u: np.ndarray) -> np.ndarray:
+        """Backoff counters before the very first transmission attempt."""
+
+    @abstractmethod
+    def success_draw(self, cells: np.ndarray, stations: np.ndarray,
+                     u: np.ndarray) -> np.ndarray:
+        """Backoff counters after a successful transmission."""
+
+    @abstractmethod
+    def failure_draw(self, cells: np.ndarray, stations: np.ndarray,
+                     u: np.ndarray) -> np.ndarray:
+        """Backoff counters after a failed (collided/errored) transmission."""
+
+    def observe_transmission(self, cell_mask: np.ndarray,
+                             idle_run: np.ndarray) -> None:
+        """Feed one observed transmission per cell in ``cell_mask``.
+
+        ``idle_run[c]`` is the number of idle slots that preceded it.  In a
+        fully connected cell every station observes the same channel, so the
+        observation state lives per cell, not per station.
+        """
+        return None
+
+    def station_observed_idle(self) -> Optional[np.ndarray]:
+        """Per-cell mean station-observed idle average (IdleSense only)."""
+        return None
+
+
+class _ExponentialWindowBank(BatchedPolicyBank):
+    """Shared per-station backoff-stage machinery of DCF and RandomReset.
+
+    Both schemes draw uniformly from ``CW_i = min(2^i CWmin, CWmax)`` and
+    double on failure (stage saturating at ``m``); they differ only in what a
+    success does to the stage.
+    """
+
+    def __init__(self, phy: PhyParameters, num_cells: int, max_stations: int) -> None:
+        self._cw_min = np.int64(phy.cw_min)
+        self._cw_max = np.int64(phy.cw_max)
+        self._num_stages = int(phy.num_backoff_stages)
+        self._stage = np.zeros((num_cells, max_stations), dtype=np.int64)
+
+    def _window(self, cells: np.ndarray, stations: np.ndarray) -> np.ndarray:
+        return np.minimum(self._cw_min << self._stage[cells, stations], self._cw_max)
+
+    def failure_draw(self, cells, stations, u):
+        self._stage[cells, stations] = np.minimum(
+            self._stage[cells, stations] + 1, self._num_stages
+        )
+        return _uniform_window_draw(u[:, 0], self._window(cells, stations))
+
+    @property
+    def stages(self) -> np.ndarray:
+        """Per-(cell, station) backoff stages (diagnostics/tests)."""
+        return self._stage.copy()
+
+
+class BatchedDcfBank(_ExponentialWindowBank):
+    """IEEE 802.11 DCF binary exponential backoff, batched.
+
+    Mirrors :class:`~repro.mac.backoff.StandardExponentialBackoff`: per-station
+    stage, doubling on failure up to ``m`` and resetting on success.
+    """
+
+    def initial_draw(self, cells, stations, u):
+        self._stage[cells, stations] = 0
+        return _uniform_window_draw(u[:, 0], self._window(cells, stations))
+
+    success_draw = initial_draw
+
+
+class BatchedIdleSenseBank(BatchedPolicyBank):
+    """IdleSense AIMD contention window, batched.
+
+    In a fully connected cell every station sees the identical idle/busy slot
+    sequence, so all stations of a cell share one window trajectory (the
+    scalar simulator reaches the same state through N identical per-station
+    objects); the bank therefore keeps one window per cell.
+    """
+
+    observes_channel = True
+
+    def __init__(
+        self,
+        phy: PhyParameters,
+        num_cells: int,
+        target_idle_slots: float = 3.1,
+        epsilon: float = 6.0,
+        alpha: float = 1.0 / 1.0666,
+        maxtrans: int = 5,
+        max_window: int = 4096,
+    ) -> None:
+        if target_idle_slots <= 0:
+            raise ValueError("target_idle_slots must be positive")
+        self._cw_min = float(phy.cw_min)
+        self._target = float(target_idle_slots)
+        self._epsilon = float(epsilon)
+        self._alpha = float(alpha)
+        self._maxtrans = int(maxtrans)
+        self._max_window = float(max_window)
+        self._window = np.full(num_cells, self._cw_min, dtype=np.float64)
+        self._sum_idle = np.zeros(num_cells, dtype=np.float64)
+        self._ntrans = np.zeros(num_cells, dtype=np.int64)
+        self._total_idle = np.zeros(num_cells, dtype=np.int64)
+        self._total_trans = np.zeros(num_cells, dtype=np.int64)
+
+    def observe_transmission(self, cell_mask, idle_run):
+        observed = idle_run[cell_mask]
+        self._sum_idle[cell_mask] += observed
+        self._total_idle[cell_mask] += observed
+        self._total_trans[cell_mask] += 1
+        self._ntrans[cell_mask] += 1
+        due = cell_mask & (self._ntrans >= self._maxtrans)
+        if np.any(due):
+            avg_idle = self._sum_idle[due] / self._ntrans[due]
+            window = np.where(
+                avg_idle < self._target,
+                self._window[due] + self._epsilon,
+                self._window[due] * self._alpha,
+            )
+            self._window[due] = np.clip(window, self._cw_min, self._max_window)
+            self._sum_idle[due] = 0.0
+            self._ntrans[due] = 0
+
+    def _draw(self, cells, u):
+        window = np.maximum(np.rint(self._window[cells]), 1.0)
+        return _uniform_window_draw(u, window)
+
+    def initial_draw(self, cells, stations, u):
+        return self._draw(cells, u[:, 0])
+
+    def success_draw(self, cells, stations, u):
+        return self._draw(cells, u[:, 0])
+
+    def failure_draw(self, cells, stations, u):
+        return self._draw(cells, u[:, 0])
+
+    def station_observed_idle(self):
+        out = self._total_idle / np.maximum(self._total_trans, 1)
+        return np.where(self._total_trans > 0, out, np.nan)
+
+    @property
+    def windows(self) -> np.ndarray:
+        """Per-cell contention windows (diagnostics/tests)."""
+        return self._window.copy()
+
+
+class BatchedPPersistentBank(BatchedPolicyBank):
+    """p-persistent CSMA stations, batched.
+
+    The per-cell base probability is either fixed (open-loop sweeps) or read
+    live from a wTOP-CSMA controller bank (``control``), which replaces the
+    scalar simulator's "broadcast on every ACK": since the slotted simulator
+    re-broadcasts the advertised ``p`` to every station on each success and
+    tick update, station state always equals the controller's current
+    advertisement, so reading it at draw time is equivalent.  Per-station
+    weights map through Lemma 1 exactly as in the scalar policy.
+    """
+
+    def __init__(
+        self,
+        num_cells: int,
+        max_stations: int,
+        initial_p: float,
+        weights: Optional[Sequence[float]] = None,
+        control=None,
+    ) -> None:
+        if not 0.0 <= initial_p <= 1.0:
+            raise ValueError("p must lie in [0, 1]")
+        self._initial_p = float(initial_p)
+        self._initial_log_q = float(_log_survival(np.asarray(initial_p)))
+        self._control = control
+        self._log_q_cache = np.full(num_cells, self._initial_log_q)
+        self._log_q_version = -1
+        if weights is None:
+            self._weights = None
+        else:
+            padded = np.ones(max_stations, dtype=np.float64)
+            given = np.asarray(weights, dtype=np.float64)[:max_stations]
+            if np.any(given <= 0):
+                raise ValueError("weights must be positive")
+            padded[: given.size] = given
+            self._weights = padded
+
+    def _base_p(self, cells: np.ndarray) -> np.ndarray:
+        if self._control is None:
+            return np.full(cells.shape, self._initial_p)
+        return self._control.advertised_p()[cells]
+
+    def _log_q(self, cells: np.ndarray) -> np.ndarray:
+        """``log(1 - p_t)`` per draw; cached per control-version, cell-wise."""
+        if self._weights is not None:
+            return None  # weighted: per-station, computed by the caller
+        if self._control is None:
+            return self._log_q_cache[cells]
+        version = self._control.version
+        if version != self._log_q_version:
+            self._log_q_cache = _log_survival(self._control.advertised_p())
+            self._log_q_version = version
+        return self._log_q_cache[cells]
+
+    def _weighted_draw(self, cells, stations, u, base_p):
+        # Lemma 1 forward map (array form of
+        # ``repro.core.weighted_fairness.station_attempt_probability``).
+        weight = self._weights[stations]
+        station_p = weight * base_p / (1.0 + (weight - 1.0) * base_p)
+        return _geometric_draw(u, _log_survival(station_p))
+
+    def initial_draw(self, cells, stations, u):
+        if self._weights is not None:
+            base = np.full(cells.shape, self._initial_p)
+            return self._weighted_draw(cells, stations, u[:, 0], base)
+        return _geometric_draw(u[:, 0], self._initial_log_q)
+
+    def success_draw(self, cells, stations, u):
+        if self._weights is not None:
+            return self._weighted_draw(cells, stations, u[:, 0], self._base_p(cells))
+        return _geometric_draw(u[:, 0], self._log_q(cells))
+
+    failure_draw = success_draw
+
+
+class BatchedRandomResetBank(_ExponentialWindowBank):
+    """RandomReset(j; p0) stations, batched.
+
+    On failure the per-station stage increments (saturating at ``m``); on a
+    success the stage is redrawn from the reset distribution parameterised by
+    the advertised ``(j, p0)`` — fixed for open-loop sweeps, read live from a
+    TORA-CSMA controller bank otherwise (see
+    :class:`BatchedPPersistentBank` for why live reads are equivalent to
+    per-ACK broadcasts).  Success and initial draws always consume three
+    uniforms (reset Bernoulli, uniform stage, window draw) so the stream
+    consumption is a fixed function of the event kind.
+    """
+
+    draws_initial = 3
+    draws_success = 3
+    draws_failure = 1
+
+    def __init__(
+        self,
+        phy: PhyParameters,
+        num_cells: int,
+        max_stations: int,
+        initial_stage: int = 0,
+        initial_p0: float = 1.0,
+        control=None,
+    ) -> None:
+        super().__init__(phy, num_cells, max_stations)
+        if not 0 <= initial_stage <= self._num_stages:
+            raise ValueError(f"stage must lie in [0, {self._num_stages}]")
+        if not 0.0 <= initial_p0 <= 1.0:
+            raise ValueError("reset probability must lie in [0, 1]")
+        self._initial_stage = int(initial_stage)
+        self._initial_p0 = float(initial_p0)
+        self._control = control
+
+    def _reset_draw(self, cells, stations, u, reset_stage, p0):
+        m = self._num_stages
+        # u[:, 0] decides reset-to-j, u[:, 1] picks a uniform higher stage.
+        higher = reset_stage + 1 + (u[:, 1] * (m - reset_stage)).astype(np.int64)
+        stage = np.where(u[:, 0] < p0, reset_stage, np.minimum(higher, m))
+        stage = np.where(reset_stage >= m, m, stage)
+        self._stage[cells, stations] = stage
+        return _uniform_window_draw(u[:, 2], self._window(cells, stations))
+
+    def initial_draw(self, cells, stations, u):
+        reset_stage = np.full(cells.shape, self._initial_stage, dtype=np.int64)
+        p0 = np.full(cells.shape, self._initial_p0)
+        return self._reset_draw(cells, stations, u, reset_stage, p0)
+
+    def success_draw(self, cells, stations, u):
+        if self._control is None:
+            reset_stage = np.full(cells.shape, self._initial_stage, dtype=np.int64)
+            p0 = np.full(cells.shape, self._initial_p0)
+        else:
+            reset_stage = self._control.advertised_stage()[cells]
+            p0 = self._control.advertised_p0()[cells]
+        return self._reset_draw(cells, stations, u, reset_stage, p0)

@@ -1,6 +1,15 @@
-"""Simulation substrates: event-driven (hidden-node capable) and slotted
-(fully connected, fast) WLAN simulators plus shared metrics."""
+"""Simulation substrates: event-driven (hidden-node capable), slotted (fully
+connected, fast) and batched (many fully connected cells at once, fastest)
+WLAN simulators plus shared metrics."""
 
+from .batched import (
+    BATCHABLE_SCHEME_KINDS,
+    BatchedSlottedSimulator,
+    CellStreams,
+    batchable_scheme,
+    make_batched_system,
+    run_batched,
+)
 from .dynamics import ActivitySchedule, constant_activity, step_activity
 from .engine import Event, EventScheduler, SimulationClock
 from .medium import AP_NODE_ID, ActiveTransmission, Medium
@@ -10,6 +19,12 @@ from .simulation import AccessPointProcess, WlanSimulation, run_event_driven
 from .slotted import SlottedSimulator, run_slotted
 
 __all__ = [
+    "BATCHABLE_SCHEME_KINDS",
+    "BatchedSlottedSimulator",
+    "CellStreams",
+    "batchable_scheme",
+    "make_batched_system",
+    "run_batched",
     "ActivitySchedule",
     "constant_activity",
     "step_activity",

@@ -1,0 +1,663 @@
+"""SIMD-style batched slotted simulator for fully connected cells.
+
+:class:`~repro.sim.slotted.SlottedSimulator` advances *one* fully connected
+cell through its virtual-slot renewal process with a Python-level loop per
+busy slot.  This module advances **many independent cells simultaneously**:
+all per-station state lives in 2-D NumPy arrays (axis 0 = cell, axis 1 =
+station) and each loop iteration performs one renewal step for *every* cell
+at once — backoff countdown, idle fast-forward, collision/success
+resolution, per-scheme contention-window updates, frame errors,
+activity-schedule joins/leaves, controller ticks and timeline sampling.
+Interpreter overhead is therefore paid once per virtual slot *per batch*
+rather than per cell, which is what lets one machine sweep orders of
+magnitude more (scheme x N x seed) cells per hour.
+
+Reproducibility contract
+------------------------
+
+Each cell owns a private ``numpy.random.Generator`` seeded with the cell's
+task seed (the same ``derive_seed`` values the campaign engine already
+uses).  Uniform variates are drawn in fixed-size blocks per cell
+(:class:`CellStreams`) and consumed in an order that is a deterministic
+function of *that cell's own trajectory* (station order within a slot,
+fixed draw counts per event kind — see :mod:`repro.mac.batched`).  As a
+consequence a cell's results are bit-identical no matter which other cells
+share its batch — the property the campaign planner relies on to group
+tasks freely and that the Hypothesis suite checks.
+
+Batched results are statistically equivalent to the scalar slotted
+simulator (same renewal model, same policy/controller state machines,
+identically distributed draws) but not bit-identical to it: the random
+streams are consumed in a different order.  Hidden-node topologies are out
+of scope — use :mod:`repro.sim.simulation`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.batched import (
+    BatchedControllerBank,
+    BatchedStaticBank,
+    BatchedToraBank,
+    BatchedWTopBank,
+)
+from ..mac.batched import (
+    BatchedDcfBank,
+    BatchedIdleSenseBank,
+    BatchedPPersistentBank,
+    BatchedPolicyBank,
+    BatchedRandomResetBank,
+)
+from ..phy.constants import PhyParameters
+from .dynamics import ActivitySchedule
+from .metrics import SimulationResult, StationStats
+
+__all__ = [
+    "CellStreams",
+    "BatchedSlottedSimulator",
+    "BATCHABLE_SCHEME_KINDS",
+    "batchable_scheme",
+    "make_batched_system",
+    "run_batched",
+]
+
+#: Sentinel backoff counter for stations that are padded or inactive; large
+#: enough that decrements over any realistic run leave it unreachable.
+_INACTIVE = np.int64(2) ** 62
+
+
+class CellStreams:
+    """Block-buffered per-cell uniform random streams.
+
+    Each cell gets its own :class:`numpy.random.Generator`; uniforms are drawn
+    a block at a time and handed out through :meth:`claim`, which reserves
+    ``counts[c]`` values per cell and returns the start offset of each cell's
+    reservation into :attr:`buffer`.  When a cell's reservation would overrun
+    its block, the *remainder of the block is discarded* and a fresh block is
+    drawn — wasteful but crucial: whether a refill happens depends only on the
+    cell's own consumption history, never on its batch neighbours.
+
+    For the same reason ``block`` may be a per-cell sequence but must always
+    be derived from each cell's *own* parameters (its station count, its
+    scheme), never from a batch-wide quantity such as the padded width —
+    otherwise refill points, and therefore results, would depend on batch
+    composition.  The backing buffer is rectangular (padded to the largest
+    block); only the per-cell logical block length governs refills.
+    """
+
+    def __init__(self, seeds: Sequence[int], block=4096) -> None:
+        blocks = np.broadcast_to(
+            np.asarray(block, dtype=np.int64), (len(seeds),)
+        ).copy()
+        if np.any(blocks < 1):
+            raise ValueError("block must be positive")
+        self._rngs = [np.random.default_rng(seed) for seed in seeds]
+        self._blocks = blocks
+        width = int(blocks.max())
+        self.buffer = np.zeros((len(seeds), width))
+        for cell, rng in enumerate(self._rngs):
+            self.buffer[cell, : blocks[cell]] = rng.random(int(blocks[cell]))
+        self._pos = np.zeros(len(self._rngs), dtype=np.int64)
+
+    @property
+    def blocks(self) -> np.ndarray:
+        """Per-cell logical block lengths."""
+        return self._blocks.copy()
+
+    def claim(self, counts: np.ndarray) -> np.ndarray:
+        """Reserve ``counts[c]`` uniforms per cell; return per-cell offsets."""
+        new_pos = self._pos + counts
+        if (new_pos > self._blocks).any():
+            for cell in np.flatnonzero(new_pos > self._blocks):
+                block = int(self._blocks[cell])
+                if counts[cell] > block:
+                    raise ValueError("claim exceeds the stream block size")
+                self.buffer[cell, :block] = self._rngs[int(cell)].random(block)
+                self._pos[cell] = 0
+            new_pos = self._pos + counts
+        base = self._pos
+        self._pos = new_pos
+        return base
+
+    def gather(self, cells: np.ndarray, offsets: np.ndarray,
+               width: int) -> np.ndarray:
+        """Gather ``width`` consecutive uniforms per (cell, offset) pair."""
+        if width == 1:
+            return self.buffer[cells, offsets][:, None]
+        return np.stack(
+            [self.buffer[cells, offsets + j] for j in range(width)], axis=1
+        )
+
+
+class BatchedSlottedSimulator:
+    """Vectorized virtual-slot simulator over a batch of connected cells.
+
+    All cells share the scheme (policy/controller banks), PHY, durations,
+    frame error rate, reporting options and activity schedule; they differ in
+    station count and random seed.  That is exactly the shape of one column
+    of a campaign grid, which is how the campaign planner forms batches.
+
+    Parameters
+    ----------
+    policy_bank / controller_bank:
+        Vectorized station policies (:mod:`repro.mac.batched`) and AP
+        controller (:mod:`repro.core.batched`) sized for this batch.
+    num_stations:
+        Per-cell station counts (the batch is padded to the maximum).
+    seeds:
+        Per-cell RNG seeds.
+    duration / warmup / phy / frame_error_rate / report_interval / activity:
+        As in :class:`~repro.sim.slotted.SlottedSimulator`, shared by every
+        cell in the batch.
+    """
+
+    def __init__(
+        self,
+        policy_bank: BatchedPolicyBank,
+        controller_bank: BatchedControllerBank,
+        num_stations: Sequence[int],
+        seeds: Sequence[int],
+        duration: float,
+        warmup: float = 0.0,
+        phy: Optional[PhyParameters] = None,
+        frame_error_rate: float = 0.0,
+        report_interval: Optional[float] = None,
+        activity: Optional[ActivitySchedule] = None,
+        scheme_name: Optional[str] = None,
+    ) -> None:
+        if len(num_stations) != len(seeds):
+            raise ValueError("num_stations and seeds must have equal length")
+        if not num_stations:
+            raise ValueError("a batch needs at least one cell")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if report_interval is not None and report_interval <= 0:
+            raise ValueError("report_interval must be positive")
+        if not 0.0 <= frame_error_rate < 1.0:
+            raise ValueError("frame_error_rate must lie in [0, 1)")
+        self._n = np.asarray(num_stations, dtype=np.int64)
+        if np.any(self._n < 1):
+            raise ValueError("every cell needs at least one station")
+        if activity is not None and np.any(self._n < activity.max_active):
+            raise ValueError(
+                "num_stations is smaller than the activity schedule's maximum"
+            )
+        self._bank = policy_bank
+        self._controller = controller_bank
+        self._seeds = list(seeds)
+        self._duration = float(duration)
+        self._warmup = float(warmup)
+        self._phy = phy or PhyParameters()
+        self._fer = float(frame_error_rate)
+        self._interval = report_interval
+        self._activity = activity
+        self._scheme_name = scheme_name
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[SimulationResult]:
+        """Simulate every cell for ``warmup + duration`` seconds."""
+        bank = self._bank
+        controller = self._controller
+        phy = self._phy
+        sigma = phy.slot_time
+        ts = phy.ts
+        tc = phy.tc
+        payload = phy.payload_bits
+        warmup = self._warmup
+        duration = self._duration
+        end_time = warmup + duration
+        interval = self._interval
+        fer = self._fer
+
+        n = self._n
+        num_cells = n.size
+        max_n = int(n.max())
+        st_range = np.arange(max_n)
+        # Block sizes must depend on each cell's own station count only (not
+        # the batch-wide maximum): refill points are part of the cell's
+        # random-stream trajectory, and composition independence requires
+        # that trajectory to be a function of the cell alone.
+        draws = max(bank.draws_initial, bank.draws_success, bank.draws_failure)
+        blocks = np.maximum(4096, 8 * n * draws)
+        streams = CellStreams(self._seeds, block=blocks)
+
+        # Station state: counters start at the policy's initial draw for every
+        # existing station (the scalar simulator draws for all N policies up
+        # front too); stations beyond the initial active count are parked at
+        # the sentinel and redraw when an activity change activates them.
+        counters = np.full((num_cells, max_n), _INACTIVE, dtype=np.int64)
+        exists = st_range[None, :] < n[:, None]
+        init_cells, init_stations = np.nonzero(exists)
+        k_init = bank.draws_initial
+        base = streams.claim(n * k_init)
+        offsets = base[init_cells] + init_stations * k_init
+        counters[init_cells, init_stations] = bank.initial_draw(
+            init_cells, init_stations, streams.gather(init_cells, offsets, k_init)
+        )
+        if self._activity is not None:
+            active = np.full(num_cells, self._activity.active_count(0.0),
+                             dtype=np.int64)
+        else:
+            active = n.copy()
+        counters[st_range[None, :] >= active[:, None]] = _INACTIVE
+
+        # Per-cell clocks, measurement state and metrics.
+        now = np.zeros(num_cells)
+        measuring = np.full(num_cells, warmup == 0.0)
+        all_measuring = bool(measuring.all())
+        idle_run = np.zeros(num_cells, dtype=np.int64)
+        successes = np.zeros((num_cells, max_n), dtype=np.int64)
+        failures = np.zeros((num_cells, max_n), dtype=np.int64)
+        idle_slots = np.zeros(num_cells, dtype=np.int64)
+        busy_periods = np.zeros(num_cells, dtype=np.int64)
+        cum_bits = np.zeros(num_cells, dtype=np.int64)
+        bits_last = np.zeros(num_cells, dtype=np.int64)
+        report_at = np.full(num_cells, interval if interval else np.inf)
+        throughput_tl: List[List[Tuple[float, float]]] = [[] for _ in range(num_cells)]
+        control_tl: List[List[Tuple[float, float]]] = [[] for _ in range(num_cells)]
+
+        tick = controller.tick_interval
+        next_tick = np.full(num_cells, tick if tick else np.inf)
+
+        schedule = self._activity
+        if schedule is not None and schedule.change_times():
+            change_times = np.asarray(schedule.change_times())
+            change_counts = np.asarray(
+                [schedule.active_count(t) for t in change_times], dtype=np.int64
+            )
+            change_index = np.zeros(num_cells, dtype=np.int64)
+            pending_change = np.full(num_cells, change_times[0])
+        else:
+            change_times = np.empty(0)
+            change_counts = np.empty(0, dtype=np.int64)
+            change_index = np.zeros(num_cells, dtype=np.int64)
+            pending_change = np.full(num_cells, np.inf)
+
+        observes = bank.observes_channel
+        k_succ = bank.draws_success
+        k_fail = bank.draws_failure
+        # Every event of a uniform-draw-count scheme consumes exactly one
+        # uniform per transmitter, so the per-cell claim is simply ``num_tx``.
+        uniform_draws = k_succ == 1 and k_fail == 1
+        adaptive = not isinstance(controller, BatchedStaticBank)
+        has_schedule = change_times.size > 0
+        fer_on = fer > 0.0
+        # Phase flags let the hot loop skip measurement bookkeeping before the
+        # warm-up boundary and per-cell masking after every cell crossed it.
+        none_measuring = not measuring.any()
+
+        def sample_reports(fire: np.ndarray) -> None:
+            """Record timeline samples; refresh countdowns (deficit-credited)."""
+            cells = np.flatnonzero(fire)
+            primary = controller.primary_control()
+            for cell in cells:
+                delta = int(cum_bits[cell] - bits_last[cell])
+                throughput_tl[cell].append((float(now[cell]), delta / interval))
+                if primary is not None:
+                    control_tl[cell].append((float(now[cell]), float(primary[cell])))
+                bits_last[cell] = cum_bits[cell]
+            report_at[cells] += interval
+
+        while True:
+            alive = now < end_time
+            if not alive.any():
+                break
+
+            # Activity changes take effect at their breakpoint times; joining
+            # stations redraw a backoff under the current control values
+            # (success-draw semantics), leaving stations stop contending.
+            while has_schedule:
+                due = np.flatnonzero(alive & (now >= pending_change))
+                if due.size == 0:
+                    break
+                new_active = change_counts[change_index[due]]
+                old_active = active[due]
+                shrink = np.flatnonzero(new_active < old_active)
+                for i in shrink:
+                    cell = due[i]
+                    counters[cell, new_active[i]:old_active[i]] = _INACTIVE
+                grow = np.flatnonzero(new_active > old_active)
+                if grow.size:
+                    grow_cells = due[grow]
+                    reps = new_active[grow] - old_active[grow]
+                    cells_flat = np.repeat(grow_cells, reps)
+                    st_flat = np.concatenate([
+                        np.arange(a, b)
+                        for a, b in zip(old_active[grow], new_active[grow])
+                    ])
+                    counts = np.zeros(num_cells, dtype=np.int64)
+                    counts[grow_cells] = reps * k_succ
+                    base = streams.claim(counts)
+                    rank = st_flat - np.repeat(old_active[grow], reps)
+                    offsets = base[cells_flat] + rank * k_succ
+                    counters[cells_flat, st_flat] = bank.success_draw(
+                        cells_flat, st_flat,
+                        streams.gather(cells_flat, offsets, k_succ),
+                    )
+                active[due] = new_active
+                change_index[due] += 1
+                has_more = change_index[due] < change_times.size
+                pending_change[due] = np.where(
+                    has_more,
+                    change_times[np.minimum(change_index[due],
+                                            change_times.size - 1)],
+                    np.inf,
+                )
+
+            # Start measuring at the warmup boundary: reset metrics and anchor
+            # the reporting grid at the boundary itself (any overshoot counts
+            # against the first interval, as in the scalar simulator).
+            if not all_measuring:
+                cross = alive & ~measuring & (now >= warmup)
+                if cross.any():
+                    measuring |= cross
+                    none_measuring = False
+                    successes[cross] = 0
+                    failures[cross] = 0
+                    idle_slots[cross] = 0
+                    busy_periods[cross] = 0
+                    cum_bits[cross] = 0
+                    bits_last[cross] = 0
+                    if interval:
+                        report_at[cross] = interval - (now[cross] - warmup)
+                    all_measuring = bool(measuring.all())
+
+            # Idle fast-forward: advance by whole idle runs, but never past
+            # the next tick, activity change, report boundary, warmup
+            # boundary or end of run.
+            min_counter = counters.min(axis=1)
+            idle = alive & (min_counter > 0)
+            if idle.any():
+                bound = np.minimum(end_time, next_tick)
+                if has_schedule:
+                    np.minimum(bound, pending_change, out=bound)
+                if none_measuring:
+                    np.minimum(bound, warmup, out=bound)
+                elif not all_measuring:
+                    np.minimum(bound, np.where(measuring, now + report_at,
+                                               warmup), out=bound)
+                elif interval:
+                    np.minimum(bound, now + report_at, out=bound)
+                slots = np.ceil((bound - now) / sigma)
+                np.maximum(slots, 1.0, out=slots)
+                advance = np.where(
+                    idle, np.minimum(min_counter, slots.astype(np.int64)), 0
+                )
+                counters -= advance[:, None]
+                now += advance * sigma
+                if observes:
+                    idle_run += advance
+                if not none_measuring:
+                    measured = advance if all_measuring else advance * measuring
+                    idle_slots += measured
+                    if interval:
+                        report_at -= measured * sigma
+                        fire = measuring & idle & (report_at <= 0.0)
+                        if fire.any():
+                            sample_reports(fire)
+
+            # Controller ticks close starved measurement segments; stations
+            # pick the refreshed control values up automatically because the
+            # banks read them live at draw time.
+            if tick:
+                due_tick = alive & (now >= next_tick)
+                if due_tick.any():
+                    controller.on_tick(due_tick, now)
+                    next_tick[due_tick] += tick
+
+            # Transmissions: every cell whose minimum counter reached zero
+            # resolves one busy virtual slot (success, collision or frame
+            # error) this iteration.
+            min_counter = counters.min(axis=1)
+            tx = (min_counter == 0) & (now < end_time)
+            if not tx.any():
+                continue
+            tx_col = tx[:, None]
+            transmitters = tx_col & (counters == 0)
+            num_tx = transmitters.sum(axis=1)
+            single = num_tx == 1
+            if fer_on and single.any():
+                cells = np.flatnonzero(single)
+                counts = np.zeros(num_cells, dtype=np.int64)
+                counts[cells] = 1
+                base = streams.claim(counts)
+                draw = streams.buffer[cells, base[cells]]
+                success = np.zeros(num_cells, dtype=bool)
+                success[cells[draw >= fer]] = True
+            else:
+                success = single
+
+            if observes:
+                bank.observe_transmission(tx, idle_run)
+                idle_run[tx] = 0
+            slot_duration = np.where(success, ts, tc)
+            now += slot_duration * tx
+            if not none_measuring:
+                tx_measured = tx if all_measuring else tx & measuring
+                busy_periods += tx_measured
+                if interval:
+                    report_at -= slot_duration * tx_measured
+
+            # Waiting stations count down once per virtual slot, busy or idle
+            # (Bianchi's renewal model); every station at zero in a
+            # transmitting cell is a transmitter and is redrawn below, so the
+            # blanket decrement never leaves a stale negative counter behind.
+            counters -= tx_col
+
+            lose = tx & ~success
+            if uniform_draws:
+                counts = num_tx
+            else:
+                counts = success * k_succ + lose * num_tx * k_fail
+            base = streams.claim(counts)
+            winners = np.flatnonzero(success)
+            if winners.size:
+                winner_station = transmitters[winners].argmax(axis=1)
+                if all_measuring:
+                    successes[winners, winner_station] += 1
+                elif not none_measuring:
+                    successes[winners, winner_station] += measuring[winners]
+                if interval and not none_measuring:
+                    cum_bits[winners] += payload * measuring[winners]
+                if adaptive:
+                    controller.on_packet_received(success, now)
+                counters[winners, winner_station] = bank.success_draw(
+                    winners, winner_station,
+                    streams.gather(winners, base[winners], k_succ),
+                )
+            if lose.any():
+                lose_rows = np.flatnonzero(lose)
+                colliding = transmitters[lose_rows]
+                row, station = np.nonzero(colliding)
+                cells = lose_rows[row]
+                if not none_measuring:
+                    failures[cells, station] += measuring[cells]
+                rank = (np.cumsum(colliding, axis=1) - 1)[row, station]
+                offsets = base[cells] + rank * k_fail
+                counters[cells, station] = bank.failure_draw(
+                    cells, station, streams.gather(cells, offsets, k_fail)
+                )
+
+            if interval and not none_measuring:
+                fire = tx_measured & (report_at <= 0.0)
+                if fire.any():
+                    sample_reports(fire)
+
+        return self._build_results(successes, failures, idle_slots, busy_periods,
+                                   throughput_tl, control_tl)
+
+    # ------------------------------------------------------------------
+    def _build_results(self, successes, failures, idle_slots, busy_periods,
+                       throughput_tl, control_tl) -> List[SimulationResult]:
+        payload = self._phy.payload_bits
+        duration = self._duration
+        results = []
+        for cell in range(self._n.size):
+            stations = int(self._n[cell])
+            stats = tuple(
+                StationStats(
+                    station=i,
+                    successes=int(successes[cell, i]),
+                    failures=int(failures[cell, i]),
+                    payload_bits=int(successes[cell, i]) * payload,
+                    throughput_bps=int(successes[cell, i]) * payload / duration,
+                )
+                for i in range(stations)
+            )
+            extra: Dict[str, object] = {
+                "simulator": "batched",
+                "num_stations": stations,
+                "warmup": self._warmup,
+            }
+            if self._scheme_name is not None:
+                extra["scheme"] = self._scheme_name
+            station_idle = self._bank.station_observed_idle()
+            if station_idle is not None and not math.isnan(station_idle[cell]):
+                extra["station_observed_idle"] = float(station_idle[cell])
+            results.append(SimulationResult(
+                duration=duration,
+                station_stats=stats,
+                total_throughput_bps=int(successes[cell, :stations].sum())
+                * payload / duration,
+                idle_slots=int(idle_slots[cell]),
+                busy_periods=int(busy_periods[cell]),
+                throughput_timeline=tuple(throughput_tl[cell]),
+                control_timeline=tuple(control_tl[cell]),
+                extra=extra,
+            ))
+        return results
+
+
+# ----------------------------------------------------------------------
+# Scheme registry: which campaign scheme kinds have a batched kernel
+# ----------------------------------------------------------------------
+#: Supported scheme kinds mapped to the spec parameters the batched kernels
+#: honour; tasks using other kinds or parameters fall back to the scalar
+#: simulators.
+_BATCHABLE_PARAMS = {
+    "standard-802.11": frozenset(),
+    "idlesense": frozenset({"target_idle_slots"}),
+    "wtop-csma": frozenset({
+        "update_period", "initial_control", "initial_p", "initial_station_p",
+        "weights",
+    }),
+    "tora-csma": frozenset({
+        "update_period", "initial_p0", "initial_stage",
+        "low_threshold", "high_threshold",
+    }),
+    "fixed-p": frozenset({"p", "weights"}),
+    "fixed-randomreset": frozenset({"stage", "p0"}),
+}
+
+#: Scheme kinds with a batched kernel.
+BATCHABLE_SCHEME_KINDS = tuple(sorted(_BATCHABLE_PARAMS))
+
+
+def batchable_scheme(kind: str, params: Dict[str, object]) -> bool:
+    """Whether ``kind`` with these spec parameters has a batched kernel."""
+    supported = _BATCHABLE_PARAMS.get(kind)
+    if supported is None:
+        return False
+    return set(params) <= set(supported)
+
+
+def make_batched_system(
+    kind: str,
+    params: Dict[str, object],
+    num_cells: int,
+    max_stations: int,
+    phy: PhyParameters,
+) -> Tuple[BatchedPolicyBank, BatchedControllerBank, str]:
+    """Build (policy bank, controller bank, display name) for a scheme kind.
+
+    ``kind`` and ``params`` use the same vocabulary as
+    :class:`repro.experiments.campaign.SchemeSpec`; the display names match
+    the scalar factories in :mod:`repro.mac.schemes` so batched results carry
+    identical metadata.
+    """
+    if not batchable_scheme(kind, params):
+        raise ValueError(
+            f"scheme kind '{kind}' with params {sorted(params)} has no "
+            f"batched kernel (supported kinds: {BATCHABLE_SCHEME_KINDS})"
+        )
+    if kind == "standard-802.11":
+        return (BatchedDcfBank(phy, num_cells, max_stations),
+                BatchedStaticBank(), "Standard 802.11")
+    if kind == "idlesense":
+        bank = BatchedIdleSenseBank(
+            phy, num_cells,
+            target_idle_slots=float(params.get("target_idle_slots", 3.1)),
+        )
+        return bank, BatchedStaticBank(), "IdleSense"
+    if kind == "wtop-csma":
+        controller = BatchedWTopBank(
+            num_cells, phy,
+            update_period=float(params.get("update_period", 0.25)),
+            initial_control=float(params.get("initial_control", 0.5)),
+            initial_p=params.get("initial_p"),
+        )
+        bank = BatchedPPersistentBank(
+            num_cells, max_stations,
+            initial_p=float(params.get("initial_station_p", 0.1)),
+            weights=params.get("weights"),
+            control=controller,
+        )
+        return bank, controller, "wTOP-CSMA"
+    if kind == "tora-csma":
+        initial_stage = int(params.get("initial_stage", 0))
+        controller = BatchedToraBank(
+            num_cells, phy,
+            update_period=float(params.get("update_period", 0.25)),
+            initial_p0=float(params.get("initial_p0", 0.5)),
+            initial_stage=initial_stage,
+            low_threshold=float(params.get("low_threshold", 0.05)),
+            high_threshold=float(params.get("high_threshold", 0.95)),
+        )
+        # Stations start with reset probability 1 at the initial stage and
+        # adopt the advertised (p0, j) afterwards, as in tora_csma_scheme.
+        bank = BatchedRandomResetBank(
+            phy, num_cells, max_stations,
+            initial_stage=initial_stage, initial_p0=1.0, control=controller,
+        )
+        return bank, controller, "TORA-CSMA"
+    if kind == "fixed-p":
+        p = float(params["p"])
+        bank = BatchedPPersistentBank(
+            num_cells, max_stations, initial_p=p, weights=params.get("weights"),
+        )
+        return bank, BatchedStaticBank(), f"p-persistent(p={p:g})"
+    # fixed-randomreset
+    stage = int(params["stage"])
+    p0 = float(params["p0"])
+    bank = BatchedRandomResetBank(
+        phy, num_cells, max_stations, initial_stage=stage, initial_p0=p0,
+    )
+    return bank, BatchedStaticBank(), f"RandomReset(j={stage}, p0={p0:g})"
+
+
+def run_batched(
+    kind: str,
+    params: Dict[str, object],
+    num_stations: Sequence[int],
+    seeds: Sequence[int],
+    duration: float,
+    warmup: float = 0.0,
+    phy: Optional[PhyParameters] = None,
+    **kwargs,
+) -> List[SimulationResult]:
+    """One-call convenience wrapper: build the banks and run the batch."""
+    phy = phy or PhyParameters()
+    policy_bank, controller_bank, name = make_batched_system(
+        kind, dict(params), len(num_stations), int(max(num_stations)), phy
+    )
+    simulator = BatchedSlottedSimulator(
+        policy_bank, controller_bank, num_stations, seeds,
+        duration=duration, warmup=warmup, phy=phy, scheme_name=name, **kwargs,
+    )
+    return simulator.run()

@@ -15,14 +15,18 @@ import numpy as np
 import pytest
 
 from repro.experiments.campaign import (
+    RESULT_SCHEMA_VERSION,
     CampaignExecutor,
     ResultCache,
     RunTask,
     SchemeSpec,
     SweepSpec,
     TopologySpec,
+    batch_eligible,
     derive_seed,
+    execute_batch,
     execute_task,
+    plan_batches,
     result_from_dict,
     result_to_dict,
 )
@@ -265,6 +269,114 @@ class TestCampaignExecutorDeterminism:
         assert results[0] == results[1]
 
 
+class TestBackendSelection:
+    def test_auto_backend_batches_eligible_connected_tasks(self):
+        events = []
+        executor = CampaignExecutor(jobs=1, progress=events.append)
+        [result] = executor.run([_quick_task()])
+        assert result.extra["simulator"] == "batched"
+        assert events[0].backend == "batched"
+        assert executor.last_run_stats.batched_cells == 1
+
+    def test_slotted_backend_keeps_scalar_behaviour(self):
+        executor = CampaignExecutor(jobs=1, backend="slotted")
+        [result] = executor.run([_quick_task()])
+        assert result.extra["simulator"] == "slotted"
+        assert executor.last_run_stats.batched_cells == 0
+
+    def test_event_backend_forces_event_simulator(self):
+        [result] = CampaignExecutor(jobs=1, backend="event").run([_quick_task()])
+        assert result.extra["simulator"] == "event-driven"
+
+    def test_explicit_simulator_choice_is_respected(self):
+        [result] = CampaignExecutor(jobs=1).run(
+            [_quick_task(simulator="slotted")]
+        )
+        assert result.extra["simulator"] == "slotted"
+
+    def test_ineligible_scheme_falls_back_to_slotted(self):
+        task = _quick_task(scheme=SchemeSpec.make("n-estimating"))
+        assert not batch_eligible(task)
+        [result] = CampaignExecutor(jobs=1).run([task])
+        assert result.extra["simulator"] == "slotted"
+
+    def test_hidden_tasks_always_use_event_simulator(self):
+        task = _quick_task(
+            num_stations=10, topology=TopologySpec.hidden_disc(10, 16.0, 1)
+        )
+        assert not batch_eligible(task)
+        [result] = CampaignExecutor(jobs=1).run([task])
+        assert result.extra["simulator"] == "event-driven"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignExecutor(backend="quantum")
+
+    def test_backend_changes_cache_key_but_not_task(self):
+        task = _quick_task()
+        auto = CampaignExecutor(jobs=1)._resolve_backend(task)
+        slotted = CampaignExecutor(jobs=1, backend="slotted")._resolve_backend(task)
+        assert auto.task_key() != slotted.task_key()
+        assert task.simulator == "auto"  # original untouched
+
+    def test_plan_batches_groups_only_compatible_tasks(self):
+        compatible = [_quick_task(seed=s) for s in (1, 2)]
+        different_duration = _quick_task(seed=3, duration=0.5)
+        different_scheme = _quick_task(
+            seed=4, scheme=SchemeSpec.make("idlesense")
+        )
+        groups = plan_batches(compatible + [different_duration, different_scheme])
+        assert sorted(len(g) for g in groups) == [1, 1, 2]
+
+    def test_plan_batches_splits_groups_to_fill_workers(self):
+        tasks = [_quick_task(seed=s) for s in range(8)]
+        assert len(plan_batches(tasks)) == 1
+        split = plan_batches(tasks, target_units=4)
+        assert len(split) == 4
+        assert sorted(t.seed for g in split for t in g) == list(range(8))
+        # Can't split below one cell per unit.
+        assert len(plan_batches(tasks[:2], target_units=8)) == 2
+
+    def test_batched_results_identical_serial_vs_parallel(self):
+        tasks = [_quick_task(seed=s, num_stations=n)
+                 for s in (1, 2) for n in (3, 6)]
+        serial = CampaignExecutor(jobs=1).run(tasks)
+        parallel = CampaignExecutor(jobs=4).run(tasks)
+        for left, right in zip(serial, parallel):
+            assert left == right
+
+    def test_batched_cells_round_trip_the_cache_bit_exactly(self, tmp_path):
+        tasks = [_quick_task(seed=s) for s in (1, 2, 3)]
+        cold = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        cold_results = cold.run(tasks)
+        assert cold.last_run_stats.batched_cells == 3
+        warm = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        warm_results = warm.run(tasks)
+        assert warm.last_run_stats.cached == 3
+        assert warm.last_run_stats.executed == 0
+        assert warm_results == cold_results
+
+    def test_execute_task_handles_batched_tasks(self):
+        result = execute_task(_quick_task(simulator="batched"))
+        assert result.extra["simulator"] == "batched"
+        assert result.total_throughput_bps > 0
+
+    def test_execute_batch_rejects_incompatible_groups(self):
+        with pytest.raises(ValueError):
+            execute_batch([
+                _quick_task(simulator="batched"),
+                _quick_task(simulator="batched", duration=0.5),
+            ])
+
+    def test_progress_events_report_rate_and_backend(self):
+        events = []
+        CampaignExecutor(jobs=1, progress=events.append).run(
+            [_quick_task(seed=s) for s in (1, 2)]
+        )
+        assert all(e.backend == "batched" for e in events)
+        assert events[-1].cells_per_s > 0
+
+
 class TestCampaignCache:
     def test_cache_round_trip_is_exact(self, tmp_path):
         task = _quick_task(report_interval=0.1)
@@ -302,6 +414,28 @@ class TestCampaignCache:
         cache = ResultCache(tmp_path)
         cache.store(task, execute_task(task))
         cache.path_for(task.task_key()).write_text("{not json", encoding="utf-8")
+        executor = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        executor.run([task])
+        assert executor.last_run_stats.executed == 1
+
+    def test_schema_version_mismatch_treated_as_miss(self, tmp_path):
+        """Entries written by older code (wrong or missing result schema
+        version) must be re-simulated, never deserialised into a campaign."""
+        task = _quick_task()
+        cache = ResultCache(tmp_path)
+        cache.store(task, execute_task(task))
+        path = cache.path_for(task.task_key())
+
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+        payload["schema_version"] = RESULT_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.load(task.task_key()) is None
+
+        del payload["schema_version"]  # entry predating the field entirely
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.load(task.task_key()) is None
+
         executor = CampaignExecutor(jobs=1, cache_dir=tmp_path)
         executor.run([task])
         assert executor.last_run_stats.executed == 1

@@ -17,10 +17,18 @@ class TestParser:
         assert args.cache_dir is None
         assert args.no_cache is False
         assert args.progress is False
+        assert args.backend == "auto"
 
     def test_preset_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig12", "--preset", "huge"])
+
+    def test_backend_choices(self):
+        for backend in ("auto", "slotted", "event", "batched"):
+            args = build_parser().parse_args(["fig3", "--backend", backend])
+            assert args.backend == backend
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--backend", "quantum"])
 
     def test_campaign_flags(self, tmp_path):
         args = build_parser().parse_args(
@@ -77,6 +85,21 @@ class TestAllSubcommand:
         with pytest.raises(SystemExit):
             main(["fig12", "--cache-dir", str(target)])
         assert "is not a directory" in capsys.readouterr().err
+
+
+class TestBackendFlag:
+    def test_backend_flag_reaches_executor(self, monkeypatch, capsys):
+        seen = {}
+
+        def runner(config, executor=None):
+            seen["backend"] = executor.backend
+            return _stub_runner("fig3")(config, executor=executor)
+
+        monkeypatch.setitem(EXPERIMENT_REGISTRY, "fig3", runner)
+        assert main(["fig3", "--backend", "batched"]) == 0
+        assert seen["backend"] == "batched"
+        assert main(["fig3"]) == 0
+        assert seen["backend"] == "auto"
 
 
 class TestMain:

@@ -104,3 +104,55 @@ class TestLogDistance:
     def test_rejects_negative_shadowing(self):
         with pytest.raises(ValueError):
             LogDistancePropagation(shadowing_sigma_db=-1.0)
+
+    def test_rejects_non_positive_exponent_and_reference(self):
+        with pytest.raises(ValueError):
+            LogDistancePropagation(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistancePropagation(reference_distance_m=0.0)
+
+    def test_rx_power_clamped_below_reference_distance(self):
+        """Inside the reference distance the model reports the reference
+        power instead of extrapolating the log towards +infinity."""
+        model = LogDistancePropagation(reference_distance_m=2.0)
+        at_reference = model.rx_power_dbm(2.0)
+        assert model.rx_power_dbm(0.5) == at_reference
+        assert model.rx_power_dbm(1e-9) == at_reference
+        assert model.rx_power_dbm(4.0) < at_reference
+
+    def test_rx_power_matches_friis_at_reference(self):
+        model = LogDistancePropagation(tx_power_dbm=16.0, frequency_hz=2.4e9)
+        expected = 16.0 - friis_path_loss_db(1.0, 2.4e9)
+        assert model.rx_power_dbm(1.0) == pytest.approx(expected)
+
+    def test_path_loss_slope_is_10n_per_decade(self):
+        model = LogDistancePropagation(path_loss_exponent=3.0)
+        drop = model.rx_power_dbm(10.0) - model.rx_power_dbm(100.0)
+        assert drop == pytest.approx(30.0, rel=1e-9)
+
+    def test_range_zero_when_threshold_unreachable(self):
+        model = LogDistancePropagation(tx_power_dbm=-120.0)
+        assert model.decode_range == 0.0
+        assert model.sense_range == 0.0
+
+    def test_validate_passes_for_default_and_calibrated(self):
+        LogDistancePropagation().validate()
+        LogDistancePropagation.calibrated().validate()
+
+    def test_shadowing_draws_match_requested_sigma(self):
+        model = LogDistancePropagation(shadowing_sigma_db=6.0)
+        rng = np.random.default_rng(7)
+        draws = np.array([model.link_shadowing_db(rng) for _ in range(4000)])
+        assert abs(draws.mean()) < 0.5
+        assert draws.std() == pytest.approx(6.0, rel=0.1)
+
+    def test_calibrated_sense_threshold_below_decode_threshold(self):
+        model = LogDistancePropagation.calibrated(decode_range=16.0,
+                                                  sense_range=24.0)
+        assert model.sense_threshold_dbm < model.decode_threshold_dbm
+
+    def test_equal_ranges_calibration_is_valid(self):
+        model = LogDistancePropagation.calibrated(decode_range=20.0,
+                                                  sense_range=20.0)
+        assert model.decode_range == pytest.approx(20.0, rel=1e-6)
+        assert model.sense_range == pytest.approx(20.0, rel=1e-6)

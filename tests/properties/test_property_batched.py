@@ -1,0 +1,102 @@
+"""Property-based tests for the batched simulator's composition contract.
+
+The campaign planner groups arbitrary compatible tasks into one vectorized
+call, caches per-cell results and mixes batched and cached cells freely.
+All of that is sound only if a cell's result is a pure function of its own
+(N, seed) — never of the batch it happened to ride in.  Hypothesis explores
+random batch compositions, orderings and duplications to hunt for any
+cross-cell leakage (shared RNG state, mis-scoped masks, padding artefacts).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.campaign import RunTask, SchemeSpec, TopologySpec
+from repro.experiments.campaign.batching import execute_batch
+from repro.phy.constants import PhyParameters
+from repro.sim.batched import run_batched
+
+PHY = PhyParameters()
+
+SCHEMES = [
+    ("standard-802.11", {}),
+    ("idlesense", {}),
+    ("wtop-csma", {"update_period": 0.05}),
+    ("tora-csma", {"update_period": 0.05}),
+    ("fixed-p", {"p": 0.05}),
+    ("fixed-randomreset", {"stage": 0, "p0": 0.5}),
+]
+
+cells = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=12),
+              st.integers(min_value=0, max_value=2 ** 31 - 1)),
+    min_size=2, max_size=5,
+)
+
+
+class TestCompositionIndependence:
+    @given(cells=cells, scheme=st.sampled_from(SCHEMES),
+           focus=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_cell_result_is_independent_of_batch_composition(
+        self, cells, scheme, focus
+    ):
+        """A cell batched with arbitrary neighbours equals the cell alone."""
+        kind, params = scheme
+        focus = focus % len(cells)
+        n, seed = cells[focus]
+        batch = run_batched(kind, params, [c[0] for c in cells],
+                            [c[1] for c in cells],
+                            duration=0.15, warmup=0.1, phy=PHY)
+        [alone] = run_batched(kind, params, [n], [seed],
+                              duration=0.15, warmup=0.1, phy=PHY)
+        assert batch[focus] == alone
+
+    @given(cells=cells, scheme=st.sampled_from(SCHEMES),
+           order_seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_order_does_not_change_per_cell_results(
+        self, cells, scheme, order_seed
+    ):
+        kind, params = scheme
+        permutation = np.random.default_rng(order_seed).permutation(len(cells))
+        forward = run_batched(kind, params, [c[0] for c in cells],
+                              [c[1] for c in cells],
+                              duration=0.15, warmup=0.05, phy=PHY)
+        shuffled = run_batched(kind, params,
+                               [cells[i][0] for i in permutation],
+                               [cells[i][1] for i in permutation],
+                               duration=0.15, warmup=0.05, phy=PHY)
+        for position, original in enumerate(permutation):
+            assert shuffled[position] == forward[original]
+
+    @given(n=st.integers(min_value=1, max_value=10),
+           seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+           copies=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_duplicated_cells_produce_identical_results(self, n, seed, copies):
+        results = run_batched("standard-802.11", {}, [n] * copies,
+                              [seed] * copies, duration=0.2, warmup=0.0,
+                              phy=PHY)
+        for result in results[1:]:
+            assert result == results[0]
+
+
+class TestExecuteBatchContract:
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=2 ** 31 - 1),
+                          min_size=2, max_size=4, unique=True))
+    @settings(max_examples=10, deadline=None)
+    def test_execute_batch_equals_batches_of_one(self, seeds):
+        """The planner's grouping is invisible in the per-cell results."""
+        tasks = [
+            RunTask(
+                scheme=SchemeSpec.make("standard-802.11"),
+                topology=TopologySpec.connected(4),
+                seed=seed, duration=0.2, warmup=0.05,
+                simulator="batched", phy=PHY,
+            )
+            for seed in seeds
+        ]
+        grouped = execute_batch(tasks)
+        singles = [execute_batch([task])[0] for task in tasks]
+        assert grouped == singles

@@ -175,6 +175,26 @@ class TestDynamicActivity:
             SlottedSimulator(standard_80211_scheme(phy), num_stations=3,
                              phy=phy, activity=schedule)
 
+    def test_population_grows_during_warmup(self, phy):
+        # The schedule steps while metrics are still being discarded; every
+        # station active by the warmup boundary must show measured traffic.
+        schedule = step_activity([(0.0, 2), (0.25, 6)])
+        simulator = SlottedSimulator(
+            standard_80211_scheme(phy), activity=schedule, phy=phy, seed=3
+        )
+        result = simulator.run(duration=1.0, warmup=0.5)
+        assert all(s.successes > 0 for s in result.station_stats)
+
+    def test_population_shrinks_during_warmup(self, phy):
+        # Stations deactivated before measurement starts must record nothing.
+        schedule = step_activity([(0.0, 6), (0.25, 2)])
+        simulator = SlottedSimulator(
+            standard_80211_scheme(phy), activity=schedule, phy=phy, seed=3
+        )
+        result = simulator.run(duration=1.0, warmup=0.5)
+        assert all(s.successes > 0 for s in result.station_stats[:2])
+        assert all(s.payload_bits == 0 for s in result.station_stats[2:])
+
     def test_joining_station_applies_current_control_values(self, phy):
         # A station activated by the schedule must pick up the controller's
         # *current* advertised control (and a fresh backoff) at the moment it

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for the vectorized (batched) backends.
+
+Compares the machine-readable ``benchmarks/results/BENCH_*.json`` records
+produced by the current benchmark run against the committed baselines in
+``benchmarks/baselines/`` and **fails (exit 1) when a batched backend's
+``cells_per_s`` regressed by more than the tolerance** (default 25 %).
+
+Only records whose ``backend`` mentions ``batched`` gate the build — the
+scalar simulators are oracles, not the perf product, and their wall clock is
+tracked informationally.  Benchmarks without a committed baseline are
+reported but never fail the gate (new benchmarks start gating once their
+baseline is committed).  When a record carries a machine-independent
+``speedup`` field (batched vs scalar wall-clock ratio, immune to runner
+throttling), a >25 % drop of that ratio is also flagged.
+
+Usage::
+
+    python benchmarks/check_benchmark_regression.py            # gate
+    python benchmarks/check_benchmark_regression.py --update-baselines
+
+Environment:
+
+``BENCH_REGRESSION_TOLERANCE``
+    Override the fractional tolerance (e.g. ``0.4`` on very noisy runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+
+HERE = pathlib.Path(__file__).parent
+RESULTS_DIR = HERE / "results"
+BASELINES_DIR = HERE / "baselines"
+
+#: Fail on a cells/sec (or speedup-ratio) drop larger than this fraction.
+DEFAULT_TOLERANCE = 0.25
+
+
+def _load(path: pathlib.Path):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"  [warn] unreadable benchmark record {path.name}: {error}")
+        return None
+
+
+def _is_batched(record) -> bool:
+    backend = record.get("backend")
+    return isinstance(backend, str) and "batched" in backend
+
+
+def compare(tolerance: float) -> int:
+    """Return the number of gating regressions; print a report."""
+    if not BASELINES_DIR.is_dir():
+        print(f"no baselines directory at {BASELINES_DIR}; nothing to gate")
+        return 0
+    regressions = 0
+    baselines = sorted(BASELINES_DIR.glob("BENCH_*.json"))
+    if not baselines:
+        print("no committed baselines; nothing to gate")
+        return 0
+    for baseline_path in baselines:
+        baseline = _load(baseline_path)
+        if baseline is None:
+            continue
+        name = baseline_path.name
+        gated = _is_batched(baseline)
+        if not gated:
+            print(f"  [info] {name}: scalar backend, tracked but not gated")
+            continue
+        # A gated benchmark that produced no record is itself a failure:
+        # otherwise renaming or breaking the benchmark silently disables
+        # its own gate — the exact regression class the gate exists for.
+        current_path = RESULTS_DIR / name
+        current = _load(current_path) if current_path.exists() else None
+        if current is None:
+            print(f"  [MISSING] {name}: gated baseline has no current "
+                  f"record (benchmark renamed, skipped or crashed?)")
+            regressions += 1
+            continue
+        compared = 0
+        for metric in ("cells_per_s", "speedup"):
+            base_value = baseline.get(metric)
+            if not base_value:
+                continue
+            new_value = current.get(metric)
+            if new_value is None:
+                # The metric existed in the baseline: losing it is lost
+                # gate coverage, not a pass.
+                print(f"  [MISSING] {name}: baseline metric '{metric}' "
+                      f"absent from the current record")
+                regressions += 1
+                continue
+            compared += 1
+            ratio = new_value / base_value
+            status = "ok"
+            if ratio < 1.0 - tolerance:
+                status = "REGRESSION"
+                regressions += 1
+            print(f"  [{status}] {name}: {metric} {base_value:g} -> "
+                  f"{new_value:g} ({ratio:.2f}x of baseline)")
+        if compared == 0 and not regressions:
+            print(f"  [warn] {name}: baseline carries no gateable metrics")
+    return regressions
+
+
+def update_baselines() -> None:
+    BASELINES_DIR.mkdir(parents=True, exist_ok=True)
+    copied = 0
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        record = _load(path)
+        if record is None or not _is_batched(record):
+            continue
+        shutil.copy(path, BASELINES_DIR / path.name)
+        copied += 1
+        print(f"  baselined {path.name}")
+    if not copied:
+        print("no batched-backend records under benchmarks/results/ to "
+              "baseline (run the speedup benchmarks first)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="copy the current batched-backend BENCH_*.json records into "
+             "benchmarks/baselines/",
+    )
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_TOLERANCE",
+                                     DEFAULT_TOLERANCE)),
+        help=f"fractional regression tolerance (default "
+             f"{DEFAULT_TOLERANCE:g}, env BENCH_REGRESSION_TOLERANCE)",
+    )
+    args = parser.parse_args(argv)
+    if args.update_baselines:
+        update_baselines()
+        return 0
+    print(f"benchmark regression gate (tolerance {args.tolerance:.0%}):")
+    regressions = compare(args.tolerance)
+    if regressions:
+        print(f"{regressions} batched-backend regression(s) beyond "
+              f"{args.tolerance:.0%} — failing")
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,14 @@ a laptop), prints the reproduced numbers and writes them to
 ``benchmarks/results/<experiment>.txt`` so ``bench_output.txt`` plus that
 directory together document the reproduction.
 
+Alongside each ``.txt``, every benchmark writes a machine-readable
+``benchmarks/results/BENCH_<name>.json`` (wall clock, backend, grid shape,
+cells and cells/sec where the test provides them) via the autouse
+:func:`bench_json` fixture, so the performance trajectory is tracked between
+PRs; ``benchmarks/check_benchmark_regression.py`` compares these against the
+committed baselines in ``benchmarks/baselines/`` and CI fails on a >25 %
+cells/sec regression of the batched backends.
+
 The budgets live here so they can be tightened or relaxed in one place:
 
 * ``bench_config_connected`` — fully connected sweeps (fast slotted simulator,
@@ -18,7 +26,9 @@ For paper-scale budgets use :data:`repro.experiments.PAPER` instead (hours).
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
@@ -63,9 +73,73 @@ def bench_config_hidden() -> ExperimentConfig:
     return BENCH_HIDDEN
 
 
-@pytest.fixture(scope="session")
-def record_result():
-    """Print an experiment result and persist it under benchmarks/results/."""
+def _bench_name(request) -> str:
+    """``benchmarks/test_fig6_hidden_r16.py`` -> ``fig6_hidden_r16``.
+
+    Modules with a single collected test (all current benchmarks) keep the
+    short module-derived name, which is what the committed regression-gate
+    baselines key on.  If a module ever grows a second test (or a
+    parametrization), each test gets a suffixed file instead of the last
+    writer silently overwriting the shared record.
+    """
+    stem = request.node.module.__name__.rsplit(".", 1)[-1]
+    if stem.startswith("test_"):
+        stem = stem[len("test_"):]
+    module_id = request.node.nodeid.split("::")[0]
+    siblings = [
+        item for item in request.session.items
+        if item.nodeid.split("::")[0] == module_id
+    ]
+    if len(siblings) > 1:
+        test_id = "".join(
+            ch if ch.isalnum() else "_" for ch in request.node.name
+        )
+        stem = f"{stem}__{test_id}"
+    return stem
+
+
+@pytest.fixture(autouse=True)
+def bench_json(request):
+    """Write ``results/BENCH_<name>.json`` for every benchmark test.
+
+    The fixture yields a mutable mapping; tests may fill ``backend``,
+    ``grid_shape``, ``cells`` and free-form ``extra`` fields (the speedup
+    benchmarks record their measured ratios here).  ``cells_per_s`` is
+    derived from ``cells`` and the measured wall clock when the test does
+    not set it explicitly.  The wall clock always covers the whole test
+    body, so even benchmarks that record nothing still contribute a timing
+    trajectory between PRs.
+    """
+    meta = {"backend": None, "grid_shape": None, "cells": None,
+            "cells_per_s": None, "extra": {}}
+    started = time.perf_counter()
+    yield meta
+    wall = time.perf_counter() - started
+    payload = {
+        "name": request.node.name,
+        "wall_clock_s": round(wall, 3),
+        "backend": meta["backend"],
+        "grid_shape": meta["grid_shape"],
+        "cells": meta["cells"],
+        "cells_per_s": meta["cells_per_s"],
+    }
+    if meta["cells_per_s"] is None and meta["cells"] and wall > 0:
+        payload["cells_per_s"] = round(meta["cells"] / wall, 3)
+    if meta["extra"]:
+        payload.update(meta["extra"])
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{_bench_name(request)}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+@pytest.fixture
+def record_result(bench_json):
+    """Print an experiment result and persist it under benchmarks/results/.
+
+    Also annotates the test's ``BENCH_<name>.json`` with the result's grid
+    shape so the machine-readable record identifies what was measured.
+    """
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
@@ -73,6 +147,8 @@ def record_result():
         text = format_result(result)
         print("\n" + text + "\n")
         (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+        bench_json["grid_shape"] = [len(result.rows), len(result.columns)]
+        bench_json["extra"].setdefault("experiment", filename.rsplit(".", 1)[0])
         return result
 
     return _record

@@ -32,7 +32,8 @@ MIN_SPEEDUP = 2.0
 
 
 @pytest.mark.benchmark(group="batched-speedup")
-def test_batched_backend_speedup_on_fig3_grid(benchmark, bench_config_connected):
+def test_batched_backend_speedup_on_fig3_grid(benchmark, bench_config_connected,
+                                              bench_json):
     # Eight seeds widen the per-scheme groups enough to show the campaign-
     # scale speedup; the slightly reduced budgets keep the slotted reference
     # run (the slow side of the comparison) affordable in CI.
@@ -66,6 +67,17 @@ def test_batched_backend_speedup_on_fig3_grid(benchmark, bench_config_connected)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / "batched_speedup.txt").write_text(text + "\n",
                                                      encoding="utf-8")
+
+    cells = 4 * len(config.node_counts) * len(config.seeds)
+    bench_json["backend"] = "batched"
+    bench_json["grid_shape"] = [len(config.node_counts), len(config.seeds), 4]
+    bench_json["cells"] = cells
+    bench_json["cells_per_s"] = round(cells / batched_s, 3)
+    bench_json["extra"].update(
+        slotted_s=round(slotted_s, 2),
+        batched_s=round(batched_s, 2),
+        speedup=round(speedup, 2),
+    )
 
     # Seed-averaged throughputs must agree between the two backends: same
     # renewal model, same policies/controllers, independent random streams.

@@ -46,7 +46,10 @@ def weighted_attempt_probability(weight: float, p: float) -> float:
         raise ValueError("p must lie in [0, 1]")
     if weight <= 0:
         raise ValueError("weight must be positive")
-    return weight * p / (1.0 + (weight - 1.0) * p)
+    # The exact map sends p = 1 to 1 for every weight, but the floating-point
+    # quotient w / (1 + (w - 1)) can overshoot 1 by one ulp for w < 1; clamp
+    # so the result is always a probability.
+    return min(weight * p / (1.0 + (weight - 1.0) * p), 1.0)
 
 
 def slot_probabilities(attempt_probabilities: Sequence[float]) -> Tuple[float, float, float]:

@@ -75,12 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend", choices=BACKENDS, default="auto",
         help=(
-            "simulator backend policy: 'auto' (default) runs eligible "
-            "hidden-node-free cells on the vectorized batched simulator and "
-            "everything else on the scalar slotted/event simulators, "
-            "'slotted' is the scalar-only policy, 'event' forces event-"
-            "driven simulation, 'batched' makes the batched preference "
-            "explicit; hidden-node cells always use the event simulator"
+            "simulator backend policy: 'auto' (default) runs eligible cells "
+            "on the vectorized batched simulators (renewal-slot kernel for "
+            "fully connected cells, conflict-matrix kernel for hidden-node "
+            "cells) and everything else on the scalar slotted/event "
+            "simulators, 'slotted' is the scalar-only policy, 'event' "
+            "forces event-driven simulation, 'batched' makes the batched "
+            "preference explicit; cells with no batched kernel (dynamic-"
+            "activity hidden-node scenarios, n-estimating schemes) always "
+            "fall back to the scalar simulators"
         ),
     )
     parser.add_argument(

@@ -35,7 +35,13 @@ through this API, and ``python -m repro.experiments all --jobs N`` runs the
 entire evaluation as one campaign.
 """
 
-from .batching import batch_eligible, batch_key, execute_batch, plan_batches
+from .batching import (
+    batch_eligible,
+    batch_key,
+    execute_batch,
+    plan_batches,
+    topology_fingerprint,
+)
 from .cache import (
     RESULT_SCHEMA_VERSION,
     ResultCache,
@@ -69,6 +75,7 @@ __all__ = [
     "batch_key",
     "execute_batch",
     "plan_batches",
+    "topology_fingerprint",
     "CampaignEvent",
     "CampaignExecutor",
     "CampaignStats",

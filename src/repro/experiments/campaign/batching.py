@@ -1,12 +1,20 @@
 """Batch planning: group compatible campaign tasks into vectorized calls.
 
-The batched simulator (:mod:`repro.sim.batched`) advances many fully
-connected cells at once, but only when they share everything except station
-count and seed: the scheme (with batched-kernel-supported parameters), PHY,
-durations, frame error rate, reporting options and activity schedule.  This
-module decides which tasks qualify (:func:`batch_eligible`), groups them
-(:func:`plan_batches`) and executes one group as a single vectorized run
-(:func:`execute_batch`), annotating each cell's result exactly like
+Two vectorized backends exist, selected by a task's topology family:
+
+* :mod:`repro.sim.batched` advances many *fully connected* cells at once as
+  a renewal-slot process; cells in one batch share everything except station
+  count and seed.
+* :mod:`repro.sim.conflict` advances many *arbitrary sensing-graph* cells
+  (the hidden-node figures) at once, carrying a per-cell conflict/sensing
+  matrix; cells in one batch share everything except station count,
+  topology and seed.
+
+This module decides which tasks qualify (:func:`batch_eligible`), groups
+them (:func:`plan_batches` — the grouping key includes the topology family
+so the two backends never mix inside one call) and executes one group as a
+single vectorized run (:func:`execute_batch`), annotating each cell's
+result exactly like
 :func:`~repro.experiments.campaign.executor.execute_task` does.
 
 Because per-cell results are independent of batch composition (each cell
@@ -27,34 +35,66 @@ from ...sim.batched import (
     batchable_scheme,
     make_batched_system,
 )
+from ...sim.conflict import BatchedConflictSimulator, stack_sensing_matrices
 from ...sim.dynamics import step_activity
 from ...sim.metrics import SimulationResult
 from .specs import RunTask
 
-__all__ = ["batch_eligible", "batch_key", "plan_batches", "execute_batch"]
+__all__ = [
+    "batch_eligible",
+    "batch_key",
+    "topology_fingerprint",
+    "plan_batches",
+    "execute_batch",
+]
+
+
+def topology_fingerprint(task: RunTask) -> str:
+    """The batching dimension a task's topology contributes.
+
+    ``"connected"`` tasks run on the renewal-slot backend (the topology is
+    fully described by the station count, which batches pad over);
+    ``"graph"`` tasks run on the conflict-matrix backend (each cell carries
+    its own sensing matrix, so topologies may differ freely inside one
+    batch).  The fingerprint is part of :func:`batch_key` so one vectorized
+    call never mixes backends.
+    """
+    return "connected" if task.topology.kind == "connected" else "graph"
 
 
 def batch_eligible(task: RunTask) -> bool:
-    """Whether this task can execute on the batched backend.
+    """Whether this task can execute on a batched backend.
 
     Eligibility is a pure function of the task (never of its neighbours), so
     backend resolution is deterministic and cache keys stay stable across
-    campaigns that submit different task mixes.
+    campaigns that submit different task mixes.  Connected tasks need a
+    batched scheme kernel; hidden-node tasks additionally must not use an
+    activity schedule (the conflict-matrix backend does not model dynamic
+    populations — those cells fall back to the event-driven simulator).
     """
-    if task.topology.kind != "connected":
-        return False
     params = dict(task.scheme.params)
     if not batchable_scheme(task.scheme.kind, params):
         return False
     weights = params.get("weights")
     if weights is not None and len(weights) < task.topology.num_stations:
         return False
-    return True
+    if task.topology.kind == "connected":
+        return True
+    if task.topology.kind == "hidden-disc":
+        return task.activity is None
+    return False
 
 
 def batch_key(task: RunTask) -> Tuple:
-    """Grouping key: everything a batch must share (not N, not seed)."""
+    """Grouping key: everything a batch must share (not N, seed, topology).
+
+    The topology contributes only its :func:`fingerprint
+    <topology_fingerprint>`: connected batches pad over station counts,
+    conflict-matrix batches carry per-cell sensing matrices, so the concrete
+    placement never needs to be shared.
+    """
     return (
+        topology_fingerprint(task),
         task.scheme,
         task.phy,
         task.duration,
@@ -80,7 +120,9 @@ def plan_batches(tasks: Sequence[RunTask],
     for task in tasks:
         groups.setdefault(batch_key(task), []).append(task)
     planned = list(groups.values())
-    if target_units is not None:
+    # An empty plan stays empty (a fully cache-served campaign has nothing
+    # to split across workers).
+    if target_units is not None and planned:
         while len(planned) < target_units:
             largest = max(range(len(planned)), key=lambda i: len(planned[i]))
             group = planned[largest]
@@ -92,7 +134,7 @@ def plan_batches(tasks: Sequence[RunTask],
 
 
 def execute_batch(tasks: Sequence[RunTask]) -> List[SimulationResult]:
-    """Run one compatible group through the batched simulator (pure).
+    """Run one compatible group through its vectorized backend (pure).
 
     Results come back in task order, each annotated with the task key, seed
     and label exactly as :func:`execute_task` annotates scalar runs, so the
@@ -107,26 +149,49 @@ def execute_batch(tasks: Sequence[RunTask]) -> List[SimulationResult]:
             raise ValueError("tasks in a batch must share a batch_key")
     first = tasks[0]
     phy = first.phy or PhyParameters()
-    policy_bank, controller_bank, scheme_name = make_batched_system(
-        first.scheme.kind,
-        dict(first.scheme.params),
-        len(tasks),
-        max(task.topology.num_stations for task in tasks),
-        phy,
-    )
-    simulator = BatchedSlottedSimulator(
-        policy_bank,
-        controller_bank,
-        num_stations=[task.topology.num_stations for task in tasks],
-        seeds=[task.seed for task in tasks],
-        duration=first.duration,
-        warmup=first.warmup,
-        phy=phy,
-        frame_error_rate=first.frame_error_rate,
-        report_interval=first.report_interval,
-        activity=step_activity(first.activity) if first.activity else None,
-        scheme_name=scheme_name,
-    )
+    num_stations = [task.topology.num_stations for task in tasks]
+    seeds = [task.seed for task in tasks]
+    if topology_fingerprint(first) == "connected":
+        policy_bank, controller_bank, scheme_name = make_batched_system(
+            first.scheme.kind, dict(first.scheme.params),
+            len(tasks), max(num_stations), phy,
+        )
+        simulator = BatchedSlottedSimulator(
+            policy_bank,
+            controller_bank,
+            num_stations=num_stations,
+            seeds=seeds,
+            duration=first.duration,
+            warmup=first.warmup,
+            phy=phy,
+            frame_error_rate=first.frame_error_rate,
+            report_interval=first.report_interval,
+            activity=step_activity(first.activity) if first.activity else None,
+            scheme_name=scheme_name,
+        )
+    else:
+        policy_bank, controller_bank, scheme_name = make_batched_system(
+            first.scheme.kind, dict(first.scheme.params),
+            len(tasks), max(num_stations), phy,
+            station_observations=True,
+        )
+        sensing = stack_sensing_matrices(
+            [task.topology.build().sensing_matrix() for task in tasks],
+            max_stations=max(num_stations),
+        )
+        simulator = BatchedConflictSimulator(
+            policy_bank,
+            controller_bank,
+            sensing,
+            num_stations=num_stations,
+            seeds=seeds,
+            duration=first.duration,
+            warmup=first.warmup,
+            phy=phy,
+            frame_error_rate=first.frame_error_rate,
+            report_interval=first.report_interval,
+            scheme_name=scheme_name,
+        )
     annotated = []
     for task, result in zip(tasks, simulator.run()):
         extra = dict(result.extra)

@@ -8,8 +8,9 @@ on-disk cache all produce bit-identical results.
 
 :class:`CampaignExecutor` is the engine the per-figure runners hand their
 task lists to.  It resolves each ``auto`` task to a concrete backend
-(``batched`` for eligible hidden-node-free tasks under the default
-``backend="auto"`` policy, scalar ``slotted``/``event`` otherwise),
+(``batched`` for eligible tasks under the default ``backend="auto"`` policy
+— connected *and* hidden-node topologies both have vectorized kernels —
+scalar ``slotted``/``event`` otherwise),
 deduplicates identical tasks, satisfies what it can from the
 :class:`~repro.experiments.campaign.cache.ResultCache`, groups batched
 misses into vectorized calls (:mod:`~repro.experiments.campaign.batching`),
@@ -49,12 +50,15 @@ __all__ = [
 ]
 
 #: Backend policies accepted by :class:`CampaignExecutor` and the CLI.
-#: ``auto`` prefers the batched simulator for eligible connected tasks and
-#: falls back to the scalar simulators; ``slotted`` is the scalar-only policy
-#: (the pre-batching behaviour); ``event`` forces event-driven simulation
-#: everywhere; ``batched`` is an alias of ``auto``'s preference that makes
-#: the intent explicit.  Tasks whose ``simulator`` field is not ``auto`` are
-#: never rewritten, and hidden-node tasks always use the event simulator.
+#: ``auto`` prefers the vectorized batched simulators for eligible tasks —
+#: the renewal-slot backend for connected topologies, the conflict-matrix
+#: backend for hidden-node topologies — and falls back to the scalar
+#: simulators; ``slotted`` is the scalar-only policy (the pre-batching
+#: behaviour); ``event`` forces event-driven simulation everywhere;
+#: ``batched`` is an alias of ``auto``'s preference that makes the intent
+#: explicit.  Tasks whose ``simulator`` field is not ``auto`` are never
+#: rewritten; ineligible hidden-node tasks (unbatchable scheme, activity
+#: schedule) use the event simulator.
 BACKENDS = ("auto", "slotted", "event", "batched")
 
 
@@ -248,18 +252,19 @@ class CampaignExecutor:
     def _resolve_backend(self, task: RunTask) -> RunTask:
         """Rewrite an ``auto`` task to the backend this policy selects.
 
-        Explicit simulator choices are always respected; hidden-node tasks
-        always use the event-driven simulator.
+        Explicit simulator choices are always respected.  Under ``auto`` and
+        ``batched``, eligible tasks run vectorized (connected topologies on
+        the renewal-slot backend, hidden-node topologies on the
+        conflict-matrix backend); everything else falls back to the scalar
+        simulators (slotted for connected, event-driven otherwise).
         """
         if task.simulator != "auto":
             return task
         if self._backend == "event":
             return dataclasses.replace(task, simulator="event")
-        if task.topology.kind != "connected":
-            return task  # auto resolves to the event simulator
         if self._backend in ("auto", "batched") and batch_eligible(task):
             return dataclasses.replace(task, simulator="batched")
-        return task  # auto resolves to the slotted simulator
+        return task  # auto: slotted for connected cells, event otherwise
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[RunTask]) -> List[SimulationResult]:

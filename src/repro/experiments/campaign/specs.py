@@ -236,7 +236,8 @@ class RunTask:
 
     ``simulator`` is ``"auto"`` (slotted for connected topologies, event-
     driven otherwise), ``"slotted"``, ``"event"`` or ``"batched"`` (the
-    vectorized multi-cell simulator; connected topologies only — the
+    vectorized multi-cell simulators: the renewal-slot backend for connected
+    topologies, the conflict-matrix backend for hidden-node topologies — the
     executor's planner assigns it to eligible ``auto`` tasks, see
     :mod:`repro.experiments.campaign.batching`).  ``label`` is cosmetic
     (progress lines, result metadata) and deliberately excluded from
@@ -264,10 +265,15 @@ class RunTask:
             raise ValueError("duration must be positive")
         if self.warmup < 0:
             raise ValueError("warmup must be non-negative")
-        if (self.simulator in ("slotted", "batched")
-                and self.topology.kind != "connected"):
+        if self.simulator == "slotted" and self.topology.kind != "connected":
             raise ValueError(
-                f"the {self.simulator} simulator only models connected topologies"
+                "the slotted simulator only models connected topologies"
+            )
+        if (self.simulator == "batched" and self.topology.kind != "connected"
+                and self.activity is not None):
+            raise ValueError(
+                "the batched conflict-matrix backend does not support "
+                "activity schedules on hidden-node topologies"
             )
         if self.activity is not None:
             object.__setattr__(

@@ -41,6 +41,7 @@ __all__ = [
     "BatchedPolicyBank",
     "BatchedDcfBank",
     "BatchedIdleSenseBank",
+    "BatchedStationIdleSenseBank",
     "BatchedPPersistentBank",
     "BatchedRandomResetBank",
 ]
@@ -80,6 +81,13 @@ class BatchedPolicyBank(ABC):
 
     #: Whether stations observe channel activity (IdleSense does).
     observes_channel = False
+
+    #: Whether channel observations are per (cell, station) rather than per
+    #: cell.  Per-cell observation is only valid in fully connected cells
+    #: (every station sees the identical channel); simulators for arbitrary
+    #: sensing graphs require per-station observation state
+    #: (:class:`BatchedStationIdleSenseBank`).
+    per_station_observations = False
 
     #: Uniforms consumed per initial draw / success redraw / failure redraw.
     draws_initial = 1
@@ -232,6 +240,104 @@ class BatchedIdleSenseBank(BatchedPolicyBank):
     @property
     def windows(self) -> np.ndarray:
         """Per-cell contention windows (diagnostics/tests)."""
+        return self._window.copy()
+
+
+class BatchedStationIdleSenseBank(BatchedPolicyBank):
+    """IdleSense AIMD contention windows, batched with per-station state.
+
+    The per-cell :class:`BatchedIdleSenseBank` exploits that in a fully
+    connected cell every station observes the identical idle/busy sequence.
+    On an arbitrary sensing graph that no longer holds: each station sees
+    only the transmissions of its sensing set, so windows, idle-run sums and
+    AIMD epochs diverge per station — exactly like the scalar
+    :class:`~repro.mac.idlesense.IdleSenseBackoff` objects the event-driven
+    simulator drives.  The conflict-graph simulator feeds observations
+    through :meth:`observe_station_transmissions` with explicit (cell,
+    station) index arrays.
+    """
+
+    observes_channel = True
+    per_station_observations = True
+
+    def __init__(
+        self,
+        phy: PhyParameters,
+        num_cells: int,
+        max_stations: int,
+        target_idle_slots: float = 3.1,
+        epsilon: float = 6.0,
+        alpha: float = 1.0 / 1.0666,
+        maxtrans: int = 5,
+        max_window: int = 4096,
+    ) -> None:
+        if target_idle_slots <= 0:
+            raise ValueError("target_idle_slots must be positive")
+        self._cw_min = float(phy.cw_min)
+        self._target = float(target_idle_slots)
+        self._epsilon = float(epsilon)
+        self._alpha = float(alpha)
+        self._maxtrans = int(maxtrans)
+        self._max_window = float(max_window)
+        shape = (num_cells, max_stations)
+        self._window = np.full(shape, self._cw_min, dtype=np.float64)
+        self._sum_idle = np.zeros(shape, dtype=np.float64)
+        self._ntrans = np.zeros(shape, dtype=np.int64)
+        self._total_idle = np.zeros(shape, dtype=np.int64)
+        self._total_trans = np.zeros(shape, dtype=np.int64)
+
+    def observe_station_transmissions(self, cells: np.ndarray,
+                                      stations: np.ndarray,
+                                      idle_slots: np.ndarray) -> None:
+        """Record one observed transmission per (cell, station) pair.
+
+        ``idle_slots[k]`` is the number of backoff slots station
+        ``stations[k]`` of cell ``cells[k]`` counted down since the last
+        transmission it observed.  Index pairs are unique per call (a
+        station observes at most one channel onset per simulator event).
+        """
+        self._sum_idle[cells, stations] += idle_slots
+        self._total_idle[cells, stations] += idle_slots
+        self._total_trans[cells, stations] += 1
+        self._ntrans[cells, stations] += 1
+        due = self._ntrans[cells, stations] >= self._maxtrans
+        if np.any(due):
+            dc, ds = cells[due], stations[due]
+            avg_idle = self._sum_idle[dc, ds] / self._ntrans[dc, ds]
+            window = np.where(
+                avg_idle < self._target,
+                self._window[dc, ds] + self._epsilon,
+                self._window[dc, ds] * self._alpha,
+            )
+            self._window[dc, ds] = np.clip(window, self._cw_min,
+                                           self._max_window)
+            self._sum_idle[dc, ds] = 0.0
+            self._ntrans[dc, ds] = 0
+
+    def _draw(self, cells, stations, u):
+        window = np.maximum(np.rint(self._window[cells, stations]), 1.0)
+        return _uniform_window_draw(u, window)
+
+    def initial_draw(self, cells, stations, u):
+        return self._draw(cells, stations, u[:, 0])
+
+    def success_draw(self, cells, stations, u):
+        return self._draw(cells, stations, u[:, 0])
+
+    def failure_draw(self, cells, stations, u):
+        return self._draw(cells, stations, u[:, 0])
+
+    def station_observed_idle(self):
+        """Per-cell mean of the stations' long-run observed idle averages."""
+        per_station = self._total_idle / np.maximum(self._total_trans, 1)
+        observed = self._total_trans > 0
+        count = observed.sum(axis=1)
+        total = np.where(observed, per_station, 0.0).sum(axis=1)
+        return np.where(count > 0, total / np.maximum(count, 1), np.nan)
+
+    @property
+    def windows(self) -> np.ndarray:
+        """Per-(cell, station) contention windows (diagnostics/tests)."""
         return self._window.copy()
 
 

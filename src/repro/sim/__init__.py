@@ -1,6 +1,7 @@
 """Simulation substrates: event-driven (hidden-node capable), slotted (fully
-connected, fast) and batched (many fully connected cells at once, fastest)
-WLAN simulators plus shared metrics."""
+connected, fast) and two vectorized batch simulators — the renewal-slot
+backend for many fully connected cells and the conflict-matrix backend for
+many hidden-node cells — plus shared metrics."""
 
 from .batched import (
     BATCHABLE_SCHEME_KINDS,
@@ -9,6 +10,11 @@ from .batched import (
     batchable_scheme,
     make_batched_system,
     run_batched,
+)
+from .conflict import (
+    BatchedConflictSimulator,
+    run_conflict,
+    stack_sensing_matrices,
 )
 from .dynamics import ActivitySchedule, constant_activity, step_activity
 from .engine import Event, EventScheduler, SimulationClock
@@ -25,6 +31,9 @@ __all__ = [
     "batchable_scheme",
     "make_batched_system",
     "run_batched",
+    "BatchedConflictSimulator",
+    "run_conflict",
+    "stack_sensing_matrices",
     "ActivitySchedule",
     "constant_activity",
     "step_activity",

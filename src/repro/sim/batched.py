@@ -29,7 +29,9 @@ Batched results are statistically equivalent to the scalar slotted
 simulator (same renewal model, same policy/controller state machines,
 identically distributed draws) but not bit-identical to it: the random
 streams are consumed in a different order.  Hidden-node topologies are out
-of scope — use :mod:`repro.sim.simulation`.
+of scope for *this* renewal-slot simulator; the conflict-matrix simulator
+in :mod:`repro.sim.conflict` vectorizes those (with the scalar event-driven
+:mod:`repro.sim.simulation` as the cross-validation oracle).
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ from ..mac.batched import (
     BatchedPPersistentBank,
     BatchedPolicyBank,
     BatchedRandomResetBank,
+    BatchedStationIdleSenseBank,
 )
 from ..phy.constants import PhyParameters
 from .dynamics import ActivitySchedule
@@ -128,9 +131,9 @@ class CellStreams:
         """Gather ``width`` consecutive uniforms per (cell, offset) pair."""
         if width == 1:
             return self.buffer[cells, offsets][:, None]
-        return np.stack(
-            [self.buffer[cells, offsets + j] for j in range(width)], axis=1
-        )
+        return self.buffer[
+            cells[:, None], offsets[:, None] + np.arange(width)
+        ]
 
 
 class BatchedSlottedSimulator:
@@ -573,13 +576,17 @@ def make_batched_system(
     num_cells: int,
     max_stations: int,
     phy: PhyParameters,
+    station_observations: bool = False,
 ) -> Tuple[BatchedPolicyBank, BatchedControllerBank, str]:
     """Build (policy bank, controller bank, display name) for a scheme kind.
 
     ``kind`` and ``params`` use the same vocabulary as
     :class:`repro.experiments.campaign.SchemeSpec`; the display names match
     the scalar factories in :mod:`repro.mac.schemes` so batched results carry
-    identical metadata.
+    identical metadata.  ``station_observations`` selects per-station channel
+    observation state for observing schemes (required by the conflict-graph
+    simulator, where stations of one cell see different channels); the
+    per-cell variant is only valid for fully connected cells.
     """
     if not batchable_scheme(kind, params):
         raise ValueError(
@@ -590,10 +597,14 @@ def make_batched_system(
         return (BatchedDcfBank(phy, num_cells, max_stations),
                 BatchedStaticBank(), "Standard 802.11")
     if kind == "idlesense":
-        bank = BatchedIdleSenseBank(
-            phy, num_cells,
-            target_idle_slots=float(params.get("target_idle_slots", 3.1)),
-        )
+        target = float(params.get("target_idle_slots", 3.1))
+        if station_observations:
+            bank: BatchedPolicyBank = BatchedStationIdleSenseBank(
+                phy, num_cells, max_stations, target_idle_slots=target,
+            )
+        else:
+            bank = BatchedIdleSenseBank(phy, num_cells,
+                                        target_idle_slots=target)
         return bank, BatchedStaticBank(), "IdleSense"
     if kind == "wtop-csma":
         controller = BatchedWTopBank(

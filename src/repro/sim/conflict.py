@@ -1,0 +1,654 @@
+"""Conflict-matrix vectorized simulator for arbitrary sensing graphs.
+
+:mod:`repro.sim.batched` vectorizes *fully connected* cells as a renewal
+process over virtual slots — a model that is exact only when every station
+observes the same channel.  Hidden-node topologies (Figures 4-7, the largest
+grids of the reproduction) break that assumption: stations count down
+*through* the transmissions of stations they cannot sense, frames overlap
+partially in continuous time, and collisions happen at the AP between
+transmitters that never deferred to each other.
+
+This module vectorizes that regime too.  Each cell carries a boolean
+station x station **sensing matrix** (derived from
+:meth:`repro.topology.graph.ConnectivityGraph.sensing_matrix`), and the
+simulator advances **many cells at once** by jumping every cell to its own
+next event (a transmission start or end, a controller tick, a reporting
+boundary), in integer nanoseconds exactly like the scalar event-driven
+simulator.  Carrier sense is a masked matrix product (``sensing @
+transmitting``), collision resolution follows the paper's Section II rule
+(any temporal overlap between two data frames corrupts both, regardless of
+where the transmitters are — the "interference matrix" at the AP is
+all-pairs), and freezing/resuming replicates the per-station MAC state
+machine of :mod:`repro.sim.node`: DIFS deferral, whole-slot freeze
+accounting, and the committed-transmission rule (a countdown that expires at
+the instant the channel turns busy still transmits).
+
+The one deliberate simplification relative to the event-driven simulator is
+the ACK: because a successful frame by definition overlapped no other data
+frame, the channel is provably clear at its end, so the SIFS + ACK window
+and the post-ACK DIFS are *scheduled eagerly* at the frame-end event instead
+of being modelled as separate events (stations hidden from the transmitter
+still consume the backoff slots that fit into the SIFS gap, and countdowns
+committed inside the gap still fire).  This halves the event count; the only
+divergence is the freeze instant of a station that senses a transmission
+*started inside a SIFS gap* (16 us), which is statistically negligible and
+covered by the cross-validation envelope.
+
+Reproducibility contract
+------------------------
+
+Identical to :class:`~repro.sim.batched.BatchedSlottedSimulator`: each cell
+owns a block-buffered :class:`~repro.sim.batched.CellStreams` generator, and
+uniforms are consumed in an order that is a deterministic function of that
+cell's own trajectory (fixed draw counts per event kind, fixed category
+order inside an event instant, station order within a category).  A cell's
+results are therefore bit-identical no matter which other cells share its
+batch — topologies and station counts may differ freely inside one batch.
+
+Results are statistically equivalent to :class:`repro.sim.simulation
+.WlanSimulation` (the cross-validation oracle) but not bit-identical to it:
+the random streams are consumed in a different order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..phy.constants import NS_PER_SECOND, PhyParameters, seconds_to_ns
+from ..topology.graph import ConnectivityGraph
+from .batched import CellStreams, batchable_scheme, make_batched_system
+from .metrics import SimulationResult, StationStats
+
+__all__ = [
+    "BatchedConflictSimulator",
+    "stack_sensing_matrices",
+    "run_conflict",
+]
+
+#: Sentinel time for "no event scheduled"; far beyond any simulated horizon.
+_NEVER = np.int64(2) ** 62
+
+
+def stack_sensing_matrices(
+    matrices: Sequence[np.ndarray],
+    max_stations: Optional[int] = None,
+) -> np.ndarray:
+    """Pad per-cell sensing matrices into one ``(cells, S, S)`` array.
+
+    ``matrices[c]`` is a square boolean matrix (station ``i`` senses station
+    ``j``); cells may have different sizes.  Padded rows/columns are False,
+    so padded stations sense nothing and are sensed by nobody.
+    """
+    if not matrices:
+        raise ValueError("need at least one sensing matrix")
+    sizes = []
+    for matrix in matrices:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("sensing matrices must be square")
+        sizes.append(matrix.shape[0])
+    width = max(sizes) if max_stations is None else int(max_stations)
+    if width < max(sizes):
+        raise ValueError("max_stations is smaller than a cell's matrix")
+    stacked = np.zeros((len(matrices), width, width), dtype=bool)
+    for cell, matrix in enumerate(matrices):
+        k = sizes[cell]
+        stacked[cell, :k, :k] = np.asarray(matrix, dtype=bool)
+    return stacked
+
+
+class BatchedConflictSimulator:
+    """Vectorized event-jump simulator over a batch of sensing-graph cells.
+
+    All cells share the scheme (policy/controller banks), PHY, durations,
+    frame error rate and reporting options; they differ in station count,
+    topology (sensing matrix) and random seed — exactly the shape of one
+    column of a hidden-node campaign grid.
+
+    Parameters
+    ----------
+    policy_bank / controller_bank:
+        Vectorized station policies and AP controller sized for this batch.
+        Channel-observing policies must carry *per-station* observation
+        state (``per_station_observations``), because stations of one cell
+        see different channels on a general sensing graph.
+    sensing:
+        Boolean array of shape ``(cells, S, S)``; ``sensing[c, i, j]`` is
+        True iff station ``i`` of cell ``c`` carrier-senses station ``j``'s
+        transmissions.  Must be symmetric per cell; the diagonal is ignored
+        (a station never senses its own transmission) and entries beyond
+        each cell's station count must be False
+        (:func:`stack_sensing_matrices` produces this layout).
+    num_stations / seeds / duration / warmup / phy / frame_error_rate /
+    report_interval:
+        As in :class:`~repro.sim.batched.BatchedSlottedSimulator`.  Dynamic
+        activity schedules are not supported on this backend.
+    """
+
+    def __init__(
+        self,
+        policy_bank,
+        controller_bank,
+        sensing: np.ndarray,
+        num_stations: Sequence[int],
+        seeds: Sequence[int],
+        duration: float,
+        warmup: float = 0.0,
+        phy: Optional[PhyParameters] = None,
+        frame_error_rate: float = 0.0,
+        report_interval: Optional[float] = None,
+        scheme_name: Optional[str] = None,
+    ) -> None:
+        if len(num_stations) != len(seeds):
+            raise ValueError("num_stations and seeds must have equal length")
+        if not num_stations:
+            raise ValueError("a batch needs at least one cell")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if report_interval is not None and report_interval <= 0:
+            raise ValueError("report_interval must be positive")
+        if not 0.0 <= frame_error_rate < 1.0:
+            raise ValueError("frame_error_rate must lie in [0, 1)")
+        self._n = np.asarray(num_stations, dtype=np.int64)
+        if np.any(self._n < 1):
+            raise ValueError("every cell needs at least one station")
+        sensing = np.asarray(sensing, dtype=bool)
+        if sensing.ndim != 3 or sensing.shape[1] != sensing.shape[2]:
+            raise ValueError("sensing must have shape (cells, S, S)")
+        if sensing.shape[0] != self._n.size:
+            raise ValueError("sensing and num_stations disagree on cell count")
+        if sensing.shape[1] < int(self._n.max()):
+            raise ValueError("sensing matrices are smaller than num_stations")
+        if not np.array_equal(sensing, sensing.transpose(0, 2, 1)):
+            raise ValueError("sensing matrices must be symmetric")
+        exists = (np.arange(sensing.shape[1])[None, :] < self._n[:, None])
+        pair_exists = exists[:, :, None] & exists[:, None, :]
+        if np.any(sensing & ~pair_exists):
+            raise ValueError(
+                "sensing entries beyond a cell's station count must be False"
+            )
+        sensing = sensing.copy()
+        diag = np.arange(sensing.shape[1])
+        sensing[:, diag, diag] = False
+        self._sensing = sensing
+        self._bank = policy_bank
+        if policy_bank.observes_channel and not getattr(
+                policy_bank, "per_station_observations", False):
+            raise ValueError(
+                "channel-observing policy banks need per-station observation "
+                "state on a sensing graph (per-cell observation assumes a "
+                "fully connected cell)"
+            )
+        self._controller = controller_bank
+        self._seeds = list(seeds)
+        self._duration = float(duration)
+        self._warmup = float(warmup)
+        self._phy = phy or PhyParameters()
+        self._fer = float(frame_error_rate)
+        self._interval = report_interval
+        self._scheme_name = scheme_name
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[SimulationResult]:
+        """Simulate every cell for ``warmup + duration`` seconds."""
+        bank = self._bank
+        controller = self._controller
+        phy = self._phy
+        sigma = np.int64(phy.slot_time_ns)
+        difs = np.int64(phy.difs_ns)
+        sifs = np.int64(phy.sifs_ns)
+        data_ns = np.int64(phy.data_tx_time_ns)
+        ack_ns = np.int64(phy.ack_tx_time_ns)
+        payload = phy.payload_bits
+        warmup_ns = np.int64(seconds_to_ns(self._warmup))
+        end_ns = np.int64(seconds_to_ns(self._warmup + self._duration))
+        interval = self._interval
+        interval_ns = np.int64(seconds_to_ns(interval)) if interval else None
+        fer = self._fer
+        fer_on = fer > 0.0
+
+        n = self._n
+        num_cells = n.size
+        max_n = int(self._sensing.shape[1])
+        st_range = np.arange(max_n)
+        exists = st_range[None, :] < n[:, None]
+        # uint8 views feed the carrier-sense matrix products (bool matmul is
+        # unsupported; station counts are far below the uint8 overflow line).
+        sense_u8 = self._sensing.astype(np.uint8)
+
+        k_init = bank.draws_initial
+        k_succ = bank.draws_success
+        k_fail = bank.draws_failure
+        draws = max(k_init, k_succ, k_fail)
+        # Block sizes depend on each cell's own parameters only — refill
+        # points are part of the cell's random-stream trajectory (see
+        # CellStreams).
+        blocks = np.maximum(4096, 8 * n * draws)
+        streams = CellStreams(self._seeds, block=blocks)
+        observes = bank.observes_channel
+        adaptive = controller.primary_control() is not None or (
+            controller.tick_interval is not None
+        )
+        tick = controller.tick_interval
+        tick_ns = np.int64(seconds_to_ns(tick)) if tick else None
+
+        # Per-(cell, station) MAC state.  A station is in exactly one of:
+        # counting/DIFS (start_at finite), frozen-deferring (start_at NEVER,
+        # not transmitting) or transmitting (tx_end finite).  ``remaining``
+        # holds the backoff slots not yet counted; it is only debited when a
+        # countdown freezes, mirroring StationProcess.
+        remaining = np.zeros((num_cells, max_n), dtype=np.int64)
+        counter_start = np.full((num_cells, max_n), _NEVER, dtype=np.int64)
+        start_at = np.full((num_cells, max_n), _NEVER, dtype=np.int64)
+        txing = np.zeros((num_cells, max_n), dtype=bool)
+        tx_end = np.full((num_cells, max_n), _NEVER, dtype=np.int64)
+        corrupt = np.zeros((num_cells, max_n), dtype=bool)
+        busy = np.zeros((num_cells, max_n), dtype=bool)
+        if observes:
+            obs_idle = np.zeros((num_cells, max_n), dtype=np.int64)
+
+        # Initial backoffs for every station; everyone then waits DIFS from
+        # t = 0, exactly like freshly activated StationProcess instances.
+        init_cells, init_st = np.nonzero(exists)
+        base = streams.claim(n * k_init)
+        offsets = base[init_cells] + init_st * k_init
+        remaining[init_cells, init_st] = bank.initial_draw(
+            init_cells, init_st, streams.gather(init_cells, offsets, k_init)
+        )
+        counter_start[exists] = difs
+        start_at[exists] = difs + remaining[exists] * sigma
+
+        # Per-cell clocks, metrics and channel-occupancy accounting.
+        now = np.zeros(num_cells, dtype=np.int64)
+        measuring = np.full(num_cells, self._warmup == 0.0)
+        all_measuring = bool(measuring.all())
+        successes = np.zeros((num_cells, max_n), dtype=np.int64)
+        failures = np.zeros((num_cells, max_n), dtype=np.int64)
+        active_cnt = np.zeros(num_cells, dtype=np.int64)
+        busy_since = np.zeros(num_cells, dtype=np.int64)
+        busy_total = np.zeros(num_cells, dtype=np.int64)
+        busy_periods = np.zeros(num_cells, dtype=np.int64)
+        cum_bits = np.zeros(num_cells, dtype=np.int64)
+        bits_last = np.zeros(num_cells, dtype=np.int64)
+        throughput_tl: List[List[Tuple[float, float]]] = [
+            [] for _ in range(num_cells)
+        ]
+        control_tl: List[List[Tuple[float, float]]] = [
+            [] for _ in range(num_cells)
+        ]
+        # ``next_mark`` is the next measurement boundary: the warm-up
+        # crossing first, then every reporting instant (exact times, so no
+        # countdown-deficit bookkeeping is needed).
+        if warmup_ns > 0:
+            next_mark = np.full(num_cells, warmup_ns)
+        elif interval_ns:
+            next_mark = np.full(num_cells, interval_ns)
+        else:
+            next_mark = np.full(num_cells, _NEVER)
+        next_tick = np.full(num_cells, tick_ns if tick_ns else _NEVER)
+        resume = np.zeros((num_cells, max_n), dtype=bool)
+
+        # Phase flags let the hot loop skip measurement bookkeeping before
+        # the warm-up boundary (the bulk of every adaptive run).  The state
+        # machines themselves (claims, draws, controller updates, the eager
+        # ACK scheduling) always run — only metric recording is gated.
+        none_measuring = not measuring.any()
+        ack_skip = np.int64(ack_ns + difs)
+        any_resume = False
+
+        while True:
+            if not (now < end_ns).any():
+                break
+
+            # Jump every cell to its own next event instant.  Finished cells
+            # have no schedulable event at or before end_ns, so the clamp
+            # parks them exactly there.
+            t = np.minimum(start_at.min(axis=1), tx_end.min(axis=1))
+            np.minimum(t, next_tick, out=t)
+            np.minimum(t, next_mark, out=t)
+            np.minimum(t, end_ns, out=t)
+            now = t
+            now_col = now[:, None]
+
+            # -- warm-up crossing (exact, the boundary bounds the jump) ----
+            if not all_measuring:
+                cross = ~measuring & (now >= warmup_ns)
+                if cross.any():
+                    measuring |= cross
+                    none_measuring = False
+                    successes[cross] = 0
+                    failures[cross] = 0
+                    cum_bits[cross] = 0
+                    bits_last[cross] = 0
+                    busy_total[cross] = 0
+                    mid_busy = cross & (active_cnt > 0)
+                    busy_periods[cross] = 0
+                    busy_periods[mid_busy] = 1
+                    busy_since[mid_busy] = now[mid_busy]
+                    next_mark[cross] = (
+                        warmup_ns + interval_ns if interval_ns else _NEVER
+                    )
+                    all_measuring = bool(measuring.all())
+
+            # -- controller ticks (finished cells have next_tick past
+            #    end_ns, so no liveness mask is needed) --------------------
+            if tick_ns is not None:
+                due_tick = now >= next_tick
+                if due_tick.any():
+                    controller.on_tick(due_tick, now / NS_PER_SECOND)
+                    next_tick[due_tick] += tick_ns
+
+            changed = False
+            starters = None
+
+            # -- data-frame ends ------------------------------------------
+            ending = tx_end == now_col
+            if ending.any():
+                changed = True
+                cnt_end = ending.sum(axis=1)
+                active_cnt -= cnt_end
+                if not none_measuring:
+                    idle_now = (cnt_end > 0) & (active_cnt == 0)
+                    busy_total[idle_now] += (
+                        now[idle_now] - busy_since[idle_now]
+                    )
+                txing &= ~ending
+                tx_end[ending] = _NEVER
+
+                e_cells, e_st = np.nonzero(ending)
+                fail_flat = corrupt[e_cells, e_st]
+                if fer_on:
+                    # One channel-error draw per finished frame, corrupted or
+                    # not (fixed consumption keeps the stream deterministic).
+                    base = streams.claim(cnt_end)
+                    rank = (np.arange(e_cells.size)
+                            - np.searchsorted(e_cells, e_cells))
+                    u = streams.buffer[e_cells, base[e_cells] + rank]
+                    fail_flat = fail_flat | (u < fer)
+                corrupt[e_cells, e_st] = False
+
+                if fail_flat.any():
+                    f_cells = e_cells[fail_flat]
+                    f_st = e_st[fail_flat]
+                    if not none_measuring:
+                        failures[f_cells, f_st] += measuring[f_cells]
+                    counts = np.bincount(
+                        f_cells, minlength=num_cells
+                    ) * k_fail
+                    base = streams.claim(counts)
+                    # nonzero order is row-major, so f_cells is sorted and
+                    # the within-cell rank falls out of a searchsorted.
+                    frank = (np.arange(f_cells.size)
+                             - np.searchsorted(f_cells, f_cells))
+                    offs = base[f_cells] + frank * k_fail
+                    remaining[f_cells, f_st] = bank.failure_draw(
+                        f_cells, f_st, streams.gather(f_cells, offs, k_fail)
+                    )
+                    # The transmitter learns the failure now (no ACK) and
+                    # re-enters contention after the busy recompute below.
+                    resume[f_cells, f_st] = True
+                    any_resume = True
+
+                if not fail_flat.all():
+                    # At most one clean frame can end per cell per instant
+                    # (two frames ending together overlapped, hence failed).
+                    succ_flat = ~fail_flat
+                    s_cells = e_cells[succ_flat]
+                    s_st = e_st[succ_flat]
+                    if not none_measuring:
+                        meas = measuring[s_cells]
+                        successes[s_cells, s_st] += meas
+                        if interval_ns:
+                            cum_bits[s_cells] += payload * meas
+                    smask = np.zeros(num_cells, dtype=bool)
+                    smask[s_cells] = True
+                    if adaptive:
+                        controller.on_packet_received(
+                            smask, now / NS_PER_SECOND
+                        )
+                    counts = np.zeros(num_cells, dtype=np.int64)
+                    counts[s_cells] = k_succ
+                    base = streams.claim(counts)
+                    remaining[s_cells, s_st] = bank.success_draw(
+                        s_cells, s_st,
+                        streams.gather(s_cells, base[s_cells], k_succ),
+                    )
+                    # Eager SIFS + ACK + DIFS scheduling: the channel of a
+                    # success cell is provably clear, so every station's next
+                    # countdown instant is known now.  Countdowns committed
+                    # inside the SIFS gap (start_at <= gap) still fire;
+                    # everyone else — counting, DIFS-waiting or frozen —
+                    # freezes at the ACK onset and resumes DIFS after the
+                    # ACK.  A frozen station's counter_start is the _NEVER
+                    # sentinel, which drives ``elapsed`` hugely negative, so
+                    # one shared max(..., 0) handles every case.
+                    gap = np.full(num_cells, _NEVER)
+                    gap[s_cells] = now[s_cells] + sifs
+                    resched = (exists & smask[:, None]
+                               & (start_at > gap[:, None]))
+                    rc, rs = np.nonzero(resched)
+                    elapsed = np.minimum(
+                        np.maximum((gap[rc] - counter_start[rc, rs]) // sigma,
+                                   0),
+                        remaining[rc, rs],
+                    )
+                    remaining[rc, rs] -= elapsed
+                    if observes:
+                        obs_idle[rc, rs] += elapsed
+                    resume_base = gap[rc] + ack_skip
+                    counter_start[rc, rs] = resume_base
+                    start_at[rc, rs] = (
+                        resume_base + remaining[rc, rs] * sigma
+                    )
+                    # The channel is clear: clear the stored busy view so the
+                    # generic edge pass below does not re-schedule the cell's
+                    # stations over the eager post-ACK schedule.
+                    busy[smask] = False
+
+            # -- data-frame starts ----------------------------------------
+            start_mask = start_at == now_col
+            if start_mask.any():
+                changed = True
+                starters = start_mask
+                n_start = start_mask.sum(axis=1)
+                stc, sts = np.nonzero(start_mask)
+                if observes:
+                    # A station observes its own transmission: the idle run
+                    # plus the slots of the final countdown stint.
+                    bank.observe_station_transmissions(
+                        stc, sts, obs_idle[stc, sts] + remaining[stc, sts]
+                    )
+                    obs_idle[stc, sts] = 0
+                txing |= start_mask
+                tx_end[stc, sts] = now[stc] + data_ns
+                start_at[stc, sts] = _NEVER
+                counter_start[stc, sts] = _NEVER
+                # Any temporal overlap between data frames corrupts every
+                # frame in the air (the paper's all-pairs interference rule).
+                collide = (active_cnt + n_start >= 2) & (n_start > 0)
+                if collide.any():
+                    corrupt |= txing & collide[:, None]
+                if not none_measuring:
+                    fresh = (active_cnt == 0) & (n_start > 0)
+                    busy_since[fresh] = now[fresh]
+                    busy_periods[fresh] += 1
+                elif warmup_ns > 0:
+                    # Only the "busy since" anchor matters pre-warm-up (the
+                    # totals are reset at the crossing).
+                    fresh = (active_cnt == 0) & (n_start > 0)
+                    busy_since[fresh] = now[fresh]
+                active_cnt += n_start
+
+            # -- carrier-sense recompute and freeze/resume edges ----------
+            if changed:
+                busy_cnt = sense_u8 @ txing.view(np.uint8)[:, :, None]
+                new_busy = busy_cnt[:, :, 0] > 0
+                contend = exists & ~txing
+                if any_resume:
+                    contend &= ~resume
+                rising = contend & new_busy & ~busy
+                if rising.any():
+                    # Freeze: debit the whole slots the countdown consumed
+                    # (stations waiting out DIFS have a future counter_start,
+                    # so the floor clamps their debit to zero).
+                    rc, rs = np.nonzero(rising)
+                    elapsed = np.minimum(
+                        np.maximum((now[rc] - counter_start[rc, rs]) // sigma,
+                                   0),
+                        remaining[rc, rs],
+                    )
+                    remaining[rc, rs] -= elapsed
+                    start_at[rc, rs] = _NEVER
+                    counter_start[rc, rs] = _NEVER
+                    if observes:
+                        obs_idle[rc, rs] += elapsed
+                        if starters is not None:
+                            onset = sense_u8 @ starters.view(
+                                np.uint8)[:, :, None]
+                            saw_data = onset[rc, rs, 0] > 0
+                            if saw_data.any():
+                                oc, os_ = rc[saw_data], rs[saw_data]
+                                bank.observe_station_transmissions(
+                                    oc, os_, obs_idle[oc, os_]
+                                )
+                                obs_idle[oc, os_] = 0
+                falling = contend & busy & ~new_busy
+                if falling.any():
+                    fc, fs = np.nonzero(falling)
+                    counter_start[fc, fs] = now[fc] + difs
+                    start_at[fc, fs] = (
+                        counter_start[fc, fs] + remaining[fc, fs] * sigma
+                    )
+                if any_resume:
+                    r_idle = resume & ~new_busy
+                    if r_idle.any():
+                        rc, rs = np.nonzero(r_idle)
+                        counter_start[rc, rs] = now[rc] + difs
+                        start_at[rc, rs] = (
+                            counter_start[rc, rs] + remaining[rc, rs] * sigma
+                        )
+                    # Deferring resumers simply wait for their falling edge.
+                    resume[:] = False
+                    any_resume = False
+                busy = new_busy
+
+            # -- reporting boundaries (exact instants; finished cells have
+            #    next_mark past end_ns) -----------------------------------
+            if interval_ns and not none_measuring:
+                due = measuring & (now >= next_mark)
+                if due.any():
+                    primary = controller.primary_control()
+                    for cell in np.flatnonzero(due):
+                        delta = int(cum_bits[cell] - bits_last[cell])
+                        time_s = now[cell] / NS_PER_SECOND
+                        throughput_tl[cell].append(
+                            (time_s, delta / interval)
+                        )
+                        if primary is not None:
+                            control_tl[cell].append(
+                                (time_s, float(primary[cell]))
+                            )
+                        bits_last[cell] = cum_bits[cell]
+                    next_mark[due] += interval_ns
+
+        # Close the occupancy accounting for cells still busy at the end.
+        still = active_cnt > 0
+        busy_total[still] += end_ns - busy_since[still]
+        return self._build_results(successes, failures, busy_total,
+                                   busy_periods, throughput_tl, control_tl)
+
+    # ------------------------------------------------------------------
+    def _build_results(self, successes, failures, busy_total, busy_periods,
+                       throughput_tl, control_tl) -> List[SimulationResult]:
+        phy = self._phy
+        payload = phy.payload_bits
+        duration = self._duration
+        station_idle = self._bank.station_observed_idle()
+        results = []
+        for cell in range(self._n.size):
+            stations = int(self._n[cell])
+            stats = tuple(
+                StationStats(
+                    station=i,
+                    successes=int(successes[cell, i]),
+                    failures=int(failures[cell, i]),
+                    payload_bits=int(successes[cell, i]) * payload,
+                    throughput_bps=int(successes[cell, i]) * payload / duration,
+                )
+                for i in range(stations)
+            )
+            cell_successes = int(successes[cell, :stations].sum())
+            # Table III accounting, mirroring WlanSimulation's finalisation:
+            # subtract the per-period framing overheads from the non-busy
+            # time and express the contention idle time in backoff slots.
+            busy_time_s = busy_total[cell] / NS_PER_SECOND
+            overhead_s = (
+                int(busy_periods[cell]) * phy.difs
+                + cell_successes * (phy.sifs + phy.ack_tx_time)
+            )
+            idle_time_s = max(duration - busy_time_s - overhead_s, 0.0)
+            block = self._sensing[cell, :stations, :stations]
+            hidden_pairs = int((~block).sum() - stations) // 2
+            extra: Dict[str, object] = {
+                "simulator": "batched",
+                "backend": "conflict-matrix",
+                "num_stations": stations,
+                "warmup": self._warmup,
+                "hidden_pairs": hidden_pairs,
+            }
+            if self._scheme_name is not None:
+                extra["scheme"] = self._scheme_name
+            if station_idle is not None and not math.isnan(station_idle[cell]):
+                extra["station_observed_idle"] = float(station_idle[cell])
+            results.append(SimulationResult(
+                duration=duration,
+                station_stats=stats,
+                total_throughput_bps=cell_successes * payload / duration,
+                idle_slots=int(idle_time_s / phy.slot_time),
+                busy_periods=int(busy_periods[cell]),
+                throughput_timeline=tuple(throughput_tl[cell]),
+                control_timeline=tuple(control_tl[cell]),
+                extra=extra,
+            ))
+        return results
+
+
+def run_conflict(
+    kind: str,
+    params: Dict[str, object],
+    topologies: Sequence[ConnectivityGraph],
+    seeds: Sequence[int],
+    duration: float,
+    warmup: float = 0.0,
+    phy: Optional[PhyParameters] = None,
+    **kwargs,
+) -> List[SimulationResult]:
+    """One-call convenience wrapper: derive matrices, build banks, run.
+
+    ``topologies[c]`` supplies cell ``c``'s sensing graph; scheme ``kind`` /
+    ``params`` use the :class:`~repro.experiments.campaign.SchemeSpec`
+    vocabulary exactly like :func:`repro.sim.batched.run_batched`.
+    """
+    if len(topologies) != len(seeds):
+        raise ValueError("topologies and seeds must have equal length")
+    phy = phy or PhyParameters()
+    if not batchable_scheme(kind, dict(params)):
+        raise ValueError(f"scheme kind '{kind}' has no batched kernel")
+    num_stations = [graph.num_stations for graph in topologies]
+    sensing = stack_sensing_matrices(
+        [graph.sensing_matrix() for graph in topologies]
+    )
+    policy_bank, controller_bank, name = make_batched_system(
+        kind, dict(params), len(seeds), int(max(num_stations)), phy,
+        station_observations=True,
+    )
+    simulator = BatchedConflictSimulator(
+        policy_bank, controller_bank, sensing, num_stations, seeds,
+        duration=duration, warmup=warmup, phy=phy, scheme_name=name, **kwargs,
+    )
+    return simulator.run()

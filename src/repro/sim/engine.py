@@ -7,7 +7,10 @@ of floating-point rounding; helpers convert to/from seconds at the edges.
 Events are callbacks scheduled at absolute times.  Cancelling an event marks
 it dead in place (lazy deletion), which keeps cancellation O(1) — important
 because the CSMA state machines cancel a scheduled transmission every time
-the medium turns busy during a countdown.
+the medium turns busy during a countdown.  Long hidden-node runs retime
+transmissions constantly, so cancelled entries would otherwise pile up in
+the heap (inflating every push/pop by their ``log`` factor); the scheduler
+therefore compacts the heap whenever cancelled entries outnumber live ones.
 """
 
 from __future__ import annotations
@@ -24,7 +27,8 @@ __all__ = ["Event", "EventScheduler", "SimulationClock"]
 class Event:
     """A scheduled callback.  Create via :meth:`EventScheduler.schedule_at`."""
 
-    __slots__ = ("time_ns", "sequence", "callback", "args", "cancelled")
+    __slots__ = ("time_ns", "sequence", "callback", "args", "cancelled",
+                 "done")
 
     def __init__(self, time_ns: int, sequence: int,
                  callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
@@ -33,6 +37,10 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # True once the event has left the heap (run, skipped or compacted
+        # away); late cancel() calls on such events must not touch the
+        # scheduler's cancelled-entry accounting.
+        self.done = False
 
     def __lt__(self, other: "Event") -> bool:
         # Tie-break by insertion order so same-time events run FIFO.
@@ -62,11 +70,17 @@ class SimulationClock:
 class EventScheduler:
     """Priority-queue based discrete-event scheduler."""
 
+    #: Heap size below which compaction is never attempted (the rebuild cost
+    #: would exceed the savings).
+    COMPACTION_FLOOR = 64
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._sequence = itertools.count()
         self._now_ns = 0
         self._processed = 0
+        self._cancelled = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     @property
@@ -83,6 +97,16 @@ class EventScheduler:
     def pending_events(self) -> int:
         """Number of events in the queue (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def cancelled_events(self) -> int:
+        """Number of cancelled events still occupying the queue."""
+        return self._cancelled
+
+    @property
+    def heap_compactions(self) -> int:
+        """Number of times the heap was compacted (diagnostics/tests)."""
+        return self._compactions
 
     @property
     def processed_events(self) -> int:
@@ -113,16 +137,39 @@ class EventScheduler:
         return self.schedule_at(self._now_ns + int(delay_ns), callback, *args)
 
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel a scheduled event (no-op for None or already-run events)."""
-        if event is not None:
-            event.cancelled = True
+        """Cancel a scheduled event (no-op for None or already-run events).
+
+        Cancellation is O(1) (the event is marked dead in place); when dead
+        entries come to outnumber the live ones the whole heap is compacted,
+        so the queue's size — and the cost of every subsequent push and pop —
+        tracks the number of *live* events, not the cancellation churn.
+        """
+        if event is None or event.cancelled or event.done:
+            return
+        event.cancelled = True
+        self._cancelled += 1
+        if (self._cancelled * 2 > len(self._heap)
+                and len(self._heap) >= self.COMPACTION_FLOOR):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap in one O(n) pass."""
+        for event in self._heap:
+            if event.cancelled:
+                event.done = True
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.done = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now_ns = event.time_ns
             self._processed += 1
@@ -143,7 +190,9 @@ class EventScheduler:
             if event.time_ns > time_ns:
                 break
             heapq.heappop(self._heap)
+            event.done = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now_ns = event.time_ns
             self._processed += 1

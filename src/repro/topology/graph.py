@@ -249,6 +249,32 @@ class ConnectivityGraph:
                 matrix[i, j] = True
         return matrix
 
+    # ------------------------------------------------------------------
+    # Conflict-matrix views (the vectorized hidden-node backend's inputs)
+    # ------------------------------------------------------------------
+    def sensing_matrix(self) -> np.ndarray:
+        """Boolean carrier-sense matrix ``S`` with ``S[i, j]`` true iff
+        station ``i`` senses station ``j``'s transmissions.
+
+        The matrix is symmetric (sensing is mutual in this model) and has a
+        True diagonal (a station trivially "senses" itself; consumers that
+        must ignore self-sensing, like the batched conflict simulator, zero
+        the diagonal).  For a fully connected topology this degenerates to
+        the all-ones matrix.
+        """
+        return self.adjacency_matrix()
+
+    def hidden_matrix(self) -> np.ndarray:
+        """Boolean hidden-pair matrix ``H = ~S`` off the diagonal.
+
+        ``H[i, j]`` is True iff stations ``i`` and ``j`` are mutually hidden
+        (neither can carrier-sense the other), which is exactly the set
+        enumerated by :meth:`hidden_pairs`; the diagonal is always False.
+        """
+        matrix = ~self.sensing_matrix()
+        np.fill_diagonal(matrix, False)
+        return matrix
+
 
 def build_connectivity(
     placement: Placement,

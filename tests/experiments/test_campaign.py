@@ -300,13 +300,78 @@ class TestBackendSelection:
         [result] = CampaignExecutor(jobs=1).run([task])
         assert result.extra["simulator"] == "slotted"
 
-    def test_hidden_tasks_always_use_event_simulator(self):
+    def test_auto_backend_batches_eligible_hidden_tasks(self):
         task = _quick_task(
-            num_stations=10, topology=TopologySpec.hidden_disc(10, 16.0, 1)
+            num_stations=6, topology=TopologySpec.hidden_disc(6, 16.0, 1)
+        )
+        assert batch_eligible(task)
+        executor = CampaignExecutor(jobs=1)
+        [result] = executor.run([task])
+        assert result.extra["simulator"] == "batched"
+        assert result.extra["backend"] == "conflict-matrix"
+        assert executor.last_run_stats.batched_cells == 1
+
+    def test_hidden_tasks_with_activity_fall_back_to_event(self):
+        task = _quick_task(
+            num_stations=6,
+            topology=TopologySpec.hidden_disc(6, 16.0, 1),
+            activity=((0.0, 3), (0.1, 6)),
         )
         assert not batch_eligible(task)
         [result] = CampaignExecutor(jobs=1).run([task])
         assert result.extra["simulator"] == "event-driven"
+
+    def test_hidden_tasks_with_unbatchable_scheme_fall_back_to_event(self):
+        task = _quick_task(
+            num_stations=6,
+            scheme=SchemeSpec.make("n-estimating"),
+            topology=TopologySpec.hidden_disc(6, 16.0, 1),
+        )
+        assert not batch_eligible(task)
+        [result] = CampaignExecutor(jobs=1).run([task])
+        assert result.extra["simulator"] == "event-driven"
+
+    def test_slotted_backend_keeps_hidden_tasks_on_event_simulator(self):
+        task = _quick_task(
+            num_stations=6, topology=TopologySpec.hidden_disc(6, 16.0, 1)
+        )
+        [result] = CampaignExecutor(jobs=1, backend="slotted").run([task])
+        assert result.extra["simulator"] == "event-driven"
+
+    def test_plan_batches_never_mixes_topology_families(self):
+        connected = [_quick_task(seed=s) for s in (1, 2)]
+        hidden = [
+            _quick_task(
+                seed=s, num_stations=5,
+                topology=TopologySpec.hidden_disc(5, 16.0, s),
+            )
+            for s in (1, 2)
+        ]
+        groups = plan_batches(connected + hidden)
+        assert len(groups) == 2
+        for group in groups:
+            kinds = {task.topology.kind for task in group}
+            assert len(kinds) == 1
+
+    def test_hidden_batch_may_mix_topologies_and_station_counts(self):
+        tasks = [
+            _quick_task(
+                seed=seed, num_stations=n,
+                topology=TopologySpec.hidden_disc(n, radius, seed),
+                simulator="batched",
+            )
+            for seed, n, radius in [(1, 4, 16.0), (2, 7, 20.0), (3, 5, 16.0)]
+        ]
+        [group] = plan_batches(tasks)
+        assert len(group) == 3
+        results = execute_batch(group)
+        for task, result in zip(tasks, results):
+            assert result.extra["task_key"] == task.task_key()
+            assert result.extra["num_stations"] == task.topology.num_stations
+            [alone] = execute_batch([task])
+            extra = {k: v for k, v in alone.extra.items()}
+            assert extra == dict(result.extra)
+            assert alone == result
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
@@ -477,3 +542,24 @@ class TestCampaignCache:
             [_quick_task(seed=1)]
         )
         assert [e.source for e in events] == ["cache"]
+
+
+class TestWarmCacheWithWorkers:
+    def test_fully_cached_campaign_with_jobs_gt_1(self, tmp_path):
+        """A 100% cache-served campaign must not touch the batch planner.
+
+        Regression test: plan_batches([]) used to crash on the worker-split
+        path (max() over an empty plan) whenever every cell of a jobs>1
+        campaign was served from cache.
+        """
+        tasks = [_quick_task(seed=seed) for seed in (1, 2)]
+        cold = CampaignExecutor(jobs=2, cache_dir=tmp_path)
+        first = cold.run(tasks)
+        warm = CampaignExecutor(jobs=2, cache_dir=tmp_path)
+        second = warm.run(tasks)
+        assert warm.last_run_stats.cached == 2
+        assert warm.last_run_stats.executed == 0
+        assert second == first
+
+    def test_plan_batches_empty_input_with_target_units(self):
+        assert plan_batches([], target_units=4) == []

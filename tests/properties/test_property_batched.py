@@ -15,6 +15,8 @@ from repro.experiments.campaign import RunTask, SchemeSpec, TopologySpec
 from repro.experiments.campaign.batching import execute_batch
 from repro.phy.constants import PhyParameters
 from repro.sim.batched import run_batched
+from repro.sim.conflict import run_conflict
+from repro.topology.scenarios import hidden_node_scenario
 
 PHY = PhyParameters()
 
@@ -80,6 +82,100 @@ class TestCompositionIndependence:
                               phy=PHY)
         for result in results[1:]:
             assert result == results[0]
+
+
+#: (station count, topology seed, cell seed) triples for hidden-node cells.
+hidden_cells = st.lists(
+    st.tuples(st.integers(min_value=2, max_value=8),
+              st.integers(min_value=0, max_value=50),
+              st.integers(min_value=0, max_value=2 ** 31 - 1)),
+    min_size=2, max_size=4,
+)
+
+
+def _hidden_graphs(cells):
+    return [
+        hidden_node_scenario(n, np.random.default_rng(topo_seed), radius=16.0)
+        for n, topo_seed, _ in cells
+    ]
+
+
+class TestHiddenTopologyCompositionIndependence:
+    """The conflict-matrix backend honours the same composition contract.
+
+    Hidden-node batches additionally mix *topologies* (not just station
+    counts and seeds), so these properties also hunt for cross-cell leakage
+    through the padded sensing matrices.
+    """
+
+    @given(cells=hidden_cells, scheme=st.sampled_from(SCHEMES),
+           focus=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_cell_result_is_independent_of_batch_composition(
+        self, cells, scheme, focus
+    ):
+        kind, params = scheme
+        focus = focus % len(cells)
+        graphs = _hidden_graphs(cells)
+        seeds = [c[2] for c in cells]
+        batch = run_conflict(kind, params, graphs, seeds,
+                             duration=0.12, warmup=0.08, phy=PHY)
+        [alone] = run_conflict(kind, params, [graphs[focus]], [seeds[focus]],
+                               duration=0.12, warmup=0.08, phy=PHY)
+        assert batch[focus] == alone
+
+    @given(cells=hidden_cells, scheme=st.sampled_from(SCHEMES),
+           order_seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=6, deadline=None)
+    def test_batch_order_does_not_change_per_cell_results(
+        self, cells, scheme, order_seed
+    ):
+        kind, params = scheme
+        graphs = _hidden_graphs(cells)
+        seeds = [c[2] for c in cells]
+        permutation = np.random.default_rng(order_seed).permutation(len(cells))
+        forward = run_conflict(kind, params, graphs, seeds,
+                               duration=0.12, warmup=0.05, phy=PHY)
+        shuffled = run_conflict(kind, params,
+                                [graphs[i] for i in permutation],
+                                [seeds[i] for i in permutation],
+                                duration=0.12, warmup=0.05, phy=PHY)
+        for position, original in enumerate(permutation):
+            assert shuffled[position] == forward[original]
+
+    @given(n=st.integers(min_value=2, max_value=8),
+           topo_seed=st.integers(min_value=0, max_value=50),
+           seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+           copies=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_duplicated_cells_produce_identical_results(
+        self, n, topo_seed, seed, copies
+    ):
+        graph = hidden_node_scenario(
+            n, np.random.default_rng(topo_seed), radius=16.0
+        )
+        results = run_conflict("standard-802.11", {}, [graph] * copies,
+                               [seed] * copies, duration=0.15, phy=PHY)
+        for result in results[1:]:
+            assert result == results[0]
+
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=2 ** 31 - 1),
+                          min_size=2, max_size=3, unique=True))
+    @settings(max_examples=6, deadline=None)
+    def test_execute_batch_equals_batches_of_one(self, seeds):
+        """The planner's grouping is invisible on the conflict backend too."""
+        tasks = [
+            RunTask(
+                scheme=SchemeSpec.make("tora-csma", update_period=0.05),
+                topology=TopologySpec.hidden_disc(5, 16.0, 7),
+                seed=seed, duration=0.15, warmup=0.05,
+                simulator="batched", phy=PHY,
+            )
+            for seed in seeds
+        ]
+        grouped = execute_batch(tasks)
+        singles = [execute_batch([task])[0] for task in tasks]
+        assert grouped == singles
 
 
 class TestExecuteBatchContract:

@@ -111,3 +111,79 @@ class TestStepAndDrain:
         scheduler.run_until(2_000_000_000)
         assert clock.now_ns == 2_000_000_000
         assert clock.now == pytest.approx(2.0)
+
+
+class TestHeapCompaction:
+    def test_cancelled_counter_tracks_live_cancellations(self):
+        scheduler = EventScheduler()
+        events = [scheduler.schedule_at(10 * i, lambda: None)
+                  for i in range(10)]
+        scheduler.cancel(events[0])
+        scheduler.cancel(events[1])
+        assert scheduler.cancelled_events == 2
+        # Cancelling twice (or cancelling an already-run event) must not
+        # inflate the counter.
+        scheduler.cancel(events[0])
+        assert scheduler.cancelled_events == 2
+        scheduler.run_until(1000)
+        assert scheduler.cancelled_events == 0
+        scheduler.cancel(events[5])  # already executed: no-op
+        assert scheduler.cancelled_events == 0
+
+    def test_popping_cancelled_events_decrements_counter(self):
+        scheduler = EventScheduler()
+        keep = scheduler.schedule_at(50, lambda: None)
+        dead = [scheduler.schedule_at(i, lambda: None) for i in range(10)]
+        for event in dead:
+            scheduler.cancel(event)
+        assert scheduler.cancelled_events == len(dead)
+        scheduler.run_until(100)
+        assert scheduler.cancelled_events == 0
+        assert scheduler.processed_events == 1
+        assert not keep.cancelled
+
+    def test_compaction_triggers_when_cancelled_exceed_half(self):
+        scheduler = EventScheduler()
+        floor = EventScheduler.COMPACTION_FLOOR
+        live = [scheduler.schedule_at(10_000 + i, lambda: None)
+                for i in range(floor)]
+        doomed = [scheduler.schedule_at(i, lambda: None)
+                  for i in range(floor + 1)]
+        for event in doomed:
+            scheduler.cancel(event)
+        # More than half the heap was cancelled: it must have been compacted
+        # down to the live events only.
+        assert scheduler.heap_compactions >= 1
+        assert scheduler.cancelled_events == 0
+        assert scheduler.pending_events == len(live)
+        order = scheduler.processed_events
+        scheduler.run_until(20_000)
+        assert scheduler.processed_events - order == len(live)
+
+    def test_small_heaps_are_never_compacted(self):
+        scheduler = EventScheduler()
+        events = [scheduler.schedule_at(i, lambda: None) for i in range(10)]
+        for event in events:
+            scheduler.cancel(event)
+        assert scheduler.heap_compactions == 0
+        assert scheduler.pending_events == 10  # lazy deletion still in place
+        scheduler.run_until(100)
+        assert scheduler.pending_events == 0
+
+    def test_compacted_events_stay_cancelled(self):
+        scheduler = EventScheduler()
+        floor = EventScheduler.COMPACTION_FLOOR
+        fired = []
+        for i in range(floor):
+            scheduler.schedule_at(10_000 + i, fired.append, i)
+        doomed = [scheduler.schedule_at(i, fired.append, -1)
+                  for i in range(floor + 1)]
+        for event in doomed:
+            scheduler.cancel(event)
+        # Late cancels of compacted-away events must not corrupt accounting.
+        for event in doomed:
+            scheduler.cancel(event)
+        assert scheduler.cancelled_events == 0
+        scheduler.run_until(20_000)
+        assert -1 not in fired
+        assert len(fired) == floor

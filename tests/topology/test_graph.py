@@ -134,3 +134,53 @@ class TestGraphViews:
         decode_edges = set(graph.decode_graph.edges())
         sensing_edges = set(graph.sensing_graph.edges())
         assert decode_edges.issubset(sensing_edges)
+
+
+class TestConflictMatrixHelpers:
+    """The matrix views the batched conflict simulator is built on."""
+
+    def _random_hidden_graph(self, n=12, seed=4):
+        from repro.topology.scenarios import hidden_node_scenario
+
+        return hidden_node_scenario(
+            n, np.random.default_rng(seed), radius=16.0,
+            require_hidden_pairs=True,
+        )
+
+    def test_sensing_matrix_is_symmetric_with_true_diagonal(self):
+        graph = self._random_hidden_graph()
+        matrix = graph.sensing_matrix()
+        assert matrix.dtype == bool
+        assert np.array_equal(matrix, matrix.T)
+        assert matrix.diagonal().all()
+
+    def test_sensing_matrix_matches_sensing_sets(self):
+        graph = self._random_hidden_graph()
+        matrix = graph.sensing_matrix()
+        for i in range(graph.num_stations):
+            assert set(np.flatnonzero(matrix[i])) == set(graph.sensing_set(i))
+
+    def test_hidden_matrix_is_the_complement_off_the_diagonal(self):
+        graph = self._random_hidden_graph()
+        sensing = graph.sensing_matrix()
+        hidden = graph.hidden_matrix()
+        assert not hidden.diagonal().any()
+        off_diag = ~np.eye(graph.num_stations, dtype=bool)
+        assert np.array_equal(hidden, ~sensing & off_diag)
+
+    def test_hidden_matrix_agrees_with_hidden_pair_report(self):
+        graph = self._random_hidden_graph()
+        hidden = graph.hidden_matrix()
+        report = graph.hidden_node_report()
+        assert int(hidden.sum()) // 2 == report.num_hidden_pairs
+        assert np.array_equal(hidden, hidden.T)
+        pairs = {(i, j) for i, j in zip(*np.nonzero(hidden)) if i < j}
+        assert pairs == set(graph.hidden_pairs())
+        with_peer = int((hidden.any(axis=1)).sum())
+        assert with_peer == report.stations_with_hidden_peer
+
+    def test_connected_topology_degenerates_to_all_ones(self):
+        graph = ConnectivityGraph(ring_placement(9, radius=8.0), paper_model())
+        assert graph.sensing_matrix().all()
+        assert not graph.hidden_matrix().any()
+        assert graph.hidden_node_report().is_fully_connected

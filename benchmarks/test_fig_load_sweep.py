@@ -1,0 +1,44 @@
+"""Load-sweep benchmark: unsaturated workloads across all three backends.
+
+Runs the ``fig_load_sweep`` experiment on a reduced grid with the default
+``auto`` backend policy, which routes every cell to a vectorized backend
+(renewal-slot for connected cells, conflict-matrix for hidden cells).  The
+recorded ``cells_per_s`` gates CI against regressions of the batched
+backends' traffic path (queue gating, arrival advancement) via
+``check_benchmark_regression.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.campaign import CampaignExecutor
+from repro.experiments.fig_load_sweep import run_fig_load_sweep
+
+
+def test_fig_load_sweep(bench_config_connected, record_result, bench_json):
+    config = bench_config_connected.evolve(
+        node_counts=(10,),
+        load_points=(0.5, 1.5),
+        measure_duration=1.0,
+        adaptive_warmup=3.0,
+    )
+    executor = CampaignExecutor(jobs=1, backend="auto")
+    result = run_fig_load_sweep(config, executor=executor)
+    record_result(result, "fig_load_sweep.txt")
+
+    stats = executor.last_run_stats
+    # Every cell must have executed vectorized: the connected half on the
+    # renewal-slot backend, the hidden half on the conflict-matrix backend.
+    assert stats.batched_cells == stats.executed == stats.total
+    bench_json["backend"] = "batched(auto: renewal-slot + conflict-matrix)"
+    bench_json["cells"] = stats.total
+    bench_json["extra"]["load_points"] = list(config.load_points)
+    bench_json["extra"]["traffic_kind"] = config.traffic_kind
+
+    # Physics sanity on the recorded grid: below saturation the throughput
+    # tracks the offered load; past it, delay and drops take over.
+    low = next(r for r in result.rows if r.label == "connected/x=0.5")
+    high = next(r for r in result.rows if r.label == "connected/x=1.5")
+    assert low.values["Standard 802.11 drop"] < 0.05
+    assert high.values["Standard 802.11 drop"] > 0.2
+    assert (high.values["Standard 802.11 delay ms"]
+            > low.values["Standard 802.11 delay ms"])

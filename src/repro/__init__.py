@@ -10,6 +10,8 @@ The package is organised as:
 * :mod:`repro.core`       — the paper's contribution: Kiefer-Wolfowitz
   stochastic approximation plus the wTOP-CSMA and TORA-CSMA AP controllers;
 * :mod:`repro.sim`        — event-driven and slotted WLAN simulators;
+* :mod:`repro.traffic`    — workload models: arrival processes (Poisson,
+  CBR, on-off bursty) and bounded per-station frame queues;
 * :mod:`repro.analysis`   — Bianchi / p-persistent / RandomReset analytical
   models, quasi-concavity checks and fairness metrics;
 * :mod:`repro.experiments`— runners that regenerate every figure and table of

@@ -87,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--traffic", choices=("poisson", "cbr", "on-off"), default=None,
+        help=(
+            "arrival-process family for the unsaturated-workload experiments "
+            "(fig_load_sweep); overrides the preset's traffic_kind "
+            "(default: poisson)"
+        ),
+    )
+    parser.add_argument(
+        "--load", type=float, action="append", default=None, metavar="X",
+        help=(
+            "offered-load multiplier (fraction of the channel's saturation "
+            "frame rate) for fig_load_sweep; repeat for several points; "
+            "overrides the preset's load grid"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir", type=pathlib.Path, default=None, metavar="DIR",
         help="cache completed simulation cells as JSON under DIR and reuse "
              "them on later runs",
@@ -144,6 +160,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     names = _resolve_experiments(args.experiments, parser)
     config = _PRESETS[args.preset]
+    if args.traffic is not None:
+        config = config.evolve(traffic_kind=args.traffic)
+    if args.load:
+        for load in args.load:
+            if load <= 0:
+                parser.error("--load must be positive")
+        config = config.evolve(load_points=tuple(args.load))
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
     if (args.cache_dir is not None and args.cache_dir.exists()

@@ -65,8 +65,10 @@ from .specs import (
     TopologySpec,
     derive_seed,
 )
+from ...traffic import ArrivalProcess
 
 __all__ = [
+    "ArrivalProcess",
     "BACKENDS",
     "CACHE_VERSION",
     "RESULT_SCHEMA_VERSION",

@@ -102,6 +102,7 @@ def batch_key(task: RunTask) -> Tuple:
         task.frame_error_rate,
         task.report_interval,
         task.activity,
+        task.traffic,
     )
 
 
@@ -168,6 +169,7 @@ def execute_batch(tasks: Sequence[RunTask]) -> List[SimulationResult]:
             report_interval=first.report_interval,
             activity=step_activity(first.activity) if first.activity else None,
             scheme_name=scheme_name,
+            traffic=first.traffic,
         )
     else:
         policy_bank, controller_bank, scheme_name = make_batched_system(
@@ -191,6 +193,7 @@ def execute_batch(tasks: Sequence[RunTask]) -> List[SimulationResult]:
             frame_error_rate=first.frame_error_rate,
             report_interval=first.report_interval,
             scheme_name=scheme_name,
+            traffic=first.traffic,
         )
     annotated = []
     for task, result in zip(tasks, simulator.run()):

@@ -39,8 +39,14 @@ RESULT_SCHEMA_VERSION = 2
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:
-    """Serialise a :class:`SimulationResult` to plain JSON-able types."""
-    return {
+    """Serialise a :class:`SimulationResult` to plain JSON-able types.
+
+    The traffic-workload counters are emitted only when set: saturated
+    results serialise exactly as they did before the counters existed, so
+    entries written by pre-traffic code still round-trip bit-identically
+    (and vice versa) without a schema-version bump.
+    """
+    payload: Dict[str, object] = {
         "duration": result.duration,
         "total_throughput_bps": result.total_throughput_bps,
         "idle_slots": result.idle_slots,
@@ -59,6 +65,11 @@ def result_to_dict(result: SimulationResult) -> Dict[str, object]:
         "control_timeline": [[t, v] for t, v in result.control_timeline],
         "extra": dict(result.extra),
     }
+    if result.offered_frames or result.dropped_frames or result.queue_delay_sum_s:
+        payload["offered_frames"] = result.offered_frames
+        payload["dropped_frames"] = result.dropped_frames
+        payload["queue_delay_sum_s"] = result.queue_delay_sum_s
+    return payload
 
 
 def result_from_dict(payload: Dict[str, object]) -> SimulationResult:
@@ -82,6 +93,9 @@ def result_from_dict(payload: Dict[str, object]) -> SimulationResult:
             (t, v) for t, v in payload["throughput_timeline"]
         ),
         control_timeline=tuple((t, v) for t, v in payload["control_timeline"]),
+        offered_frames=payload.get("offered_frames", 0),
+        dropped_frames=payload.get("dropped_frames", 0),
+        queue_delay_sum_s=payload.get("queue_delay_sum_s", 0.0),
         extra=dict(payload["extra"]),
     )
 

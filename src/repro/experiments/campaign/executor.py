@@ -100,6 +100,7 @@ def execute_task(task: RunTask) -> SimulationResult:
             activity=activity,
             report_interval=task.report_interval,
             frame_error_rate=task.frame_error_rate,
+            traffic=task.traffic,
         )
         result = simulator.run(duration=task.duration, warmup=task.warmup)
         policies = simulator.policies
@@ -112,6 +113,7 @@ def execute_task(task: RunTask) -> SimulationResult:
             activity=activity,
             report_interval=task.report_interval,
             frame_error_rate=task.frame_error_rate,
+            traffic=task.traffic,
         )
         result = simulation.run(duration=task.duration, warmup=task.warmup)
         policies = simulation.policies

@@ -43,6 +43,7 @@ from ...mac.schemes import (
 from ...phy.constants import PhyParameters
 from ...topology.graph import ConnectivityGraph
 from ...topology.scenarios import fully_connected_scenario, hidden_node_scenario
+from ...traffic import ArrivalProcess
 
 __all__ = [
     "SCHEME_SPEC_KINDS",
@@ -242,6 +243,13 @@ class RunTask:
     :mod:`repro.experiments.campaign.batching`).  ``label`` is cosmetic
     (progress lines, result metadata) and deliberately excluded from
     :meth:`task_key` so renaming a sweep does not invalidate its cache.
+
+    ``traffic`` is the per-station workload
+    (:class:`~repro.traffic.ArrivalProcess`); ``None`` means saturated.  A
+    saturated :class:`ArrivalProcess` is canonicalised to ``None`` and the
+    field is omitted from :meth:`to_json` in that case, so saturated task
+    hashes — and therefore every pre-traffic :class:`ResultCache` entry —
+    are unchanged.
     """
 
     scheme: SchemeSpec
@@ -254,9 +262,12 @@ class RunTask:
     frame_error_rate: float = 0.0
     activity: Optional[Tuple[Tuple[float, int], ...]] = None
     phy: Optional[PhyParameters] = None
+    traffic: Optional[ArrivalProcess] = None
     label: str = ""
 
     def __post_init__(self) -> None:
+        if self.traffic is not None and self.traffic.is_saturated:
+            object.__setattr__(self, "traffic", None)
         if self.simulator not in ("auto", "slotted", "event", "batched"):
             raise ValueError(
                 "simulator must be 'auto', 'slotted', 'event' or 'batched'"
@@ -293,7 +304,7 @@ class RunTask:
         phy = None
         if self.phy is not None:
             phy = dict(sorted(dataclasses.asdict(self.phy).items()))
-        return {
+        payload = {
             "version": CACHE_VERSION,
             "scheme": self.scheme.to_json(),
             "topology": self.topology.to_json(),
@@ -306,6 +317,12 @@ class RunTask:
             "activity": [[t, c] for t, c in self.activity] if self.activity else None,
             "phy": phy,
         }
+        if self.traffic is not None:
+            # Only unsaturated workloads contribute a key dimension: the
+            # saturated default must hash exactly as before this field
+            # existed, keeping every pre-traffic cache entry valid.
+            payload["traffic"] = self.traffic.to_json()
+        return payload
 
     def task_key(self) -> str:
         """Stable content hash identifying this task across runs/processes."""
@@ -364,6 +381,7 @@ class SweepSpec:
     report_interval: Optional[float] = None
     frame_error_rate: float = 0.0
     phy: Optional[PhyParameters] = None
+    traffic: Optional[ArrivalProcess] = None
 
     @classmethod
     def make(cls, name: str, schemes: Mapping[str, SchemeSpec],
@@ -420,6 +438,7 @@ class SweepSpec:
                         report_interval=self.report_interval,
                         frame_error_rate=self.frame_error_rate,
                         phy=self.phy,
+                        traffic=self.traffic,
                         label=f"{self.name}/{scheme_label}/N={num_stations}/rep={rep}",
                     ))
         return tuple(tasks)

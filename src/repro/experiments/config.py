@@ -47,6 +47,14 @@ class ExperimentConfig:
         Disc radii of the two hidden-node placements (paper: 16 and 20).
     dynamic_segment_duration:
         Length of each constant-N segment in the dynamic scenarios.
+    load_points:
+        Offered-load multipliers (fractions of the channel's saturation
+        frame rate) swept by the ``fig_load_sweep`` experiment.
+    traffic_kind:
+        Arrival-process family used by the load sweep (``poisson``, ``cbr``
+        or ``on-off``; see :mod:`repro.traffic`).
+    traffic_queue_limit:
+        Bounded per-station FIFO capacity for unsaturated workloads.
     """
 
     node_counts: Tuple[int, ...] = (10, 20, 30, 40, 50, 60)
@@ -59,6 +67,9 @@ class ExperimentConfig:
     hidden_disc_radius_small: float = 16.0
     hidden_disc_radius_large: float = 20.0
     dynamic_segment_duration: float = 10.0
+    load_points: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
+    traffic_kind: str = "poisson"
+    traffic_queue_limit: int = 64
 
     def evolve(self, **changes: object) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -87,6 +98,7 @@ QUICK = ExperimentConfig(
     update_period=0.05,
     report_interval=0.25,
     dynamic_segment_duration=6.0,
+    load_points=(0.1, 0.5, 1.0, 2.0),
 )
 
 #: Heavier preset closer to the paper's simulation budgets.

@@ -33,6 +33,7 @@ from ..sim.simulation import WlanSimulation
 from ..sim.slotted import SlottedSimulator
 from ..topology.graph import ConnectivityGraph
 from ..topology.scenarios import fully_connected_scenario, hidden_node_scenario
+from ..traffic import ArrivalProcess
 from .campaign import CampaignExecutor, RunTask, SchemeSpec, TopologySpec
 from .config import ExperimentConfig
 
@@ -126,6 +127,7 @@ def connected_task(
     phy: Optional[PhyParameters] = None,
     activity: Optional[Sequence[Tuple[float, int]]] = None,
     report_interval: Optional[float] = None,
+    traffic: Optional["ArrivalProcess"] = None,
     label: str = "",
 ) -> RunTask:
     """Task for one scheme on a fully connected network (slotted simulator)."""
@@ -139,6 +141,7 @@ def connected_task(
         report_interval=report_interval,
         activity=tuple(activity) if activity is not None else None,
         phy=phy,
+        traffic=traffic,
         label=label,
     )
 
@@ -153,6 +156,7 @@ def hidden_task(
     phy: Optional[PhyParameters] = None,
     activity: Optional[Sequence[Tuple[float, int]]] = None,
     report_interval: Optional[float] = None,
+    traffic: Optional["ArrivalProcess"] = None,
     label: str = "",
 ) -> RunTask:
     """Task for one scheme on a hidden-node disc (event-driven simulator)."""
@@ -166,6 +170,7 @@ def hidden_task(
         report_interval=report_interval,
         activity=tuple(activity) if activity is not None else None,
         phy=phy,
+        traffic=traffic,
         label=label,
     )
 

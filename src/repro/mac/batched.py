@@ -328,12 +328,25 @@ class BatchedStationIdleSenseBank(BatchedPolicyBank):
         return self._draw(cells, stations, u[:, 0])
 
     def station_observed_idle(self):
-        """Per-cell mean of the stations' long-run observed idle averages."""
+        """Per-cell mean of the stations' long-run observed idle averages.
+
+        Each cell's mean is taken over a gathered 1-D array of only its own
+        observed stations (not a vectorized sum over the padded station
+        axis): NumPy's pairwise summation groups operands differently for
+        different array widths, so a padded-axis sum would make the last
+        bits of the mean depend on the *batch's* widest cell — breaking the
+        per-cell composition-independence contract for a pure diagnostics
+        value.  The gathered array's length is the cell's own observed
+        count, so its summation order is a function of the cell alone.
+        """
         per_station = self._total_idle / np.maximum(self._total_trans, 1)
         observed = self._total_trans > 0
-        count = observed.sum(axis=1)
-        total = np.where(observed, per_station, 0.0).sum(axis=1)
-        return np.where(count > 0, total / np.maximum(count, 1), np.nan)
+        out = np.full(observed.shape[0], np.nan)
+        for cell in range(observed.shape[0]):
+            stations = np.flatnonzero(observed[cell])
+            if stations.size:
+                out[cell] = float(per_station[cell, stations].mean())
+        return out
 
     @property
     def windows(self) -> np.ndarray:

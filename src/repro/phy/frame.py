@@ -64,9 +64,15 @@ class Frame:
 
 @dataclass(frozen=True)
 class DataFrame(Frame):
-    """A saturated-traffic uplink data frame."""
+    """An uplink data frame.
+
+    ``arrival_time_s`` carries the frame's queue-arrival timestamp for
+    unsaturated workloads (:mod:`repro.traffic`); saturated sources leave it
+    ``None`` (the frame was "generated" the instant transmission began).
+    """
 
     payload_bits: int = 0
+    arrival_time_s: Optional[float] = None
 
     @property
     def goodput_bits(self) -> int:
@@ -107,8 +113,13 @@ class FrameFactory:
         return next(self._counter)
 
     def data(self, source: int, destination: int,
-             payload_bits: Optional[int] = None) -> DataFrame:
-        """Create a DATA frame from ``source`` to ``destination``."""
+             payload_bits: Optional[int] = None,
+             arrival_time_s: Optional[float] = None) -> DataFrame:
+        """Create a DATA frame from ``source`` to ``destination``.
+
+        ``arrival_time_s`` attaches the queue-arrival timestamp for
+        unsaturated workloads (see :class:`DataFrame`).
+        """
         payload = self._phy.payload_bits if payload_bits is None else payload_bits
         if payload <= 0:
             raise ValueError("payload_bits must be positive")
@@ -119,6 +130,7 @@ class FrameFactory:
             destination=destination,
             size_bits=self._phy.mac_header_bits + payload,
             payload_bits=payload,
+            arrival_time_s=arrival_time_s,
         )
 
     def ack(self, source: int, destination: int, acked_frame_id: int,

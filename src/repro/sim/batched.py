@@ -56,6 +56,7 @@ from ..mac.batched import (
     BatchedStationIdleSenseBank,
 )
 from ..phy.constants import PhyParameters
+from ..traffic import ArrivalProcess, BatchedArrivals
 from .dynamics import ActivitySchedule
 from .metrics import SimulationResult, StationStats
 
@@ -156,6 +157,15 @@ class BatchedSlottedSimulator:
     duration / warmup / phy / frame_error_rate / report_interval / activity:
         As in :class:`~repro.sim.slotted.SlottedSimulator`, shared by every
         cell in the batch.
+    traffic:
+        Optional :class:`~repro.traffic.ArrivalProcess` shared by every
+        cell.  ``None`` (or saturated) keeps the classic always-backlogged
+        behaviour bit-identically; otherwise per-(cell, station) bounded
+        FIFO queues gate contention (empty-queue stations freeze their
+        counters and rejoin on arrival).  Arrival draws come from separate
+        per-cell salted streams (:class:`~repro.traffic.BatchedArrivals`),
+        so the contention streams — and therefore composition independence
+        — are untouched.
     """
 
     def __init__(
@@ -171,6 +181,7 @@ class BatchedSlottedSimulator:
         report_interval: Optional[float] = None,
         activity: Optional[ActivitySchedule] = None,
         scheme_name: Optional[str] = None,
+        traffic: Optional[ArrivalProcess] = None,
     ) -> None:
         if len(num_stations) != len(seeds):
             raise ValueError("num_stations and seeds must have equal length")
@@ -201,6 +212,9 @@ class BatchedSlottedSimulator:
         self._interval = report_interval
         self._activity = activity
         self._scheme_name = scheme_name
+        if traffic is not None and traffic.is_saturated:
+            traffic = None
+        self._traffic = traffic
 
     # ------------------------------------------------------------------
     def run(self) -> List[SimulationResult]:
@@ -229,6 +243,12 @@ class BatchedSlottedSimulator:
         draws = max(bank.draws_initial, bank.draws_success, bank.draws_failure)
         blocks = np.maximum(4096, 8 * n * draws)
         streams = CellStreams(self._seeds, block=blocks)
+        # Traffic state lives in its own per-cell salted streams, so the
+        # contention stream consumption below is identical whether or not
+        # the workload is saturated.
+        traffic = self._traffic
+        arrivals = (None if traffic is None
+                    else BatchedArrivals(traffic, self._seeds, n, max_n))
 
         # Station state: counters start at the policy's initial draw for every
         # existing station (the scalar simulator draws for all N policies up
@@ -325,6 +345,11 @@ class BatchedSlottedSimulator:
                 for i in shrink:
                     cell = due[i]
                     counters[cell, new_active[i]:old_active[i]] = _INACTIVE
+                    if traffic is not None:
+                        # Leaving mid-burst must not leak queued frames into
+                        # the next join: flush them as drops.
+                        leave = np.arange(new_active[i], old_active[i])
+                        arrivals.flush(np.full(leave.size, cell), leave)
                 grow = np.flatnonzero(new_active > old_active)
                 if grow.size:
                     grow_cells = due[grow]
@@ -367,17 +392,36 @@ class BatchedSlottedSimulator:
                     busy_periods[cross] = 0
                     cum_bits[cross] = 0
                     bits_last[cross] = 0
+                    if traffic is not None:
+                        arrivals.reset_measurement(cross)
                     if interval:
                         report_at[cross] = interval - (now[cross] - warmup)
                     all_measuring = bool(measuring.all())
 
+            # Frame arrivals rejoin parked stations and refill queues; the
+            # contention mask below is recomputed from the queue state.
+            # Clamping at end_time makes the processed set exactly "every
+            # arrival inside the run" for each cell, independent of how far
+            # the cell's last slot overshot the horizon and of how long its
+            # batch neighbours keep the loop alive (composition contract).
+            if traffic is not None:
+                arrivals.advance(np.minimum(now, end_time),
+                                 st_range[None, :] < active[:, None])
+                contend = ((st_range[None, :] < active[:, None])
+                           & arrivals.has_frame())
+
             # Idle fast-forward: advance by whole idle runs, but never past
-            # the next tick, activity change, report boundary, warmup
-            # boundary or end of run.
-            min_counter = counters.min(axis=1)
+            # the next tick, activity change, arrival, report boundary,
+            # warmup boundary or end of run.
+            if traffic is None:
+                min_counter = counters.min(axis=1)
+            else:
+                min_counter = np.where(contend, counters, _INACTIVE).min(axis=1)
             idle = alive & (min_counter > 0)
             if idle.any():
                 bound = np.minimum(end_time, next_tick)
+                if traffic is not None:
+                    np.minimum(bound, arrivals.next_min(), out=bound)
                 if has_schedule:
                     np.minimum(bound, pending_change, out=bound)
                 if none_measuring:
@@ -392,7 +436,10 @@ class BatchedSlottedSimulator:
                 advance = np.where(
                     idle, np.minimum(min_counter, slots.astype(np.int64)), 0
                 )
-                counters -= advance[:, None]
+                if traffic is None:
+                    counters -= advance[:, None]
+                else:
+                    counters -= np.where(contend, advance[:, None], 0)
                 now += advance * sigma
                 if observes:
                     idle_run += advance
@@ -417,12 +464,20 @@ class BatchedSlottedSimulator:
             # Transmissions: every cell whose minimum counter reached zero
             # resolves one busy virtual slot (success, collision or frame
             # error) this iteration.
-            min_counter = counters.min(axis=1)
+            if traffic is None:
+                min_counter = counters.min(axis=1)
+            else:
+                min_counter = np.where(contend, counters, _INACTIVE).min(axis=1)
             tx = (min_counter == 0) & (now < end_time)
             if not tx.any():
                 continue
             tx_col = tx[:, None]
-            transmitters = tx_col & (counters == 0)
+            if traffic is None:
+                transmitters = tx_col & (counters == 0)
+            else:
+                # A parked station may hold a counter of zero; only stations
+                # with a queued frame transmit.
+                transmitters = tx_col & (counters == 0) & contend
             num_tx = transmitters.sum(axis=1)
             single = num_tx == 1
             if fer_on and single.any():
@@ -451,7 +506,11 @@ class BatchedSlottedSimulator:
             # (Bianchi's renewal model); every station at zero in a
             # transmitting cell is a transmitter and is redrawn below, so the
             # blanket decrement never leaves a stale negative counter behind.
-            counters -= tx_col
+            # Parked (empty-queue) stations freeze instead.
+            if traffic is None:
+                counters -= tx_col
+            else:
+                counters -= tx_col & contend
 
             lose = tx & ~success
             if uniform_draws:
@@ -462,6 +521,11 @@ class BatchedSlottedSimulator:
             winners = np.flatnonzero(success)
             if winners.size:
                 winner_station = transmitters[winners].argmax(axis=1)
+                if traffic is not None:
+                    # The delivered frame leaves the winner's FIFO (exact
+                    # per-frame delay); an emptied winner parks via the
+                    # contention mask on the next iteration.
+                    arrivals.pop_success(winners, winner_station, now)
                 if all_measuring:
                     successes[winners, winner_station] += 1
                 elif not none_measuring:
@@ -492,12 +556,21 @@ class BatchedSlottedSimulator:
                 if fire.any():
                     sample_reports(fire)
 
+        if traffic is not None:
+            # Drain arrivals up to the horizon one last time: a solo cell's
+            # loop exits the instant it finishes, while a batched cell keeps
+            # being offered its tail arrivals as neighbours run on — this
+            # final pass makes both count identically.
+            arrivals.advance(np.minimum(now, end_time),
+                             st_range[None, :] < active[:, None])
         return self._build_results(successes, failures, idle_slots, busy_periods,
-                                   throughput_tl, control_tl)
+                                   throughput_tl, control_tl, arrivals)
 
     # ------------------------------------------------------------------
     def _build_results(self, successes, failures, idle_slots, busy_periods,
-                       throughput_tl, control_tl) -> List[SimulationResult]:
+                       throughput_tl, control_tl,
+                       arrivals: Optional[BatchedArrivals] = None,
+                       ) -> List[SimulationResult]:
         payload = self._phy.payload_bits
         duration = self._duration
         results = []
@@ -523,6 +596,9 @@ class BatchedSlottedSimulator:
             station_idle = self._bank.station_observed_idle()
             if station_idle is not None and not math.isnan(station_idle[cell]):
                 extra["station_observed_idle"] = float(station_idle[cell])
+            traffic_fields: Dict[str, object] = {}
+            if arrivals is not None:
+                traffic_fields = arrivals.annotate_result(cell, stations, extra)
             results.append(SimulationResult(
                 duration=duration,
                 station_stats=stats,
@@ -533,6 +609,7 @@ class BatchedSlottedSimulator:
                 throughput_timeline=tuple(throughput_tl[cell]),
                 control_timeline=tuple(control_tl[cell]),
                 extra=extra,
+                **traffic_fields,
             ))
         return results
 

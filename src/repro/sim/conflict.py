@@ -59,6 +59,7 @@ import numpy as np
 
 from ..phy.constants import NS_PER_SECOND, PhyParameters, seconds_to_ns
 from ..topology.graph import ConnectivityGraph
+from ..traffic import ArrivalProcess, BatchedArrivals
 from .batched import CellStreams, batchable_scheme, make_batched_system
 from .metrics import SimulationResult, StationStats
 
@@ -126,6 +127,15 @@ class BatchedConflictSimulator:
     report_interval:
         As in :class:`~repro.sim.batched.BatchedSlottedSimulator`.  Dynamic
         activity schedules are not supported on this backend.
+    traffic:
+        Optional :class:`~repro.traffic.ArrivalProcess` shared by every
+        cell (``None``/saturated keeps the classic behaviour
+        bit-identically).  Stations with empty queues park — their
+        remaining backoff frozen, no transmission scheduled — and rejoin
+        contention at their next frame arrival (DIFS first, exactly like a
+        post-freeze resume).  Arrival draws come from separate per-cell
+        salted streams, so the contention streams and their composition
+        independence are untouched.
     """
 
     def __init__(
@@ -141,6 +151,7 @@ class BatchedConflictSimulator:
         frame_error_rate: float = 0.0,
         report_interval: Optional[float] = None,
         scheme_name: Optional[str] = None,
+        traffic: Optional[ArrivalProcess] = None,
     ) -> None:
         if len(num_stations) != len(seeds):
             raise ValueError("num_stations and seeds must have equal length")
@@ -192,6 +203,9 @@ class BatchedConflictSimulator:
         self._fer = float(frame_error_rate)
         self._interval = report_interval
         self._scheme_name = scheme_name
+        if traffic is not None and traffic.is_saturated:
+            traffic = None
+        self._traffic = traffic
 
     # ------------------------------------------------------------------
     def run(self) -> List[SimulationResult]:
@@ -252,6 +266,13 @@ class BatchedConflictSimulator:
         if observes:
             obs_idle = np.zeros((num_cells, max_n), dtype=np.int64)
 
+        # Traffic state lives in its own per-cell salted streams, so the
+        # contention stream consumption is identical whether or not the
+        # workload is saturated.
+        traffic = self._traffic
+        arrivals = (None if traffic is None
+                    else BatchedArrivals(traffic, self._seeds, n, max_n))
+
         # Initial backoffs for every station; everyone then waits DIFS from
         # t = 0, exactly like freshly activated StationProcess instances.
         init_cells, init_st = np.nonzero(exists)
@@ -262,6 +283,11 @@ class BatchedConflictSimulator:
         )
         counter_start[exists] = difs
         start_at[exists] = difs + remaining[exists] * sigma
+        if traffic is not None:
+            # Unsaturated queues start empty: everyone parks with the drawn
+            # backoff frozen until the first arrival rejoins them.
+            counter_start[exists] = _NEVER
+            start_at[exists] = _NEVER
 
         # Per-cell clocks, metrics and channel-occupancy accounting.
         now = np.zeros(num_cells, dtype=np.int64)
@@ -311,6 +337,20 @@ class BatchedConflictSimulator:
             t = np.minimum(start_at.min(axis=1), tx_end.min(axis=1))
             np.minimum(t, next_tick, out=t)
             np.minimum(t, next_mark, out=t)
+            if traffic is not None:
+                # Pending frame arrivals are event instants too: a parked
+                # station must rejoin at (the ns ceiling of) its arrival.
+                # The extra nanosecond guarantees progress: float rounding
+                # of ``next * 1e9`` may land just below the true product,
+                # and a bare ceiling would then jump to an instant whose
+                # seconds value still compares below the arrival time.
+                next_arrival = arrivals.next_min()
+                arrival_ns = np.where(
+                    np.isfinite(next_arrival),
+                    np.ceil(next_arrival * NS_PER_SECOND) + 1.0,
+                    float(_NEVER),
+                ).astype(np.int64)
+                np.minimum(t, arrival_ns, out=t)
             np.minimum(t, end_ns, out=t)
             now = t
             now_col = now[:, None]
@@ -330,6 +370,8 @@ class BatchedConflictSimulator:
                     busy_periods[cross] = 0
                     busy_periods[mid_busy] = 1
                     busy_since[mid_busy] = now[mid_busy]
+                    if traffic is not None:
+                        arrivals.reset_measurement(cross)
                     next_mark[cross] = (
                         warmup_ns + interval_ns if interval_ns else _NEVER
                     )
@@ -342,6 +384,21 @@ class BatchedConflictSimulator:
                 if due_tick.any():
                     controller.on_tick(due_tick, now / NS_PER_SECOND)
                     next_tick[due_tick] += tick_ns
+
+            # -- frame arrivals (unsaturated workloads) -------------------
+            if traffic is not None:
+                rejoined = arrivals.advance(now / NS_PER_SECOND, exists)
+                if rejoined.any():
+                    # A rejoining station resumes exactly like after a
+                    # freeze: DIFS then its frozen countdown if its sensed
+                    # channel is idle right now; otherwise it stays
+                    # deferring and the next falling edge schedules it
+                    # (the contention masks below include it from now on).
+                    rc, rs = np.nonzero(rejoined & ~txing & ~busy)
+                    counter_start[rc, rs] = now[rc] + difs
+                    start_at[rc, rs] = (
+                        counter_start[rc, rs] + remaining[rc, rs] * sigma
+                    )
 
             changed = False
             starters = None
@@ -400,6 +457,13 @@ class BatchedConflictSimulator:
                     succ_flat = ~fail_flat
                     s_cells = e_cells[succ_flat]
                     s_st = e_st[succ_flat]
+                    if traffic is not None:
+                        # The delivered frame leaves the winner's FIFO
+                        # (exact per-frame delay).  The pop precedes the
+                        # eager reschedule below, so an emptied winner is
+                        # excluded from it and parks.
+                        arrivals.pop_success(s_cells, s_st,
+                                             now / NS_PER_SECOND)
                     if not none_measuring:
                         meas = measuring[s_cells]
                         successes[s_cells, s_st] += meas
@@ -431,6 +495,10 @@ class BatchedConflictSimulator:
                     gap[s_cells] = now[s_cells] + sifs
                     resched = (exists & smask[:, None]
                                & (start_at > gap[:, None]))
+                    if traffic is not None:
+                        # Parked stations have nothing to send: leave their
+                        # schedule at the _NEVER sentinel.
+                        resched &= arrivals.has_frame()
                     rc, rs = np.nonzero(resched)
                     elapsed = np.minimum(
                         np.maximum((gap[rc] - counter_start[rc, rs]) // sigma,
@@ -517,7 +585,15 @@ class BatchedConflictSimulator:
                                     oc, os_, obs_idle[oc, os_]
                                 )
                                 obs_idle[oc, os_] = 0
+                # Parked (empty-queue) stations stay in the rising/freeze
+                # pass above — their debit clamps to zero, their schedule is
+                # already the _NEVER sentinel, and they keep feeding
+                # channel observations exactly like the event-driven
+                # simulator's idle stations — but a falling edge must not
+                # schedule a transmission for them: they rejoin on arrival.
                 falling = contend & busy & ~new_busy
+                if traffic is not None:
+                    falling &= arrivals.has_frame()
                 if falling.any():
                     fc, fs = np.nonzero(falling)
                     counter_start[fc, fs] = now[fc] + difs
@@ -560,11 +636,14 @@ class BatchedConflictSimulator:
         still = active_cnt > 0
         busy_total[still] += end_ns - busy_since[still]
         return self._build_results(successes, failures, busy_total,
-                                   busy_periods, throughput_tl, control_tl)
+                                   busy_periods, throughput_tl, control_tl,
+                                   arrivals)
 
     # ------------------------------------------------------------------
     def _build_results(self, successes, failures, busy_total, busy_periods,
-                       throughput_tl, control_tl) -> List[SimulationResult]:
+                       throughput_tl, control_tl,
+                       arrivals: Optional[BatchedArrivals] = None,
+                       ) -> List[SimulationResult]:
         phy = self._phy
         payload = phy.payload_bits
         duration = self._duration
@@ -605,6 +684,9 @@ class BatchedConflictSimulator:
                 extra["scheme"] = self._scheme_name
             if station_idle is not None and not math.isnan(station_idle[cell]):
                 extra["station_observed_idle"] = float(station_idle[cell])
+            traffic_fields: Dict[str, object] = {}
+            if arrivals is not None:
+                traffic_fields = arrivals.annotate_result(cell, stations, extra)
             results.append(SimulationResult(
                 duration=duration,
                 station_stats=stats,
@@ -614,6 +696,7 @@ class BatchedConflictSimulator:
                 throughput_timeline=tuple(throughput_tl[cell]),
                 control_timeline=tuple(control_tl[cell]),
                 extra=extra,
+                **traffic_fields,
             ))
         return results
 

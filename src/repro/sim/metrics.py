@@ -59,6 +59,11 @@ class SimulationResult:
     control_timeline:
         Optional ``(time_s, value)`` series of the AP's control variable
         (Figures 9 and 11).
+    offered_frames / dropped_frames / queue_delay_sum_s:
+        Traffic-workload counters (zero for saturated runs): frames offered
+        by the arrival processes during the measurement window, frames
+        dropped (full queue, or flushed when a station left the network),
+        and the summed FIFO queueing delay of every delivered frame.
     extra:
         Free-form metadata (scheme name, topology description, seeds...).
     """
@@ -70,6 +75,9 @@ class SimulationResult:
     busy_periods: int = 0
     throughput_timeline: Tuple[Tuple[float, float], ...] = ()
     control_timeline: Tuple[Tuple[float, float], ...] = ()
+    offered_frames: int = 0
+    dropped_frames: int = 0
+    queue_delay_sum_s: float = 0.0
     extra: Mapping[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -107,6 +115,21 @@ class SimulationResult:
             return 0.0
         return self.idle_slots / self.busy_periods
 
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered frames dropped (0 when nothing was offered)."""
+        if self.offered_frames == 0:
+            return 0.0
+        return self.dropped_frames / self.offered_frames
+
+    @property
+    def mean_queue_delay_s(self) -> float:
+        """Mean FIFO queueing delay per delivered frame (seconds)."""
+        delivered = self.total_successes
+        if delivered == 0:
+            return 0.0
+        return self.queue_delay_sum_s / delivered
+
 
 class MetricsCollector:
     """Mutable accumulator that both simulators write into."""
@@ -125,6 +148,9 @@ class MetricsCollector:
         self._payload_bits = np.zeros(n, dtype=np.int64)
         self._idle_slots = 0
         self._busy_periods = 0
+        self._offered_frames = 0
+        self._dropped_frames = 0
+        self._queue_delay_sum_s = 0.0
         self._throughput_timeline: List[Tuple[float, float]] = []
         self._control_timeline: List[Tuple[float, float]] = []
 
@@ -149,6 +175,22 @@ class MetricsCollector:
         if count < 0:
             raise ValueError("count must be non-negative")
         self._busy_periods += count
+
+    def record_arrival(self, count: int = 1) -> None:
+        """Count frames offered by the arrival processes."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._offered_frames += count
+
+    def record_drop(self, count: int = 1) -> None:
+        """Count frames dropped (full queue, inactive station, or flush)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._dropped_frames += count
+
+    def record_queue_delay(self, delay_s: float) -> None:
+        """Accumulate one delivered frame's FIFO queueing delay."""
+        self._queue_delay_sum_s += delay_s
 
     def record_throughput_sample(self, time_s: float, throughput_bps: float) -> None:
         self._throughput_timeline.append((time_s, throughput_bps))
@@ -191,5 +233,8 @@ class MetricsCollector:
             busy_periods=self._busy_periods,
             throughput_timeline=tuple(self._throughput_timeline),
             control_timeline=tuple(self._control_timeline),
+            offered_frames=self._offered_frames,
+            dropped_frames=self._dropped_frames,
+            queue_delay_sum_s=self._queue_delay_sum_s,
             extra=dict(extra or {}),
         )

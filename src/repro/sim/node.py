@@ -24,8 +24,9 @@ from typing import Callable, Mapping, Optional
 import numpy as np
 
 from ..mac.backoff import BackoffPolicy
-from ..phy.constants import PhyParameters
+from ..phy.constants import NS_PER_SECOND, PhyParameters
 from ..phy.frame import FrameFactory
+from ..traffic import FrameQueue
 from .engine import Event, EventScheduler
 from .medium import ActiveTransmission, Medium
 
@@ -36,6 +37,7 @@ class StationState(enum.Enum):
     """Lifecycle states of the station MAC."""
 
     INACTIVE = "inactive"
+    IDLE_QUEUE = "idle_queue"    # active but no frame queued (unsaturated)
     DEFERRING = "deferring"      # sensed channel busy, waiting for idle
     WAITING_DIFS = "waiting_difs"
     COUNTING = "counting"        # backoff countdown in progress
@@ -61,6 +63,15 @@ class StationProcess:
         Callback ``(station, transmission, now_ns)`` invoked when the
         station's data frame leaves the air; the access point uses it to
         decide success/failure.
+    queue:
+        Optional bounded FIFO of frame-arrival timestamps.  ``None`` keeps
+        the classic saturated behaviour (always a frame to send); with a
+        queue, a station whose queue empties parks in
+        :attr:`StationState.IDLE_QUEUE` (its remaining backoff frozen) and
+        rejoins contention when :meth:`enqueue` accepts a frame.
+    on_queue_delay:
+        Callback receiving each delivered frame's FIFO queueing delay in
+        seconds (the simulation wires it to the metrics collector).
     """
 
     def __init__(
@@ -73,6 +84,8 @@ class StationProcess:
         phy: PhyParameters,
         rng: np.random.Generator,
         on_transmission_end: Callable[[int, ActiveTransmission, int], None],
+        queue: Optional[FrameQueue] = None,
+        on_queue_delay: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.station_id = station_id
         self.policy = policy
@@ -82,6 +95,8 @@ class StationProcess:
         self._phy = phy
         self._rng = rng
         self._on_transmission_end = on_transmission_end
+        self._queue = queue
+        self._on_queue_delay = on_queue_delay
 
         self._state = StationState.INACTIVE
         self._remaining_slots = 0
@@ -114,6 +129,16 @@ class StationProcess:
     def remaining_slots(self) -> int:
         return self._remaining_slots
 
+    @property
+    def has_frame(self) -> bool:
+        """Whether a frame is ready to send (always True when saturated)."""
+        return self._queue is None or len(self._queue) > 0
+
+    @property
+    def queue_length(self) -> int:
+        """Frames currently queued (0 for saturated stations)."""
+        return 0 if self._queue is None else len(self._queue)
+
     # ------------------------------------------------------------------
     # Activation / deactivation (dynamic scenarios)
     # ------------------------------------------------------------------
@@ -125,8 +150,37 @@ class StationProcess:
             self.policy.apply_control(control)
         self._remaining_slots = self.policy.initial_backoff(self._rng)
         self._observed_idle_slots = 0
+        if not self.has_frame:
+            # Unsaturated join with an empty queue: park with the drawn
+            # backoff frozen until the first arrival.
+            self._state = StationState.IDLE_QUEUE
+            return
         self._state = StationState.DEFERRING
         self._try_resume()
+
+    # ------------------------------------------------------------------
+    # Traffic (unsaturated workloads)
+    # ------------------------------------------------------------------
+    def enqueue(self, arrival_time_s: float) -> bool:
+        """Offer an arrived frame; False means the bounded queue dropped it.
+
+        A 0 -> 1 queue transition re-enters contention with the station's
+        frozen backoff counter (DIFS first, as after any busy period).
+        """
+        if self._queue is None:
+            raise RuntimeError("saturated stations have no frame queue")
+        if not self._queue.offer(arrival_time_s):
+            return False
+        if self._state is StationState.IDLE_QUEUE:
+            self._state = StationState.DEFERRING
+            self._try_resume()
+        return True
+
+    def flush_queue(self) -> int:
+        """Discard all queued frames (schedule leave); returns the count."""
+        if self._queue is None:
+            return 0
+        return self._queue.flush()
 
     def deactivate(self) -> None:
         """Leave the network: cancel pending activity and stop contending."""
@@ -232,7 +286,13 @@ class StationProcess:
             self._observed_idle_slots = 0
         self._remaining_slots = 0
         self._state = StationState.TRANSMITTING
-        frame = self._frames.data(source=self.station_id, destination=-1)
+        frame = self._frames.data(
+            source=self.station_id,
+            destination=-1,
+            arrival_time_s=(
+                None if self._queue is None else self._queue.head_time
+            ),
+        )
         duration_ns = self._phy.data_tx_time_ns
         self._current_transmission = self._medium.start_transmission(
             self.station_id, frame, duration_ns
@@ -258,9 +318,16 @@ class StationProcess:
         if self._state is StationState.INACTIVE:
             return
         self.successes += 1
+        if self._queue is not None:
+            delay = self._queue.pop(self._scheduler.now_ns / NS_PER_SECOND)
+            if self._on_queue_delay is not None:
+                self._on_queue_delay(delay)
         if control:
             self.policy.apply_control(control)
         self._remaining_slots = self.policy.on_success(self._rng)
+        if not self.has_frame:
+            self._state = StationState.IDLE_QUEUE
+            return
         self._state = StationState.DEFERRING
         self._try_resume()
 

@@ -32,6 +32,7 @@ from ..mac.schemes import Scheme
 from ..phy.constants import NS_PER_SECOND, PhyParameters, seconds_to_ns
 from ..phy.frame import FrameFactory
 from ..topology.graph import ConnectivityGraph
+from ..traffic import ArrivalProcess, ArrivalStream, FrameQueue, station_arrival_rng
 from .dynamics import ActivitySchedule, constant_activity
 from .engine import EventScheduler
 from .medium import AP_NODE_ID, ActiveTransmission, Medium
@@ -170,6 +171,15 @@ class WlanSimulation:
     frame_error_rate:
         Probability that a collision-free frame is lost to an i.i.d. channel
         error (paper, footnote 1); lost frames receive no ACK.
+    traffic:
+        Optional :class:`~repro.traffic.ArrivalProcess` describing each
+        station's frame arrivals.  ``None`` (or the saturated process)
+        keeps the classic always-backlogged behaviour bit-identically;
+        otherwise each station owns a bounded FIFO queue, parks while the
+        queue is empty and rejoins contention on arrival.  Arrival
+        generators derive from ``(seed, TRAFFIC_STREAM_SALT, station)`` —
+        the same derivation the slotted simulator uses, so both scalar
+        backends see bit-identical per-station arrival sequences.
     """
 
     def __init__(
@@ -182,6 +192,7 @@ class WlanSimulation:
         broadcast_control: bool = True,
         report_interval: Optional[float] = None,
         frame_error_rate: float = 0.0,
+        traffic: Optional[ArrivalProcess] = None,
     ) -> None:
         self._scheme = scheme
         self._connectivity = connectivity
@@ -215,6 +226,19 @@ class WlanSimulation:
             rng=np.random.default_rng(master.integers(0, 2 ** 63 - 1)),
         )
 
+        if traffic is not None and traffic.is_saturated:
+            traffic = None
+        self._traffic = traffic
+        self._arrival_streams: List[ArrivalStream] = []
+        if traffic is not None:
+            # Arrival generators are salted separately from the contention
+            # streams (and drawn outside the master-seed sequence), so
+            # enabling traffic never perturbs the stations' backoff draws.
+            self._arrival_streams = [
+                ArrivalStream(traffic, station_arrival_rng(seed, station_id))
+                for station_id in range(self._num_stations)
+            ]
+
         self._policies: List[BackoffPolicy] = scheme.make_policies(self._num_stations)
         self._stations: List[StationProcess] = []
         for station_id, policy in enumerate(self._policies):
@@ -228,6 +252,9 @@ class WlanSimulation:
                 phy=self._phy,
                 rng=station_rng,
                 on_transmission_end=self._access_point.on_data_transmission_end,
+                queue=(None if traffic is None
+                       else FrameQueue(traffic.queue_limit)),
+                on_queue_delay=self._metrics.record_queue_delay,
             )
             self._stations.append(station)
         self._access_point.attach_stations(self._stations)
@@ -274,6 +301,10 @@ class WlanSimulation:
             self._scheduler.schedule_at(
                 seconds_to_ns(change_time), self._apply_activity_change, change_time
             )
+        for station_id, stream in enumerate(self._arrival_streams):
+            self._scheduler.schedule_at(
+                seconds_to_ns(stream.next_time), self._on_arrival, station_id
+            )
 
         # Periodic controller ticks (the paper's beacon-carried variant):
         # a starving probe value must not stall adaptation forever.
@@ -299,17 +330,21 @@ class WlanSimulation:
         self._scheduler.run_until(end_ns)
 
         self._finalise_idle_statistics(duration)
-        return self._metrics.result(
-            duration=duration,
-            extra={
-                "scheme": self._scheme.name,
-                "simulator": "event-driven",
-                "num_stations": self._num_stations,
-                "warmup": warmup,
-                "topology": self._connectivity.placement.description,
-                "hidden_pairs": len(self._connectivity.hidden_pairs()),
-            },
-        )
+        extra: Dict[str, object] = {
+            "scheme": self._scheme.name,
+            "simulator": "event-driven",
+            "num_stations": self._num_stations,
+            "warmup": warmup,
+            "topology": self._connectivity.placement.description,
+            "hidden_pairs": len(self._connectivity.hidden_pairs()),
+        }
+        if self._traffic is not None:
+            extra["traffic"] = self._traffic.kind
+            extra["offered_rate_fps"] = self._traffic.mean_rate_fps
+            extra["queued_frames"] = sum(
+                station.queue_length for station in self._stations
+            )
+        return self._metrics.result(duration=duration, extra=extra)
 
     # ------------------------------------------------------------------
     def _controller_tick(self, tick_time: float) -> None:
@@ -334,6 +369,28 @@ class WlanSimulation:
                 station.activate(control)
             elif station_id >= target and station.is_active:
                 station.deactivate()
+                # A station leaving mid-burst must not leak its queued
+                # frames into the next join: flush them as drops.
+                flushed = station.flush_queue()
+                if flushed:
+                    self._metrics.record_drop(flushed)
+
+    def _on_arrival(self, station_id: int) -> None:
+        """One frame arrived at ``station_id``; schedule the next arrival.
+
+        Arrivals to schedule-inactive stations and to full queues count as
+        drops.  Counters recorded before the warm-up boundary are wiped by
+        the metrics reset at the boundary, so no gating is needed here.
+        """
+        stream = self._arrival_streams[station_id]
+        arrival = stream.advance()
+        self._metrics.record_arrival()
+        station = self._stations[station_id]
+        if not station.is_active or not station.enqueue(arrival):
+            self._metrics.record_drop()
+        self._scheduler.schedule_at(
+            seconds_to_ns(stream.next_time), self._on_arrival, station_id
+        )
 
     def _sample_report(self, report_time: float) -> None:
         interval = self._report_interval or 0.0

@@ -33,10 +33,15 @@ from ..core.controller import AccessPointController
 from ..mac.backoff import BackoffPolicy
 from ..mac.schemes import Scheme
 from ..phy.constants import PhyParameters
+from ..traffic import ArrivalProcess, ArrivalStream, FrameQueue, station_arrival_rng
 from .dynamics import ActivitySchedule, constant_activity
 from .metrics import MetricsCollector, SimulationResult
 
 __all__ = ["SlottedSimulator", "run_slotted"]
+
+#: Sentinel "minimum counter" when no station holds a frame: large enough
+#: that the idle fast-forward always runs to its boundary.
+_NO_CONTENDER = 2 ** 62
 
 
 def _primary_control_value(control: Dict[str, float]) -> Optional[float]:
@@ -76,6 +81,16 @@ class SlottedSimulator:
         an i.i.d. channel error (paper, footnote 1).  Errored frames occupy
         the channel for ``Tc`` (no ACK follows) and count as failures for the
         transmitter's backoff policy.
+    traffic:
+        Optional :class:`~repro.traffic.ArrivalProcess` describing each
+        station's frame arrivals.  ``None`` (or the saturated process)
+        reproduces the classic always-backlogged behaviour bit-identically;
+        otherwise stations hold a bounded FIFO queue, a station with an
+        empty queue defers (its backoff counter freezes) and rejoins
+        contention when a frame arrives.  Arrival randomness comes from
+        per-station generators salted separately from the contention stream
+        (:func:`repro.traffic.station_arrival_rng`), so enabling traffic
+        never perturbs the backoff draws.
     """
 
     def __init__(
@@ -88,6 +103,7 @@ class SlottedSimulator:
         broadcast_control: bool = True,
         report_interval: Optional[float] = None,
         frame_error_rate: float = 0.0,
+        traffic: Optional[ArrivalProcess] = None,
     ) -> None:
         if activity is None:
             if num_stations is None:
@@ -111,6 +127,16 @@ class SlottedSimulator:
         if not 0.0 <= frame_error_rate < 1.0:
             raise ValueError("frame_error_rate must lie in [0, 1)")
         self._frame_error_rate = float(frame_error_rate)
+        self._seed = int(seed)
+        if traffic is not None and traffic.is_saturated:
+            traffic = None
+        self._traffic = traffic
+        self._queues: List[FrameQueue] = []
+        if traffic is not None:
+            self._queues = [
+                FrameQueue(traffic.queue_limit)
+                for _ in range(self._num_stations)
+            ]
 
         self._policies: List[BackoffPolicy] = scheme.make_policies(self._num_stations)
         self._controller: AccessPointController = scheme.make_controller()
@@ -164,6 +190,20 @@ class SlottedSimulator:
         change_times = list(self._activity.change_times())
         next_change_index = 0
 
+        # Traffic state: parked (empty-queue) stations freeze their counters
+        # and rejoin contention when a frame arrives.  The saturated path
+        # allocates none of this, so it stays bit-identical to the classic
+        # behaviour.
+        traffic = self._traffic
+        streams: List[ArrivalStream] = []
+        has_frame = None
+        if traffic is not None:
+            streams = [
+                ArrivalStream(traffic, station_arrival_rng(self._seed, s))
+                for s in range(self._num_stations)
+            ]
+            has_frame = np.zeros(self._num_stations, dtype=bool)
+
         now = 0.0
         measuring = warmup == 0.0
         idle_run = 0
@@ -182,6 +222,14 @@ class SlottedSimulator:
                 new_active = self._activity.active_count(
                     change_times[next_change_index]
                 )
+                if traffic is not None and new_active < active:
+                    # Leaving stations must not carry queued frames into
+                    # their next join: flush and account them as drops.
+                    for station in range(new_active, active):
+                        flushed = self._queues[station].flush()
+                        has_frame[station] = False
+                        if flushed and measuring:
+                            metrics.record_drop(flushed)
                 self._handle_activity_change(active, new_active, counters)
                 active = new_active
                 next_change_index += 1
@@ -201,13 +249,36 @@ class SlottedSimulator:
                 else:
                     report_at = math.inf
 
+            if traffic is not None:
+                # Clamp at the horizon so the processed set is exactly the
+                # arrivals inside the run, matching the batched backend's
+                # composition-independent accounting.
+                self._process_arrivals(streams, min(now, end_time), active,
+                                       measuring, metrics, has_frame)
+
             window = counters[:active]
-            min_counter = int(window.min()) if active > 0 else 0
+            if traffic is None:
+                min_counter = int(window.min()) if active > 0 else 0
+                contenders = None
+            else:
+                # Only stations with a queued frame contend; parked stations
+                # keep their (frozen) counter until an arrival rejoins them.
+                contenders = has_frame[:active]
+                if contenders.any():
+                    min_counter = int(window[contenders].min())
+                else:
+                    min_counter = _NO_CONTENDER
             if min_counter > 0:
                 # Fast-forward through consecutive idle slots, but never past
-                # the next activity change, report boundary or end of run.
+                # the next activity change, arrival, report boundary or end
+                # of run.
                 limit_slots = min_counter
                 next_boundary = min(end_time, next_tick)
+                if traffic is not None:
+                    next_boundary = min(
+                        next_boundary,
+                        min(stream.next_time for stream in streams),
+                    )
                 if next_change_index < len(change_times):
                     next_boundary = min(next_boundary, change_times[next_change_index])
                 if measuring:
@@ -216,7 +287,10 @@ class SlottedSimulator:
                     next_boundary = min(next_boundary, warmup)
                 slots_to_boundary = max(int(math.ceil((next_boundary - now) / sigma)), 1)
                 advance = min(limit_slots, slots_to_boundary)
-                window -= advance
+                if traffic is None:
+                    window -= advance
+                else:
+                    window[contenders] -= advance
                 now += advance * sigma
                 idle_run += advance
                 if measuring:
@@ -241,7 +315,10 @@ class SlottedSimulator:
                     self._apply_control_to_all(self._controller.control())
                 next_tick += tick_interval or math.inf
 
-            transmitters = np.flatnonzero(window == 0)
+            if traffic is None:
+                transmitters = np.flatnonzero(window == 0)
+            else:
+                transmitters = np.flatnonzero((window == 0) & contenders)
             success = transmitters.size == 1
             if success and self._frame_error_rate > 0.0:
                 success = self._rng.random() >= self._frame_error_rate
@@ -260,9 +337,16 @@ class SlottedSimulator:
             # also what Eq. 2-3 assume).  The real-standard "freeze during
             # busy periods" behaviour is modelled by the event-driven
             # simulator instead.
-            waiting = window > 0
+            waiting = window > 0 if traffic is None else (window > 0) & contenders
             if success:
                 station = int(transmitters[0])
+                if traffic is not None:
+                    # The delivered frame leaves the FIFO; the station parks
+                    # if nothing else is queued.
+                    delay = self._queues[station].pop(now)
+                    has_frame[station] = len(self._queues[station]) > 0
+                    if measuring:
+                        metrics.record_queue_delay(delay)
                 if measuring:
                     metrics.record_success(station, payload)
                     cumulative_bits += payload
@@ -288,17 +372,56 @@ class SlottedSimulator:
                 )
                 bits_at_last_report = cumulative_bits
 
-        return metrics.result(
-            duration=duration,
-            extra={
-                "scheme": self._scheme.name,
-                "simulator": "slotted",
-                "num_stations": self._num_stations,
-                "warmup": warmup,
-            },
-        )
+        if traffic is not None:
+            # Final drain: count the tail arrivals between the last loop
+            # iteration's clock and the horizon (the busy slot that ended
+            # the run may have jumped past several of them).
+            self._process_arrivals(streams, end_time, active, measuring,
+                                   metrics, has_frame)
+        extra: Dict[str, object] = {
+            "scheme": self._scheme.name,
+            "simulator": "slotted",
+            "num_stations": self._num_stations,
+            "warmup": warmup,
+        }
+        if traffic is not None:
+            extra["traffic"] = traffic.kind
+            extra["offered_rate_fps"] = traffic.mean_rate_fps
+            extra["queued_frames"] = sum(len(q) for q in self._queues)
+        return metrics.result(duration=duration, extra=extra)
 
     # ------------------------------------------------------------------
+    @property
+    def queue_lengths(self) -> Tuple[int, ...]:
+        """Per-station FIFO occupancy (empty tuple for saturated runs)."""
+        return tuple(len(queue) for queue in self._queues)
+
+    def _process_arrivals(
+        self,
+        streams: List[ArrivalStream],
+        now: float,
+        active: int,
+        measuring: bool,
+        metrics: MetricsCollector,
+        has_frame: np.ndarray,
+    ) -> None:
+        """Offer every arrival at or before ``now`` to its station's queue.
+
+        Arrivals to schedule-inactive stations and to full queues are
+        dropped; a 0 -> 1 queue transition rejoins the station (its frozen
+        counter re-enters the contention minimum on the next virtual slot).
+        """
+        for station, stream in enumerate(streams):
+            while stream.next_time <= now:
+                arrival = stream.advance()
+                if measuring:
+                    metrics.record_arrival()
+                if station >= active or not self._queues[station].offer(arrival):
+                    if measuring:
+                        metrics.record_drop()
+                else:
+                    has_frame[station] = True
+
     def _apply_control_to_all(self, control: Dict[str, float]) -> None:
         if not control:
             return

@@ -563,3 +563,82 @@ class TestWarmCacheWithWorkers:
 
     def test_plan_batches_empty_input_with_target_units(self):
         assert plan_batches([], target_units=4) == []
+
+
+class TestTrafficCampaignIntegration:
+    """The arrival spec is a first-class, cacheable task dimension."""
+
+    def _traffic_task(self, seed=1, **overrides):
+        from repro.traffic import ArrivalProcess
+
+        overrides.setdefault(
+            "traffic", ArrivalProcess.poisson(800.0, queue_limit=8)
+        )
+        return _quick_task(seed=seed, duration=0.3, **overrides)
+
+    def test_traffic_separates_batch_keys(self):
+        from repro.experiments.campaign import batch_key
+        from repro.traffic import ArrivalProcess
+
+        saturated = _quick_task()
+        poisson = self._traffic_task()
+        cbr = self._traffic_task(traffic=ArrivalProcess.cbr(800.0))
+        assert batch_key(saturated) != batch_key(poisson)
+        assert batch_key(poisson) != batch_key(cbr)
+        # plan_batches therefore never mixes workloads in one call.
+        groups = plan_batches([saturated, poisson, cbr, poisson])
+        assert sorted(len(g) for g in groups) == [1, 1, 2]
+
+    def test_traffic_tasks_are_batch_eligible_on_both_families(self):
+        from repro.traffic import ArrivalProcess
+
+        assert batch_eligible(self._traffic_task())
+        hidden = self._traffic_task(
+            topology=TopologySpec.hidden_disc(5, 16.0, 7),
+        )
+        assert batch_eligible(hidden)
+        # ... but hidden + activity still falls back to the event simulator.
+        churn = _quick_task(
+            topology=TopologySpec.hidden_disc(5, 16.0, 7),
+            traffic=ArrivalProcess.poisson(800.0),
+            activity=((0.0, 2), (0.1, 3)),
+        )
+        assert not batch_eligible(churn)
+
+    def test_traffic_result_round_trips_the_cache_bit_exactly(self, tmp_path):
+        task = self._traffic_task()
+        cold = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        [first] = cold.run([task])
+        warm = CampaignExecutor(jobs=1, cache_dir=tmp_path)
+        [second] = warm.run([task])
+        assert warm.last_run_stats.cached == 1
+        assert second == first
+        assert second.offered_frames > 0
+        assert second.mean_queue_delay_s > 0.0
+
+    def test_result_dict_round_trips_traffic_counters(self):
+        result = execute_task(self._traffic_task())
+        assert result.offered_frames > 0
+        restored = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        )
+        assert restored == result
+
+    def test_saturated_result_serialisation_is_unchanged(self):
+        """Saturated payloads must not grow the new keys (old caches and
+        new code agree on the exact same JSON)."""
+        payload = result_to_dict(execute_task(_quick_task()))
+        assert "offered_frames" not in payload
+        assert "queue_delay_sum_s" not in payload
+
+    def test_scalar_and_batched_execution_paths_annotate_traffic(self):
+        task = self._traffic_task()
+        scalar = execute_task(
+            RunTask(**{**task.__dict__, "simulator": "slotted"})
+        )
+        assert scalar.extra["traffic"] == "poisson"
+        [grouped] = execute_batch([
+            RunTask(**{**task.__dict__, "simulator": "batched"})
+        ])
+        assert grouped.extra["traffic"] == "poisson"
+        assert grouped.offered_frames > 0

@@ -1,0 +1,239 @@
+"""Property-based tests for the traffic subsystem's core contracts.
+
+Three properties make unsaturated workloads safe to land across four
+backends at once:
+
+* **Saturated equivalence** — ``traffic=saturated`` must be bit-identical
+  to the pre-traffic code path on every backend, and must hash to the same
+  task key, so existing :class:`ResultCache` entries stay valid.
+* **Composition independence** — per-cell results of the batched backends
+  must not depend on which other cells share the vectorized call, in any
+  order or multiplicity, traffic included (the arrival streams are
+  per-cell salted, so this extends the existing contract).
+* **Offered-load tracking** — when the offered load is far below capacity,
+  delivered throughput must equal offered load (nothing queues, nothing
+  drops): the macroscopic sanity check that the queue gating doesn't eat
+  or invent frames.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.campaign import RunTask, SchemeSpec, TopologySpec
+from repro.phy.constants import PhyParameters
+from repro.sim.batched import run_batched
+from repro.sim.conflict import run_conflict
+from repro.sim.slotted import run_slotted
+from repro.topology.scenarios import hidden_node_scenario
+from repro.traffic import ArrivalProcess, saturation_frame_rate
+
+PHY = PhyParameters()
+
+TRAFFIC_SPECS = [
+    ArrivalProcess.poisson(400.0, queue_limit=16),
+    ArrivalProcess.cbr(400.0, queue_limit=16),
+    ArrivalProcess.on_off(800.0, on_mean_s=0.05, off_mean_s=0.05,
+                          queue_limit=16),
+]
+
+SCHEMES = [
+    ("standard-802.11", {}),
+    ("idlesense", {}),
+    ("wtop-csma", {"update_period": 0.05}),
+]
+
+cells = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=10),
+              st.integers(min_value=0, max_value=2 ** 31 - 1)),
+    min_size=2, max_size=4,
+)
+
+
+class TestSaturatedEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+           n=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_slotted_saturated_is_bit_identical(self, seed, n):
+        from repro.mac.schemes import standard_80211_scheme
+
+        plain = run_slotted(standard_80211_scheme(PHY), n, duration=0.2,
+                            warmup=0.05, phy=PHY, seed=seed)
+        explicit = run_slotted(standard_80211_scheme(PHY), n, duration=0.2,
+                               warmup=0.05, phy=PHY, seed=seed,
+                               traffic=ArrivalProcess.saturated())
+        assert plain == explicit
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+           n=st.integers(min_value=1, max_value=10),
+           scheme=st.sampled_from(SCHEMES))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_saturated_is_bit_identical(self, seed, n, scheme):
+        kind, params = scheme
+        [plain] = run_batched(kind, params, [n], [seed], duration=0.2,
+                              warmup=0.05, phy=PHY)
+        [explicit] = run_batched(kind, params, [n], [seed], duration=0.2,
+                                 warmup=0.05, phy=PHY,
+                                 traffic=ArrivalProcess.saturated())
+        assert plain == explicit
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_conflict_saturated_is_bit_identical(self, seed):
+        graph = hidden_node_scenario(6, np.random.default_rng(11),
+                                     radius=16.0, require_hidden_pairs=True)
+        [plain] = run_conflict("standard-802.11", {}, [graph], [seed],
+                               duration=0.2, warmup=0.05, phy=PHY)
+        [explicit] = run_conflict("standard-802.11", {}, [graph], [seed],
+                                  duration=0.2, warmup=0.05, phy=PHY,
+                                  traffic=ArrivalProcess.saturated())
+        assert plain == explicit
+
+    def test_saturated_task_key_matches_pre_traffic_format(self):
+        """Saturated tasks hash exactly as before the traffic field existed,
+        so every pre-traffic ResultCache entry remains valid."""
+        base = RunTask(
+            scheme=SchemeSpec.make("standard-802.11"),
+            topology=TopologySpec.connected(5),
+            seed=1, duration=1.0, warmup=0.2,
+        )
+        explicit = RunTask(
+            scheme=SchemeSpec.make("standard-802.11"),
+            topology=TopologySpec.connected(5),
+            seed=1, duration=1.0, warmup=0.2,
+            traffic=ArrivalProcess.saturated(),
+        )
+        assert explicit.traffic is None
+        assert base.task_key() == explicit.task_key()
+        assert "traffic" not in base.to_json()
+
+    def test_unsaturated_traffic_is_a_key_dimension(self):
+        def key(traffic):
+            return RunTask(
+                scheme=SchemeSpec.make("standard-802.11"),
+                topology=TopologySpec.connected(5),
+                seed=1, duration=1.0, warmup=0.2, traffic=traffic,
+            ).task_key()
+
+        saturated = key(None)
+        poisson = key(ArrivalProcess.poisson(100.0))
+        assert poisson != saturated
+        assert key(ArrivalProcess.poisson(100.0)) == poisson
+        assert key(ArrivalProcess.poisson(200.0)) != poisson
+        assert key(ArrivalProcess.cbr(100.0)) != poisson
+
+
+class TestTrafficCompositionIndependence:
+    @given(cells=cells, traffic=st.sampled_from(TRAFFIC_SPECS),
+           scheme=st.sampled_from(SCHEMES),
+           focus=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_cell_result_is_independent_of_batch_composition(
+        self, cells, traffic, scheme, focus
+    ):
+        kind, params = scheme
+        focus = focus % len(cells)
+        n, seed = cells[focus]
+        batch = run_batched(kind, params, [c[0] for c in cells],
+                            [c[1] for c in cells],
+                            duration=0.15, warmup=0.05, phy=PHY,
+                            traffic=traffic)
+        [alone] = run_batched(kind, params, [n], [seed],
+                              duration=0.15, warmup=0.05, phy=PHY,
+                              traffic=traffic)
+        assert batch[focus] == alone
+
+    @given(cells=cells, traffic=st.sampled_from(TRAFFIC_SPECS),
+           order_seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=8, deadline=None)
+    def test_batch_order_does_not_change_per_cell_results(
+        self, cells, traffic, order_seed
+    ):
+        permutation = np.random.default_rng(order_seed).permutation(len(cells))
+        forward = run_batched("standard-802.11", {}, [c[0] for c in cells],
+                              [c[1] for c in cells],
+                              duration=0.15, warmup=0.05, phy=PHY,
+                              traffic=traffic)
+        shuffled = run_batched("standard-802.11", {},
+                               [cells[i][0] for i in permutation],
+                               [cells[i][1] for i in permutation],
+                               duration=0.15, warmup=0.05, phy=PHY,
+                               traffic=traffic)
+        for position, original in enumerate(permutation):
+            assert shuffled[position] == forward[original]
+
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=2 ** 31 - 1),
+                          min_size=2, max_size=3, unique=True),
+           traffic=st.sampled_from(TRAFFIC_SPECS),
+           focus=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=8, deadline=None)
+    def test_conflict_cell_is_independent_of_batch_composition(
+        self, seeds, traffic, focus
+    ):
+        focus = focus % len(seeds)
+        graphs = [
+            hidden_node_scenario(4 + i, np.random.default_rng(20 + i),
+                                 radius=16.0, require_hidden_pairs=True)
+            for i in range(len(seeds))
+        ]
+        batch = run_conflict("standard-802.11", {}, graphs, seeds,
+                             duration=0.15, warmup=0.05, phy=PHY,
+                             traffic=traffic)
+        [alone] = run_conflict("standard-802.11", {}, [graphs[focus]],
+                               [seeds[focus]], duration=0.15, warmup=0.05,
+                               phy=PHY, traffic=traffic)
+        assert batch[focus] == alone
+
+
+class TestOfferedLoadTracking:
+    @given(load=st.floats(min_value=0.05, max_value=0.4),
+           seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_throughput_tracks_offered_load_below_capacity(self, load, seed):
+        """Well below saturation nothing queues or drops, so delivered
+        throughput equals offered load on every backend."""
+        from repro.mac.schemes import standard_80211_scheme
+
+        n = 5
+        rate = load * saturation_frame_rate(PHY) / n
+        traffic = ArrivalProcess.poisson(rate)
+        expected_frames = n * rate * 1.0
+        slotted = run_slotted(standard_80211_scheme(PHY), n, duration=1.0,
+                              warmup=0.0, phy=PHY, seed=seed, traffic=traffic)
+        [batched] = run_batched("standard-802.11", {}, [n], [seed],
+                                duration=1.0, warmup=0.0, phy=PHY,
+                                traffic=traffic)
+        for result in (slotted, batched):
+            # Exactly: every realized arrival is delivered (minus the few
+            # frames still queued at the horizon), none dropped.
+            assert result.dropped_frames == 0
+            assert result.total_successes == (
+                result.offered_frames - result.extra["queued_frames"]
+            )
+            assert result.extra["queued_frames"] <= n
+            # Statistically: the realized arrival count sits inside a 5-sigma
+            # Poisson envelope of the configured offered load.
+            assert abs(result.offered_frames - expected_frames) <= (
+                5.0 * expected_frames ** 0.5 + 5.0
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_frame_conservation_without_warmup(self, seed):
+        """offered == delivered + dropped + still queued (warmup=0)."""
+        from repro.mac.schemes import standard_80211_scheme
+
+        n = 4
+        traffic = ArrivalProcess.poisson(900.0, queue_limit=8)
+        result = run_slotted(standard_80211_scheme(PHY), n, duration=0.5,
+                             warmup=0.0, phy=PHY, seed=seed, traffic=traffic)
+        assert result.offered_frames == (
+            result.total_successes + result.dropped_frames
+            + result.extra["queued_frames"]
+        )
+        [batched] = run_batched("standard-802.11", {}, [n], [seed],
+                                duration=0.5, warmup=0.0, phy=PHY,
+                                traffic=traffic)
+        assert batched.offered_frames == (
+            batched.total_successes + batched.dropped_frames
+            + batched.extra["queued_frames"]
+        )

@@ -1,8 +1,16 @@
-"""Tests for the dynamic-activity schedules."""
+"""Tests for the dynamic-activity schedules and their interplay with
+unsaturated traffic (stations leaving mid-burst must not leak queued
+frames into their next join)."""
 
 import pytest
 
+from repro.mac.schemes import standard_80211_scheme
+from repro.sim.batched import run_batched
 from repro.sim.dynamics import ActivitySchedule, constant_activity, step_activity
+from repro.sim.slotted import SlottedSimulator
+from repro.sim.simulation import WlanSimulation
+from repro.topology.scenarios import fully_connected_scenario
+from repro.traffic import ArrivalProcess, saturation_frame_rate
 
 
 class TestConstantActivity:
@@ -56,3 +64,109 @@ class TestStepActivity:
             step_activity([(0.0, 0)])            # zero active stations
         with pytest.raises(ValueError):
             ActivitySchedule(breakpoints=((0.0, 3),)).active_count(-1.0)
+
+
+class TestActivityWithTraffic:
+    """Activity schedules interacting with non-empty per-station queues."""
+
+    #: Heavy per-station load so the leaving station is mid-burst for sure.
+    def _traffic(self, phy, queue_limit=16):
+        rate = 1.2 * saturation_frame_rate(phy) / 3
+        return ArrivalProcess.poisson(rate, queue_limit=queue_limit)
+
+    def test_slotted_leave_flushes_queue(self, phy):
+        """A station that leaves keeps no queued frames: arrivals while it
+        is inactive are dropped and its FIFO stays empty."""
+        schedule = step_activity([(0.0, 3), (0.4, 2)])
+        simulator = SlottedSimulator(
+            standard_80211_scheme(phy), num_stations=3, phy=phy, seed=5,
+            activity=schedule, traffic=self._traffic(phy),
+        )
+        result = simulator.run(duration=1.0, warmup=0.0)
+        # The left station's queue was flushed and never refilled.
+        assert simulator.queue_lengths[2] == 0
+        assert result.dropped_frames > 0
+        # Conservation: with warmup=0 every offered frame is delivered,
+        # dropped (incl. the flush) or still queued at the horizon.
+        assert result.offered_frames == (
+            result.total_successes + result.dropped_frames
+            + result.extra["queued_frames"]
+        )
+
+    def test_slotted_rejoin_starts_with_empty_queue(self, phy):
+        """Leaving mid-burst and rejoining must not leak the old backlog:
+        the rejoined station's deliveries restart from fresh arrivals."""
+        schedule = step_activity([(0.0, 3), (0.3, 2), (0.6, 3)])
+        simulator = SlottedSimulator(
+            standard_80211_scheme(phy), num_stations=3, phy=phy, seed=5,
+            activity=schedule, traffic=self._traffic(phy),
+        )
+        result = simulator.run(duration=1.0, warmup=0.0)
+        assert result.offered_frames == (
+            result.total_successes + result.dropped_frames
+            + result.extra["queued_frames"]
+        )
+        # The flush at t=0.3 shows up as drops beyond queue-overflow ones.
+        assert result.dropped_frames > 0
+
+    def test_event_driven_leave_flushes_queue(self, phy):
+        graph = fully_connected_scenario(3)
+        schedule = step_activity([(0.0, 3), (0.3, 2), (0.6, 3)])
+        simulation = WlanSimulation(
+            standard_80211_scheme(phy), graph, phy=phy, seed=5,
+            activity=schedule, traffic=self._traffic(phy),
+        )
+        result = simulation.run(duration=1.0, warmup=0.0)
+        # Directly after the run, no station may hold more than its bounded
+        # FIFO, and the station that left mid-burst rejoined empty (its
+        # backlog was flushed, so its queue refilled from fresh arrivals
+        # only, bounded by the limit).
+        for station in simulation.stations:
+            assert station.queue_length <= self._traffic(phy).queue_limit
+        assert result.offered_frames == (
+            result.total_successes + result.dropped_frames
+            + result.extra["queued_frames"]
+        )
+        assert result.dropped_frames > 0
+
+    def test_event_driven_inactive_station_queue_stays_empty(self, phy):
+        """While schedule-inactive, arrivals are dropped, not queued."""
+        graph = fully_connected_scenario(3)
+        schedule = step_activity([(0.0, 3), (0.3, 2)])
+        simulation = WlanSimulation(
+            standard_80211_scheme(phy), graph, phy=phy, seed=5,
+            activity=schedule, traffic=self._traffic(phy),
+        )
+        simulation.run(duration=1.0, warmup=0.0)
+        assert simulation.stations[2].queue_length == 0
+        assert not simulation.stations[2].is_active
+
+    def test_batched_leave_matches_conservation_and_flushes(self, phy):
+        rate = 1.2 * saturation_frame_rate(phy) / 3
+        [result] = run_batched(
+            "standard-802.11", {}, [3], [5], duration=1.0, warmup=0.0,
+            phy=phy, traffic=ArrivalProcess.poisson(rate, queue_limit=16),
+            activity=step_activity([(0.0, 3), (0.3, 2), (0.6, 3)]),
+        )
+        assert result.offered_frames == (
+            result.total_successes + result.dropped_frames
+            + result.extra["queued_frames"]
+        )
+        assert result.dropped_frames > 0
+
+    def test_slotted_and_event_agree_under_churn(self, phy):
+        """End-to-end: both scalar backends deliver comparable throughput
+        under churn + load (the queues and flushes don't diverge)."""
+        schedule = [(0.0, 3), (0.3, 2), (0.6, 3)]
+        traffic = self._traffic(phy)
+        slotted = SlottedSimulator(
+            standard_80211_scheme(phy), num_stations=3, phy=phy, seed=5,
+            activity=step_activity(schedule), traffic=traffic,
+        ).run(duration=1.0, warmup=0.0)
+        event = WlanSimulation(
+            standard_80211_scheme(phy), fully_connected_scenario(3), phy=phy,
+            seed=5, activity=step_activity(schedule), traffic=traffic,
+        ).run(duration=1.0, warmup=0.0)
+        assert event.total_throughput_bps == pytest.approx(
+            slotted.total_throughput_bps, rel=0.10
+        )

@@ -43,11 +43,40 @@ DEFAULT_TOLERANCE = 0.25
 
 
 def _load(path: pathlib.Path):
-    try:
-        return json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError) as error:
-        print(f"  [warn] unreadable benchmark record {path.name}: {error}")
+    """Parse one benchmark record; None (with a message) on any defect.
+
+    Every failure mode names the offending file so the fix is obvious from
+    CI logs alone — a malformed or missing record must never surface as a
+    raw traceback.
+    """
+    if not path.exists():
+        print(f"  [MISSING] benchmark record not found: {path}")
         return None
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        print(f"  [warn] cannot read benchmark record {path}: {error}")
+        return None
+    except ValueError as error:
+        print(f"  [warn] invalid JSON in benchmark record {path}: {error}")
+        return None
+    if not isinstance(record, dict):
+        print(f"  [warn] benchmark record {path} is not a JSON object "
+              f"(got {type(record).__name__})")
+        return None
+    return record
+
+
+def _metric_value(record, metric: str, path: pathlib.Path):
+    """A record's numeric metric, or None (with a message) when unusable."""
+    value = record.get(metric)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        print(f"  [warn] metric '{metric}' in {path} is not numeric "
+              f"(got {value!r})")
+        return None
+    return value
 
 
 def _is_batched(record) -> bool:
@@ -80,21 +109,23 @@ def compare(tolerance: float) -> int:
         current_path = RESULTS_DIR / name
         current = _load(current_path) if current_path.exists() else None
         if current is None:
-            print(f"  [MISSING] {name}: gated baseline has no current "
-                  f"record (benchmark renamed, skipped or crashed?)")
+            print(f"  [MISSING] {name}: gated baseline {baseline_path} has "
+                  f"no current record at {current_path} (benchmark renamed, "
+                  f"skipped or crashed? run the benchmark suite to produce "
+                  f"it, or delete the baseline to stop gating it)")
             regressions += 1
             continue
         compared = 0
         for metric in ("cells_per_s", "speedup"):
-            base_value = baseline.get(metric)
+            base_value = _metric_value(baseline, metric, baseline_path)
             if not base_value:
                 continue
-            new_value = current.get(metric)
+            new_value = _metric_value(current, metric, current_path)
             if new_value is None:
                 # The metric existed in the baseline: losing it is lost
                 # gate coverage, not a pass.
                 print(f"  [MISSING] {name}: baseline metric '{metric}' "
-                      f"absent from the current record")
+                      f"absent from the current record {current_path}")
                 regressions += 1
                 continue
             compared += 1
@@ -112,6 +143,10 @@ def compare(tolerance: float) -> int:
 
 def update_baselines() -> None:
     BASELINES_DIR.mkdir(parents=True, exist_ok=True)
+    if not RESULTS_DIR.is_dir():
+        print(f"no results directory at {RESULTS_DIR}; run the benchmark "
+              f"suite first to produce BENCH_*.json records")
+        return
     copied = 0
     for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
         record = _load(path)
@@ -121,7 +156,7 @@ def update_baselines() -> None:
         copied += 1
         print(f"  baselined {path.name}")
     if not copied:
-        print("no batched-backend records under benchmarks/results/ to "
+        print(f"no batched-backend records under {RESULTS_DIR} to "
               "baseline (run the speedup benchmarks first)")
 
 

@@ -1,0 +1,43 @@
+"""FCT-sweep benchmark: closed-loop workloads under a bounded retry limit.
+
+Runs the ``fig_fct_sweep`` experiment (window-limited flows, incast bursts
+and AP downlink, all with the 802.11 retry limit) on a reduced budget with
+the default ``auto`` backend policy, which routes every connected cell to
+the vectorized renewal-slot backend.  The recorded ``cells_per_s`` gates CI
+against regressions of the batched closed-loop path (window clocking,
+discard redraws, flow accounting) via ``check_benchmark_regression.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.campaign import CampaignExecutor
+from repro.experiments.fig_fct_sweep import run_fig_fct_sweep
+
+
+def test_fig_fct_sweep(bench_config_connected, record_result, bench_json):
+    config = bench_config_connected.evolve(
+        node_counts=(10,),
+        measure_duration=1.5,
+    )
+    executor = CampaignExecutor(jobs=1, backend="auto")
+    result = run_fig_fct_sweep(config, executor=executor)
+    record_result(result, "fig_fct_sweep.txt")
+
+    stats = executor.last_run_stats
+    # Every cell is connected, so all of them must have run vectorized on
+    # the renewal-slot backend.
+    assert stats.batched_cells == stats.executed == stats.total
+    bench_json["backend"] = "batched(renewal-slot)"
+    bench_json["cells"] = stats.total
+    bench_json["extra"]["retry_limit"] = config.retry_limit
+    bench_json["extra"]["workloads"] = [r.label for r in result.rows]
+
+    # Physics sanity: closed-loop flows all complete (an FCT exists), the
+    # incast bursts drive the p99 queueing delay well past the window
+    # workload's, and the bounded retry chain discards under contention.
+    window = next(r for r in result.rows if r.label == "window")
+    incast = next(r for r in result.rows if r.label == "incast")
+    assert window.values["Standard 802.11 FCT ms"] > 0
+    assert (incast.values["Standard 802.11 p99 ms"]
+            > window.values["Standard 802.11 p99 ms"])
+    assert incast.values["Standard 802.11 Mbps"] > 1.0

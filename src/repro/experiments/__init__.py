@@ -37,6 +37,7 @@ from .fig8_9 import default_station_steps, run_fig8_9
 from .fig10_11 import run_fig10_11
 from .fig12 import run_fig12
 from .fig13 import run_fig13
+from .fig_fct_sweep import run_fig_fct_sweep
 from .fig_load_sweep import run_fig_load_sweep
 from .reporting import format_result, format_table, summarize_series
 from .runner import (
@@ -75,6 +76,7 @@ EXPERIMENT_REGISTRY = {
     "table2": run_table2,
     "table3": run_table3,
     "fig_load_sweep": run_fig_load_sweep,
+    "fig_fct_sweep": run_fig_fct_sweep,
 }
 
 __all__ = [
@@ -109,6 +111,7 @@ __all__ = [
     "run_fig10_11",
     "run_fig12",
     "run_fig13",
+    "run_fig_fct_sweep",
     "run_fig_load_sweep",
     "format_result",
     "format_table",

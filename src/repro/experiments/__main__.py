@@ -24,6 +24,7 @@ per completed cell to stderr.
 from __future__ import annotations
 
 import argparse
+import math
 import pathlib
 import sys
 import time
@@ -103,6 +104,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="FRAMES",
+        help=(
+            "per-station FIFO capacity for the unsaturated-workload "
+            "experiments; must be at least 1 (default: the preset's "
+            "traffic_queue_limit)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-limit", type=int, default=None, metavar="N",
+        help=(
+            "MAC retry limit for fig_fct_sweep: frames are discarded after "
+            "N transmission attempts; must be at least 1 (default: the "
+            "preset's retry_limit, 7)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir", type=pathlib.Path, default=None, metavar="DIR",
         help="cache completed simulation cells as JSON under DIR and reuse "
              "them on later runs",
@@ -164,9 +181,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.evolve(traffic_kind=args.traffic)
     if args.load:
         for load in args.load:
-            if load <= 0:
-                parser.error("--load must be positive")
+            if not math.isfinite(load) or load <= 0:
+                parser.error(
+                    f"--load must be a positive finite multiplier, got {load!r}"
+                )
         config = config.evolve(load_points=tuple(args.load))
+    if args.queue_limit is not None:
+        if args.queue_limit < 1:
+            parser.error(
+                f"--queue-limit must be at least 1 frame, got {args.queue_limit}"
+            )
+        config = config.evolve(traffic_queue_limit=args.queue_limit)
+    if args.retry_limit is not None:
+        if args.retry_limit < 1:
+            parser.error(
+                "--retry-limit must allow at least one transmission attempt, "
+                f"got {args.retry_limit}"
+            )
+        config = config.evolve(retry_limit=args.retry_limit)
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
     if (args.cache_dir is not None and args.cache_dir.exists()

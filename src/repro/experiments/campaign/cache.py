@@ -69,6 +69,15 @@ def result_to_dict(result: SimulationResult) -> Dict[str, object]:
         payload["offered_frames"] = result.offered_frames
         payload["dropped_frames"] = result.dropped_frames
         payload["queue_delay_sum_s"] = result.queue_delay_sum_s
+    if result.retry_discards:
+        payload["retry_discards"] = result.retry_discards
+    if result.queue_delay_p50_s or result.queue_delay_p99_s:
+        payload["queue_delay_p50_s"] = result.queue_delay_p50_s
+        payload["queue_delay_p99_s"] = result.queue_delay_p99_s
+    if result.flow_completions:
+        payload["flow_completions"] = [
+            [station, t] for station, t in result.flow_completions
+        ]
     return payload
 
 
@@ -96,6 +105,12 @@ def result_from_dict(payload: Dict[str, object]) -> SimulationResult:
         offered_frames=payload.get("offered_frames", 0),
         dropped_frames=payload.get("dropped_frames", 0),
         queue_delay_sum_s=payload.get("queue_delay_sum_s", 0.0),
+        retry_discards=payload.get("retry_discards", 0),
+        queue_delay_p50_s=payload.get("queue_delay_p50_s", 0.0),
+        queue_delay_p99_s=payload.get("queue_delay_p99_s", 0.0),
+        flow_completions=tuple(
+            (station, t) for station, t in payload.get("flow_completions", [])
+        ),
         extra=dict(payload["extra"]),
     )
 

@@ -246,10 +246,14 @@ class RunTask:
 
     ``traffic`` is the per-station workload
     (:class:`~repro.traffic.ArrivalProcess`); ``None`` means saturated.  A
-    saturated :class:`ArrivalProcess` is canonicalised to ``None`` and the
-    field is omitted from :meth:`to_json` in that case, so saturated task
-    hashes — and therefore every pre-traffic :class:`ResultCache` entry —
-    are unchanged.
+    saturated :class:`ArrivalProcess` with the default (infinite) retry
+    policy is canonicalised to ``None`` and the field is omitted from
+    :meth:`to_json` in that case, so saturated task hashes — and therefore
+    every pre-traffic :class:`ResultCache` entry — are unchanged.
+
+    ``retry_limit`` is sugar for bounding MAC retries without spelling out a
+    workload: it folds into ``traffic`` (defaulting to saturated) at
+    construction and is always ``None`` afterwards.
     """
 
     scheme: SchemeSpec
@@ -263,10 +267,26 @@ class RunTask:
     activity: Optional[Tuple[Tuple[float, int], ...]] = None
     phy: Optional[PhyParameters] = None
     traffic: Optional[ArrivalProcess] = None
+    retry_limit: Optional[int] = None
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.traffic is not None and self.traffic.is_saturated:
+        if self.retry_limit is not None:
+            base = (self.traffic if self.traffic is not None
+                    else ArrivalProcess.saturated())
+            if (base.retry_limit is not None
+                    and base.retry_limit != int(self.retry_limit)):
+                raise ValueError(
+                    "retry_limit conflicts with traffic.retry_limit "
+                    f"({self.retry_limit} vs {base.retry_limit})"
+                )
+            object.__setattr__(
+                self, "traffic",
+                dataclasses.replace(base, retry_limit=int(self.retry_limit)),
+            )
+            object.__setattr__(self, "retry_limit", None)
+        if (self.traffic is not None and self.traffic.is_saturated
+                and self.traffic.retry_limit is None):
             object.__setattr__(self, "traffic", None)
         if self.simulator not in ("auto", "slotted", "event", "batched"):
             raise ValueError(

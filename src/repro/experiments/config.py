@@ -55,6 +55,11 @@ class ExperimentConfig:
         or ``on-off``; see :mod:`repro.traffic`).
     traffic_queue_limit:
         Bounded per-station FIFO capacity for unsaturated workloads.
+    retry_limit:
+        MAC retry limit used by the flow-level experiments
+        (``fig_fct_sweep``); 7 matches 802.11's default short retry limit.
+        The saturated figure/table experiments keep the historical
+        infinite-retry MAC and do not read this field.
     """
 
     node_counts: Tuple[int, ...] = (10, 20, 30, 40, 50, 60)
@@ -70,6 +75,26 @@ class ExperimentConfig:
     load_points: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
     traffic_kind: str = "poisson"
     traffic_queue_limit: int = 64
+    retry_limit: int = 7
+
+    def __post_init__(self) -> None:
+        import math
+
+        for load in self.load_points:
+            if not math.isfinite(load) or load <= 0:
+                raise ValueError(
+                    f"load points must be positive finite multipliers, got {load!r}"
+                )
+        if self.traffic_queue_limit < 1:
+            raise ValueError(
+                "traffic_queue_limit must be at least 1 frame, got "
+                f"{self.traffic_queue_limit!r}"
+            )
+        if self.retry_limit < 1:
+            raise ValueError(
+                "retry_limit must allow at least one transmission attempt, "
+                f"got {self.retry_limit!r}"
+            )
 
     def evolve(self, **changes: object) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""

@@ -1,0 +1,163 @@
+"""Flow-completion-time sweep — closed-loop window flows, N-to-1 incast
+bursts and AP-downlink traffic under a bounded MAC retry limit.
+
+The paper evaluates open-loop saturated sources only; every congestion-
+coupled workload of the related datacenter/real-time literature is *closed
+loop*: sources release new frames only when earlier ones leave the MAC, so
+MAC-level behaviour (collisions, retries, discards) feeds back into the
+offered load.  This experiment measures that regime across the paper's
+schemes on the connected topology family:
+
+* ``window`` — every station runs one TCP-like window-limited flow
+  (window 4, 200 frames); the primary metric is the per-flow completion
+  time (FCT).
+* ``incast`` — all N stations burst a fixed batch at the same epoch
+  instants (the N-to-1 incast pattern); queues absorb the bursts and the
+  p99 queueing delay exposes the synchronised contention.
+* ``downlink`` — station 0 models the AP carrying the aggregate downlink
+  at (N-1) x the per-station rate, contending against N-1 uplink stations.
+
+All workloads run with the configured MAC retry limit
+(:attr:`~repro.experiments.config.ExperimentConfig.retry_limit`, default 7
+to match 802.11's short retry limit), so frames that repeatedly collide are
+*discarded* instead of blocking the head of the queue forever — the
+``retry discards`` column counts them.  Measurement starts at t = 0
+(``warmup = 0``): a closed-loop flow's completion time includes the
+contention it actually experienced from its first frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..phy.constants import PhyParameters
+from ..traffic import ArrivalProcess, saturation_frame_rate
+from .campaign import CampaignExecutor, RunTask, SchemeSpec, TopologySpec
+from .config import ExperimentConfig, QUICK
+from .runner import (
+    ExperimentResult,
+    ExperimentRow,
+    default_executor,
+    group_results,
+)
+
+__all__ = ["run_fig_fct_sweep", "fct_workloads_for"]
+
+#: Window size of the closed-loop flows (frames in flight per station).
+FLOW_WINDOW = 4
+#: Frames per closed-loop flow.
+FLOW_FRAMES = 200
+#: Frames per incast burst and the burst repetition period.
+INCAST_BURST = 32
+INCAST_EPOCH_S = 0.25
+#: Downlink load as a fraction of the channel's saturation frame rate.
+DOWNLINK_LOAD = 0.9
+
+
+def fct_workloads_for(config: ExperimentConfig, phy: PhyParameters,
+                      num_stations: int) -> List[Tuple[str, ArrivalProcess]]:
+    """The labelled closed-loop/congestion workloads of the sweep."""
+    retry = config.retry_limit
+    rate = DOWNLINK_LOAD * saturation_frame_rate(phy) / num_stations
+    return [
+        ("window", ArrivalProcess.window_limited(
+            FLOW_WINDOW, flow_frames=FLOW_FRAMES, retry_limit=retry,
+        )),
+        ("incast", ArrivalProcess.incast(
+            INCAST_BURST, INCAST_EPOCH_S,
+            queue_limit=config.traffic_queue_limit, retry_limit=retry,
+        )),
+        ("downlink", ArrivalProcess.poisson(
+            rate, queue_limit=config.traffic_queue_limit,
+            retry_limit=retry, downlink=True,
+        )),
+    ]
+
+
+def run_fig_fct_sweep(config: ExperimentConfig = QUICK,
+                      phy: Optional[PhyParameters] = None,
+                      executor: Optional[CampaignExecutor] = None,
+                      ) -> ExperimentResult:
+    """Closed-loop window, incast and downlink workloads across schemes."""
+    executor = executor or default_executor()
+    phy_obj = phy or PhyParameters()
+    num_stations = min(config.node_counts)
+    schemes: Dict[str, SchemeSpec] = {
+        "Standard 802.11": SchemeSpec.make("standard-802.11"),
+        "IdleSense": SchemeSpec.make("idlesense"),
+        "wTOP-CSMA": SchemeSpec.make(
+            "wtop-csma", update_period=config.update_period
+        ),
+    }
+    workloads = fct_workloads_for(config, phy_obj, num_stations)
+
+    tasks, keys = [], []
+    for workload, traffic in workloads:
+        for name, spec in schemes.items():
+            for seed in config.seeds:
+                tasks.append(RunTask(
+                    scheme=spec,
+                    topology=TopologySpec.connected(num_stations),
+                    seed=seed,
+                    duration=config.measure_duration,
+                    warmup=0.0,
+                    phy=phy,
+                    traffic=traffic,
+                    label=(f"fig_fct_sweep/{workload}/{name}"
+                           f"/seed={seed}"),
+                ))
+                keys.append((workload, name))
+    grouped = group_results(keys, executor.run(tasks))
+
+    columns = []
+    for name in schemes:
+        columns += [f"{name} FCT ms", f"{name} p99 ms",
+                    f"{name} discards", f"{name} Mbps", f"{name} drop"]
+    rows = []
+    for workload, _ in workloads:
+        values: Dict[str, object] = {}
+        for name in schemes:
+            cells = grouped[(workload, name)]
+            values[f"{name} FCT ms"] = sum(
+                r.mean_flow_completion_s for r in cells
+            ) / len(cells) * 1e3
+            values[f"{name} p99 ms"] = sum(
+                r.queue_delay_p99_s for r in cells
+            ) / len(cells) * 1e3
+            values[f"{name} discards"] = sum(
+                r.retry_discards for r in cells
+            ) / len(cells)
+            values[f"{name} Mbps"] = sum(
+                r.total_throughput_mbps for r in cells
+            ) / len(cells)
+            values[f"{name} drop"] = sum(
+                r.drop_rate for r in cells
+            ) / len(cells)
+        rows.append(ExperimentRow(label=workload, values=values))
+
+    return ExperimentResult(
+        name="Flow-completion sweep",
+        description=(
+            "Mean flow completion time (ms), p99 queueing delay (ms), MAC "
+            f"retry discards (limit {config.retry_limit}), throughput and "
+            "drop rate for closed-loop window flows "
+            f"(W={FLOW_WINDOW}, {FLOW_FRAMES} frames), "
+            f"{INCAST_BURST}-frame incast bursts every "
+            f"{INCAST_EPOCH_S * 1e3:.0f} ms and AP downlink at "
+            f"{DOWNLINK_LOAD:g} x saturation, connected topology"
+        ),
+        columns=tuple(columns),
+        rows=tuple(rows),
+        metadata={
+            "num_stations": num_stations,
+            "seeds": config.seeds,
+            "retry_limit": config.retry_limit,
+            "flow_window": FLOW_WINDOW,
+            "flow_frames": FLOW_FRAMES,
+            "incast_burst": INCAST_BURST,
+            "incast_epoch_s": INCAST_EPOCH_S,
+            "downlink_load": DOWNLINK_LOAD,
+            "queue_limit": config.traffic_queue_limit,
+            "update_period_s": config.update_period,
+        },
+    )

@@ -212,6 +212,11 @@ class BatchedSlottedSimulator:
         self._interval = report_interval
         self._activity = activity
         self._scheme_name = scheme_name
+        # The retry limit applies to the MAC regardless of workload, so it
+        # is lifted off the spec before the saturated process canonicalises
+        # to None (the bit-identical classic path).
+        self._retry_limit = (traffic.retry_limit if traffic is not None
+                             else None)
         if traffic is not None and traffic.is_saturated:
             traffic = None
         self._traffic = traffic
@@ -249,6 +254,15 @@ class BatchedSlottedSimulator:
         traffic = self._traffic
         arrivals = (None if traffic is None
                     else BatchedArrivals(traffic, self._seeds, n, max_n))
+        # MAC retry state: attempt counters per (cell, station) plus the
+        # per-cell discard tally.  None under the default infinite-retry
+        # policy, whose stream consumption must stay bit-identical.
+        retry_limit = self._retry_limit
+        if retry_limit is not None:
+            retry_cnt = np.zeros((num_cells, max_n), dtype=np.int64)
+            retry_disc = np.zeros(num_cells, dtype=np.int64)
+        else:
+            retry_cnt = retry_disc = None
 
         # Station state: counters start at the policy's initial draw for every
         # existing station (the scalar simulator draws for all N policies up
@@ -394,6 +408,8 @@ class BatchedSlottedSimulator:
                     bits_last[cross] = 0
                     if traffic is not None:
                         arrivals.reset_measurement(cross)
+                    if retry_disc is not None:
+                        retry_disc[cross] = 0
                     if interval:
                         report_at[cross] = interval - (now[cross] - warmup)
                     all_measuring = bool(measuring.all())
@@ -534,6 +550,8 @@ class BatchedSlottedSimulator:
                     cum_bits[winners] += payload * measuring[winners]
                 if adaptive:
                     controller.on_packet_received(success, now)
+                if retry_cnt is not None:
+                    retry_cnt[winners, winner_station] = 0
                 counters[winners, winner_station] = bank.success_draw(
                     winners, winner_station,
                     streams.gather(winners, base[winners], k_succ),
@@ -547,9 +565,45 @@ class BatchedSlottedSimulator:
                     failures[cells, station] += measuring[cells]
                 rank = (np.cumsum(colliding, axis=1) - 1)[row, station]
                 offsets = base[cells] + rank * k_fail
-                counters[cells, station] = bank.failure_draw(
-                    cells, station, streams.gather(cells, offsets, k_fail)
-                )
+                if retry_cnt is None:
+                    counters[cells, station] = bank.failure_draw(
+                        cells, station, streams.gather(cells, offsets, k_fail)
+                    )
+                else:
+                    # 802.11 retry limit: stations at the limit discard the
+                    # frame and reset their contention window (a success
+                    # draw); the rest take the normal failure draw at their
+                    # already-claimed offsets.  The extra success claim is a
+                    # deterministic function of each cell's own trajectory,
+                    # so composition independence is preserved (and the
+                    # claimed-but-unused failure uniforms of discarding
+                    # stations are simply dropped, which never moves another
+                    # cell's stream position).
+                    retry_cnt[cells, station] += 1
+                    disc = retry_cnt[cells, station] >= retry_limit
+                    keep = ~disc
+                    kc, ks = cells[keep], station[keep]
+                    counters[kc, ks] = bank.failure_draw(
+                        kc, ks, streams.gather(kc, offsets[keep], k_fail)
+                    )
+                    if disc.any():
+                        dc, ds = cells[disc], station[disc]
+                        retry_cnt[dc, ds] = 0
+                        if all_measuring:
+                            np.add.at(retry_disc, dc, 1)
+                        elif not none_measuring:
+                            np.add.at(retry_disc, dc,
+                                      measuring[dc].astype(np.int64))
+                        if traffic is not None:
+                            arrivals.pop_discard(dc, ds, now)
+                        counts2 = np.bincount(dc, minlength=num_cells) * k_succ
+                        base2 = streams.claim(counts2)
+                        drank = np.arange(dc.size) - np.searchsorted(dc, dc)
+                        counters[dc, ds] = bank.success_draw(
+                            dc, ds,
+                            streams.gather(dc, base2[dc] + drank * k_succ,
+                                           k_succ),
+                        )
 
             if interval and not none_measuring:
                 fire = tx_measured & (report_at <= 0.0)
@@ -564,12 +618,14 @@ class BatchedSlottedSimulator:
             arrivals.advance(np.minimum(now, end_time),
                              st_range[None, :] < active[:, None])
         return self._build_results(successes, failures, idle_slots, busy_periods,
-                                   throughput_tl, control_tl, arrivals)
+                                   throughput_tl, control_tl, arrivals,
+                                   retry_disc)
 
     # ------------------------------------------------------------------
     def _build_results(self, successes, failures, idle_slots, busy_periods,
                        throughput_tl, control_tl,
                        arrivals: Optional[BatchedArrivals] = None,
+                       retry_disc: Optional[np.ndarray] = None,
                        ) -> List[SimulationResult]:
         payload = self._phy.payload_bits
         duration = self._duration
@@ -599,6 +655,8 @@ class BatchedSlottedSimulator:
             traffic_fields: Dict[str, object] = {}
             if arrivals is not None:
                 traffic_fields = arrivals.annotate_result(cell, stations, extra)
+            if retry_disc is not None:
+                traffic_fields["retry_discards"] = int(retry_disc[cell])
             results.append(SimulationResult(
                 duration=duration,
                 station_stats=stats,

@@ -203,6 +203,9 @@ class BatchedConflictSimulator:
         self._fer = float(frame_error_rate)
         self._interval = report_interval
         self._scheme_name = scheme_name
+        # The retry limit outlives the saturated -> None canonicalisation:
+        # bounded retries are orthogonal to the arrival process.
+        self._retry_limit = traffic.retry_limit if traffic is not None else None
         if traffic is not None and traffic.is_saturated:
             traffic = None
         self._traffic = traffic
@@ -273,6 +276,16 @@ class BatchedConflictSimulator:
         arrivals = (None if traffic is None
                     else BatchedArrivals(traffic, self._seeds, n, max_n))
 
+        # Bounded-retry state (allocated only when a limit is configured, so
+        # the default infinite-retry path is untouched).
+        retry_limit = self._retry_limit
+        if retry_limit is not None:
+            retry_cnt = np.zeros((num_cells, max_n), dtype=np.int64)
+            retry_disc = np.zeros(num_cells, dtype=np.int64)
+        else:
+            retry_cnt = None
+            retry_disc = None
+
         # Initial backoffs for every station; everyone then waits DIFS from
         # t = 0, exactly like freshly activated StationProcess instances.
         init_cells, init_st = np.nonzero(exists)
@@ -284,10 +297,13 @@ class BatchedConflictSimulator:
         counter_start[exists] = difs
         start_at[exists] = difs + remaining[exists] * sigma
         if traffic is not None:
-            # Unsaturated queues start empty: everyone parks with the drawn
-            # backoff frozen until the first arrival rejoins them.
-            counter_start[exists] = _NEVER
-            start_at[exists] = _NEVER
+            # Open-loop queues start empty: those stations park with the
+            # drawn backoff frozen until the first arrival rejoins them.
+            # Closed-loop windows prefill their queues, so stations holding
+            # a frame keep the saturated-style DIFS schedule from t = 0.
+            park = exists & ~arrivals.has_frame()
+            counter_start[park] = _NEVER
+            start_at[park] = _NEVER
 
         # Per-cell clocks, metrics and channel-occupancy accounting.
         now = np.zeros(num_cells, dtype=np.int64)
@@ -372,6 +388,8 @@ class BatchedConflictSimulator:
                     busy_since[mid_busy] = now[mid_busy]
                     if traffic is not None:
                         arrivals.reset_measurement(cross)
+                    if retry_disc is not None:
+                        retry_disc[cross] = 0
                     next_mark[cross] = (
                         warmup_ns + interval_ns if interval_ns else _NEVER
                     )
@@ -443,12 +461,62 @@ class BatchedConflictSimulator:
                     frank = (np.arange(f_cells.size)
                              - np.searchsorted(f_cells, f_cells))
                     offs = base[f_cells] + frank * k_fail
-                    remaining[f_cells, f_st] = bank.failure_draw(
-                        f_cells, f_st, streams.gather(f_cells, offs, k_fail)
-                    )
-                    # The transmitter learns the failure now (no ACK) and
-                    # re-enters contention after the busy recompute below.
-                    resume[f_cells, f_st] = True
+                    if retry_cnt is None:
+                        remaining[f_cells, f_st] = bank.failure_draw(
+                            f_cells, f_st,
+                            streams.gather(f_cells, offs, k_fail),
+                        )
+                        # The transmitter learns the failure now (no ACK) and
+                        # re-enters contention after the busy recompute below.
+                        resume[f_cells, f_st] = True
+                    else:
+                        # Bounded retries: the failure claim above is made
+                        # for *every* loser (fixed consumption keeps the
+                        # stream deterministic) but only surviving frames
+                        # use it; a discarding station drops its frame,
+                        # resets its retry chain and redraws from a fresh
+                        # success-claim, exactly like 802.11's CW reset
+                        # after max retries.
+                        retry_cnt[f_cells, f_st] += 1
+                        disc = retry_cnt[f_cells, f_st] >= retry_limit
+                        keep = ~disc
+                        kc, ks = f_cells[keep], f_st[keep]
+                        remaining[kc, ks] = bank.failure_draw(
+                            kc, ks, streams.gather(kc, offs[keep], k_fail)
+                        )
+                        resume[kc, ks] = True
+                        if disc.any():
+                            dc, ds = f_cells[disc], f_st[disc]
+                            retry_cnt[dc, ds] = 0
+                            if all_measuring:
+                                np.add.at(retry_disc, dc, 1)
+                            elif not none_measuring:
+                                np.add.at(retry_disc, dc,
+                                          measuring[dc].astype(np.int64))
+                            if traffic is not None:
+                                arrivals.pop_discard(dc, ds,
+                                                     now / NS_PER_SECOND)
+                            counts2 = np.bincount(
+                                dc, minlength=num_cells
+                            ) * k_succ
+                            base2 = streams.claim(counts2)
+                            drank = (np.arange(dc.size)
+                                     - np.searchsorted(dc, dc))
+                            remaining[dc, ds] = bank.success_draw(
+                                dc, ds,
+                                streams.gather(
+                                    dc, base2[dc] + drank * k_succ, k_succ
+                                ),
+                            )
+                            if traffic is not None:
+                                # The discard may have emptied the queue:
+                                # only stations still holding a frame
+                                # re-enter contention.
+                                resume[dc, ds] = (
+                                    arrivals.has_frame()[dc, ds]
+                                )
+                            else:
+                                resume[dc, ds] = True
                     any_resume = True
 
                 if not fail_flat.all():
@@ -457,6 +525,8 @@ class BatchedConflictSimulator:
                     succ_flat = ~fail_flat
                     s_cells = e_cells[succ_flat]
                     s_st = e_st[succ_flat]
+                    if retry_cnt is not None:
+                        retry_cnt[s_cells, s_st] = 0
                     if traffic is not None:
                         # The delivered frame leaves the winner's FIFO
                         # (exact per-frame delay).  The pop precedes the
@@ -637,12 +707,13 @@ class BatchedConflictSimulator:
         busy_total[still] += end_ns - busy_since[still]
         return self._build_results(successes, failures, busy_total,
                                    busy_periods, throughput_tl, control_tl,
-                                   arrivals)
+                                   arrivals, retry_disc)
 
     # ------------------------------------------------------------------
     def _build_results(self, successes, failures, busy_total, busy_periods,
                        throughput_tl, control_tl,
                        arrivals: Optional[BatchedArrivals] = None,
+                       retry_disc: Optional[np.ndarray] = None,
                        ) -> List[SimulationResult]:
         phy = self._phy
         payload = phy.payload_bits
@@ -687,6 +758,8 @@ class BatchedConflictSimulator:
             traffic_fields: Dict[str, object] = {}
             if arrivals is not None:
                 traffic_fields = arrivals.annotate_result(cell, stations, extra)
+            if retry_disc is not None:
+                traffic_fields["retry_discards"] = int(retry_disc[cell])
             results.append(SimulationResult(
                 duration=duration,
                 station_stats=stats,

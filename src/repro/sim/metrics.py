@@ -64,6 +64,15 @@ class SimulationResult:
         by the arrival processes during the measurement window, frames
         dropped (full queue, or flushed when a station left the network),
         and the summed FIFO queueing delay of every delivered frame.
+    retry_discards:
+        Frames the MAC discarded after exhausting the configured retry
+        limit (zero under the default infinite-retry policy).
+    queue_delay_p50_s / queue_delay_p99_s:
+        Median and 99th-percentile FIFO queueing delay over the delivered
+        frames of the measurement window (zero when nothing queued).
+    flow_completions:
+        ``(station, completion_time_s)`` pairs for every bounded
+        closed-loop flow that finished (empty for open-loop workloads).
     extra:
         Free-form metadata (scheme name, topology description, seeds...).
     """
@@ -78,6 +87,10 @@ class SimulationResult:
     offered_frames: int = 0
     dropped_frames: int = 0
     queue_delay_sum_s: float = 0.0
+    retry_discards: int = 0
+    queue_delay_p50_s: float = 0.0
+    queue_delay_p99_s: float = 0.0
+    flow_completions: Tuple[Tuple[int, float], ...] = ()
     extra: Mapping[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -130,6 +143,16 @@ class SimulationResult:
             return 0.0
         return self.queue_delay_sum_s / delivered
 
+    @property
+    def mean_flow_completion_s(self) -> float:
+        """Mean flow-completion time over the finished closed-loop flows
+        (0 when no bounded flow completed)."""
+        if not self.flow_completions:
+            return 0.0
+        return sum(t for _, t in self.flow_completions) / len(
+            self.flow_completions
+        )
+
 
 class MetricsCollector:
     """Mutable accumulator that both simulators write into."""
@@ -151,6 +174,9 @@ class MetricsCollector:
         self._offered_frames = 0
         self._dropped_frames = 0
         self._queue_delay_sum_s = 0.0
+        self._retry_discards = 0
+        self._queue_delays: List[float] = []
+        self._flow_completions: List[Tuple[int, float]] = []
         self._throughput_timeline: List[Tuple[float, float]] = []
         self._control_timeline: List[Tuple[float, float]] = []
 
@@ -191,6 +217,17 @@ class MetricsCollector:
     def record_queue_delay(self, delay_s: float) -> None:
         """Accumulate one delivered frame's FIFO queueing delay."""
         self._queue_delay_sum_s += delay_s
+        self._queue_delays.append(delay_s)
+
+    def record_retry_discard(self, count: int = 1) -> None:
+        """Count frames discarded at the MAC retry limit."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._retry_discards += count
+
+    def record_flow_completion(self, station: int, time_s: float) -> None:
+        """Record a bounded closed-loop flow finishing at ``time_s``."""
+        self._flow_completions.append((int(station), float(time_s)))
 
     def record_throughput_sample(self, time_s: float, throughput_bps: float) -> None:
         self._throughput_timeline.append((time_s, throughput_bps))
@@ -225,6 +262,11 @@ class MetricsCollector:
             )
             for i in range(self._num_stations)
         )
+        if self._queue_delays:
+            p50, p99 = np.quantile(np.asarray(self._queue_delays),
+                                   (0.5, 0.99))
+        else:
+            p50 = p99 = 0.0
         return SimulationResult(
             duration=duration,
             station_stats=stats,
@@ -236,5 +278,9 @@ class MetricsCollector:
             offered_frames=self._offered_frames,
             dropped_frames=self._dropped_frames,
             queue_delay_sum_s=self._queue_delay_sum_s,
+            retry_discards=self._retry_discards,
+            queue_delay_p50_s=float(p50),
+            queue_delay_p99_s=float(p99),
+            flow_completions=tuple(sorted(self._flow_completions)),
             extra=dict(extra or {}),
         )

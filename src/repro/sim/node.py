@@ -72,6 +72,18 @@ class StationProcess:
     on_queue_delay:
         Callback receiving each delivered frame's FIFO queueing delay in
         seconds (the simulation wires it to the metrics collector).
+    retry_limit:
+        Maximum transmission attempts per frame (802.11 retry limit).
+        ``None`` — the default — retries forever, the historical behaviour.
+        On exhausting the limit the station discards the head frame, resets
+        its contention window exactly as a delivery would and moves on.
+    on_retry_discard:
+        Callback invoked (no arguments) each time a frame is discarded at
+        the retry limit.
+    on_frame_departed:
+        Callback ``(station_id)`` invoked whenever a frame leaves the MAC —
+        delivered *or* retry-discarded; closed-loop traffic uses it as its
+        release clock.
     """
 
     def __init__(
@@ -86,6 +98,9 @@ class StationProcess:
         on_transmission_end: Callable[[int, ActiveTransmission, int], None],
         queue: Optional[FrameQueue] = None,
         on_queue_delay: Optional[Callable[[float], None]] = None,
+        retry_limit: Optional[int] = None,
+        on_retry_discard: Optional[Callable[[], None]] = None,
+        on_frame_departed: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.station_id = station_id
         self.policy = policy
@@ -97,6 +112,12 @@ class StationProcess:
         self._on_transmission_end = on_transmission_end
         self._queue = queue
         self._on_queue_delay = on_queue_delay
+        self._retry_limit = retry_limit
+        self._on_retry_discard = on_retry_discard
+        self._on_frame_departed = on_frame_departed
+        self._retry_count = 0
+        #: Frames discarded at the retry limit (mirrors successes/failures).
+        self.retry_discards = 0
 
         self._state = StationState.INACTIVE
         self._remaining_slots = 0
@@ -313,29 +334,60 @@ class StationProcess:
     # ------------------------------------------------------------------
     # Outcome delivery (called by the access point)
     # ------------------------------------------------------------------
-    def deliver_success(self, control: Mapping[str, float]) -> None:
-        """The AP's ACK for this station's frame has been received."""
+    def deliver_success(self, control: Mapping[str, float]) -> bool:
+        """The AP's ACK for this station's frame has been received.
+
+        Returns whether a queued frame was dequeued, so the caller can keep
+        its delivered-but-not-yet-dequeued inventory exact (the AP counts
+        the success when the data frame ends, one SIFS + ACK before this
+        runs)."""
         if self._state is StationState.INACTIVE:
-            return
+            return False
         self.successes += 1
+        self._retry_count = 0
+        popped = self._queue is not None
         if self._queue is not None:
             delay = self._queue.pop(self._scheduler.now_ns / NS_PER_SECOND)
             if self._on_queue_delay is not None:
                 self._on_queue_delay(delay)
+            if self._on_frame_departed is not None:
+                self._on_frame_departed(self.station_id)
         if control:
             self.policy.apply_control(control)
         self._remaining_slots = self.policy.on_success(self._rng)
         if not self.has_frame:
             self._state = StationState.IDLE_QUEUE
-            return
+            return popped
         self._state = StationState.DEFERRING
         self._try_resume()
+        return popped
 
     def deliver_failure(self) -> None:
         """No ACK arrived: the frame is declared collided."""
         if self._state is StationState.INACTIVE:
             return
         self.failures += 1
+        if self._retry_limit is not None:
+            self._retry_count += 1
+            if self._retry_count >= self._retry_limit:
+                # 802.11 retry limit: discard the frame and reset the
+                # contention window exactly as a delivery would, then move
+                # on to the next frame (if any).
+                self._retry_count = 0
+                self.retry_discards += 1
+                if self._on_retry_discard is not None:
+                    self._on_retry_discard()
+                if self._queue is not None:
+                    self._queue.pop(self._scheduler.now_ns / NS_PER_SECOND)
+                    if self._on_frame_departed is not None:
+                        self._on_frame_departed(self.station_id)
+                self._remaining_slots = self.policy.on_success(self._rng)
+                if not self.has_frame:
+                    self._state = StationState.IDLE_QUEUE
+                    return
+                self._state = StationState.DEFERRING
+                self._try_resume()
+                return
         self._remaining_slots = self.policy.on_failure(self._rng)
         self._state = StationState.DEFERRING
         self._try_resume()

@@ -85,6 +85,12 @@ class AccessPointProcess:
         self._rng = rng or np.random.default_rng(0)
         self._stations: Dict[int, StationProcess] = {}
         self._ap_free_at_ns = 0
+        # Frames already counted delivered (the AP decides the outcome when
+        # the data frame ends) whose ACK has not yet reached the sender, so
+        # they still sit at the head of the sender's queue.  Needed to keep
+        # the end-of-run frame inventory exact: offered == delivered +
+        # dropped + retry-discarded + awaiting-service.
+        self._acked_in_flight = 0
 
     # ------------------------------------------------------------------
     def attach_stations(self, stations: Sequence[StationProcess]) -> None:
@@ -93,6 +99,11 @@ class AccessPointProcess:
     @property
     def controller(self) -> AccessPointController:
         return self._controller
+
+    @property
+    def acked_in_flight(self) -> int:
+        """Frames counted delivered whose ACK is still in flight."""
+        return self._acked_in_flight
 
     # ------------------------------------------------------------------
     def on_data_transmission_end(self, station_id: int,
@@ -111,6 +122,8 @@ class AccessPointProcess:
 
         payload_bits = getattr(transmission.frame, "payload_bits", 0)
         self._metrics.record_success(station_id, payload_bits)
+        if station.queue_length > 0:
+            self._acked_in_flight += 1
         self._controller.on_packet_received(
             station_id, payload_bits, now_ns / NS_PER_SECOND
         )
@@ -141,7 +154,8 @@ class AccessPointProcess:
         self._medium.end_transmission(ack.transmission)
         destination = self._stations.get(ack.destination)
         if destination is not None:
-            destination.deliver_success(ack.control)
+            if destination.deliver_success(ack.control):
+                self._acked_in_flight -= 1
         if self._broadcast_control and ack.control:
             for station_id, station in self._stations.items():
                 if station_id != ack.destination:
@@ -226,18 +240,30 @@ class WlanSimulation:
             rng=np.random.default_rng(master.integers(0, 2 ** 63 - 1)),
         )
 
+        # The retry limit applies to the MAC regardless of workload, so it
+        # is lifted off the spec before the saturated process canonicalises
+        # to None (the bit-identical classic path).
+        retry_limit = traffic.retry_limit if traffic is not None else None
         if traffic is not None and traffic.is_saturated:
             traffic = None
         self._traffic = traffic
         self._arrival_streams: List[ArrivalStream] = []
-        if traffic is not None:
+        if traffic is not None and not traffic.is_closed_loop:
             # Arrival generators are salted separately from the contention
             # streams (and drawn outside the master-seed sequence), so
             # enabling traffic never perturbs the stations' backoff draws.
             self._arrival_streams = [
-                ArrivalStream(traffic, station_arrival_rng(seed, station_id))
+                ArrivalStream(
+                    traffic, station_arrival_rng(seed, station_id),
+                    rate_fps=traffic.rate_for(station_id, self._num_stations),
+                )
                 for station_id in range(self._num_stations)
             ]
+        # Closed-loop flow state (window kind): releases are clocked by
+        # frames leaving the MAC via _on_frame_departed.
+        self._flow_left = np.zeros(self._num_stations, dtype=np.int64)
+        self._flow_done = np.zeros(self._num_stations, dtype=np.int64)
+        self._flow_total = 0
 
         self._policies: List[BackoffPolicy] = scheme.make_policies(self._num_stations)
         self._stations: List[StationProcess] = []
@@ -255,6 +281,11 @@ class WlanSimulation:
                 queue=(None if traffic is None
                        else FrameQueue(traffic.queue_limit)),
                 on_queue_delay=self._metrics.record_queue_delay,
+                retry_limit=retry_limit,
+                on_retry_discard=self._metrics.record_retry_discard,
+                on_frame_departed=(self._on_frame_departed
+                                   if traffic is not None
+                                   and traffic.is_closed_loop else None),
             )
             self._stations.append(station)
         self._access_point.attach_stations(self._stations)
@@ -291,6 +322,21 @@ class WlanSimulation:
             raise ValueError("duration must be positive")
         if warmup < 0:
             raise ValueError("warmup must be non-negative")
+
+        # Closed-loop pre-fill happens before activation so that every
+        # station starts contending with its window already queued.
+        traffic = self._traffic
+        if traffic is not None and traffic.is_closed_loop:
+            flow = traffic.flow_frames
+            prefill = (traffic.window if flow is None
+                       else min(traffic.window, flow))
+            remaining = 2 ** 62 if flow is None else flow - prefill
+            self._flow_left[:] = remaining
+            self._flow_total = 0 if flow is None else int(flow)
+            for station in self._stations:
+                for _ in range(prefill):
+                    station.enqueue(0.0)
+            self._metrics.record_arrival(prefill * self._num_stations)
 
         # Activate the initially-active stations and schedule later changes.
         initial_active = self._activity.active_count(0.0)
@@ -341,8 +387,12 @@ class WlanSimulation:
         if self._traffic is not None:
             extra["traffic"] = self._traffic.kind
             extra["offered_rate_fps"] = self._traffic.mean_rate_fps
-            extra["queued_frames"] = sum(
-                station.queue_length for station in self._stations
+            # Frames awaiting service: a frame whose ACK is still in flight
+            # at the horizon has already been counted delivered, so it must
+            # not be double-counted as queued.
+            extra["queued_frames"] = (
+                sum(station.queue_length for station in self._stations)
+                - self._access_point.acked_in_flight
             )
         return self._metrics.result(duration=duration, extra=extra)
 
@@ -374,6 +424,21 @@ class WlanSimulation:
                 flushed = station.flush_queue()
                 if flushed:
                     self._metrics.record_drop(flushed)
+
+    def _on_frame_departed(self, station_id: int) -> None:
+        """Closed-loop clocking: a frame left ``station_id``'s MAC
+        (delivered or retry-discarded), so release the next window frame
+        and record the flow completion when the budget is spent."""
+        now_s = self._scheduler.now_ns / NS_PER_SECOND
+        self._flow_done[station_id] += 1
+        if self._flow_left[station_id] > 0:
+            self._flow_left[station_id] -= 1
+            self._metrics.record_arrival()
+            station = self._stations[station_id]
+            if not station.is_active or not station.enqueue(now_s):
+                self._metrics.record_drop()
+        if self._flow_total and self._flow_done[station_id] == self._flow_total:
+            self._metrics.record_flow_completion(station_id, now_s)
 
     def _on_arrival(self, station_id: int) -> None:
         """One frame arrived at ``station_id``; schedule the next arrival.

@@ -128,6 +128,10 @@ class SlottedSimulator:
             raise ValueError("frame_error_rate must lie in [0, 1)")
         self._frame_error_rate = float(frame_error_rate)
         self._seed = int(seed)
+        # The retry limit applies to the MAC regardless of workload, so it
+        # is lifted off the spec before the saturated process canonicalises
+        # to None (the bit-identical classic path).
+        self._retry_limit = traffic.retry_limit if traffic is not None else None
         if traffic is not None and traffic.is_saturated:
             traffic = None
         self._traffic = traffic
@@ -197,12 +201,39 @@ class SlottedSimulator:
         traffic = self._traffic
         streams: List[ArrivalStream] = []
         has_frame = None
+        flow_left = flow_done = None
+        flow_total = 0
         if traffic is not None:
-            streams = [
-                ArrivalStream(traffic, station_arrival_rng(self._seed, s))
-                for s in range(self._num_stations)
-            ]
             has_frame = np.zeros(self._num_stations, dtype=bool)
+            if traffic.is_closed_loop:
+                # Closed loop: pre-fill each queue with the window at t=0;
+                # later releases are clocked by departures, so there is no
+                # autonomous arrival stream at all.
+                flow = traffic.flow_frames
+                prefill = (traffic.window if flow is None
+                           else min(traffic.window, flow))
+                remaining = 2 ** 62 if flow is None else flow - prefill
+                flow_left = np.full(self._num_stations, remaining,
+                                    dtype=np.int64)
+                flow_done = np.zeros(self._num_stations, dtype=np.int64)
+                flow_total = 0 if flow is None else int(flow)
+                for station in range(self._num_stations):
+                    for _ in range(prefill):
+                        self._queues[station].offer(0.0)
+                    has_frame[station] = prefill > 0
+                if warmup == 0.0:
+                    metrics.record_arrival(prefill * self._num_stations)
+            else:
+                streams = [
+                    ArrivalStream(
+                        traffic, station_arrival_rng(self._seed, s),
+                        rate_fps=traffic.rate_for(s, self._num_stations),
+                    )
+                    for s in range(self._num_stations)
+                ]
+        retry_limit = self._retry_limit
+        retry_counts = (np.zeros(self._num_stations, dtype=np.int64)
+                        if retry_limit is not None else None)
 
         now = 0.0
         measuring = warmup == 0.0
@@ -214,6 +245,22 @@ class SlottedSimulator:
         # Controller tick state (segments must close even with zero traffic).
         tick_interval = self._controller.tick_interval
         next_tick = tick_interval if tick_interval else math.inf
+
+        def frame_departed(station: int) -> None:
+            """Closed-loop clocking on any departure (delivery or retry
+            discard): release the next window frame, record finished flows.
+            No-op for open-loop workloads."""
+            if traffic is None or not traffic.is_closed_loop:
+                return
+            flow_done[station] += 1
+            if flow_left[station] > 0:
+                flow_left[station] -= 1
+                self._queues[station].offer(now)
+                has_frame[station] = True
+                if measuring:
+                    metrics.record_arrival()
+            if flow_total and flow_done[station] == flow_total:
+                metrics.record_flow_completion(station, now)
 
         while now < end_time:
             # Activity changes take effect at their breakpoint times.
@@ -274,7 +321,7 @@ class SlottedSimulator:
                 # of run.
                 limit_slots = min_counter
                 next_boundary = min(end_time, next_tick)
-                if traffic is not None:
+                if streams:
                     next_boundary = min(
                         next_boundary,
                         min(stream.next_time for stream in streams),
@@ -340,13 +387,16 @@ class SlottedSimulator:
             waiting = window > 0 if traffic is None else (window > 0) & contenders
             if success:
                 station = int(transmitters[0])
+                if retry_counts is not None:
+                    retry_counts[station] = 0
                 if traffic is not None:
                     # The delivered frame leaves the FIFO; the station parks
                     # if nothing else is queued.
                     delay = self._queues[station].pop(now)
-                    has_frame[station] = len(self._queues[station]) > 0
                     if measuring:
                         metrics.record_queue_delay(delay)
+                    frame_departed(station)
+                    has_frame[station] = len(self._queues[station]) > 0
                 if measuring:
                     metrics.record_success(station, payload)
                     cumulative_bits += payload
@@ -363,6 +413,25 @@ class SlottedSimulator:
                     station = int(station)
                     if measuring:
                         metrics.record_failure(station)
+                    if retry_counts is not None:
+                        retry_counts[station] += 1
+                        if retry_counts[station] >= retry_limit:
+                            # 802.11 retry limit: discard the frame, reset
+                            # the contention window (a success draw) and
+                            # move on to the next frame, if any.
+                            retry_counts[station] = 0
+                            if measuring:
+                                metrics.record_retry_discard()
+                            if traffic is not None:
+                                self._queues[station].pop(now)
+                                frame_departed(station)
+                                has_frame[station] = (
+                                    len(self._queues[station]) > 0
+                                )
+                            counters[station] = (
+                                self._policies[station].on_success(self._rng)
+                            )
+                            continue
                     counters[station] = self._policies[station].on_failure(self._rng)
             window[waiting] -= 1
 

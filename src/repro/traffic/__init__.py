@@ -63,7 +63,10 @@ __all__ = [
 ]
 
 #: Arrival-process kinds understood by every backend.
-TRAFFIC_KINDS = ("saturated", "poisson", "cbr", "on-off")
+TRAFFIC_KINDS = ("saturated", "poisson", "cbr", "on-off", "window", "incast")
+
+#: Kinds whose frames arrive autonomously (open loop, clocked by time).
+OPEN_LOOP_KINDS = ("poisson", "cbr", "on-off", "incast")
 
 #: Seed-sequence salt separating arrival streams from contention streams.
 #: Arrival randomness must never share a stream with backoff randomness:
@@ -73,6 +76,9 @@ TRAFFIC_STREAM_SALT = 0x7452_6166
 
 #: Default bounded per-station FIFO capacity (frames).
 DEFAULT_QUEUE_LIMIT = 64
+
+#: Sentinel "unbounded flow" frame budget for persistent window sources.
+_NO_FLOW_BOUND = np.int64(2) ** 62
 
 
 def station_arrival_rng(seed: int, station: int) -> np.random.Generator:
@@ -122,6 +128,27 @@ class ArrivalProcess:
     on_mean_s / off_mean_s:
         Mean burst / idle durations of the ``on-off`` process (both
         exponentially distributed).
+    retry_limit:
+        Maximum transmission *attempts* per frame before the MAC discards
+        it (802.11 retry limit).  ``None`` — the default — retries forever,
+        which is the historical behaviour of every backend; keeping it the
+        default preserves committed baselines and cache task hashes
+        bit-for-bit.
+    window / flow_frames:
+        ``window``-kind parameters: at most ``window`` frames are
+        outstanding per station, and a new frame is released each time one
+        leaves the MAC (delivered *or* retry-discarded) — a TCP-like
+        closed loop clocked by the channel.  ``flow_frames`` bounds the
+        per-station flow (``None`` = persistent source).
+    burst_frames / epoch_s:
+        ``incast``-kind parameters: every station deterministically
+        receives ``burst_frames`` frames at once at each epoch boundary
+        ``k * epoch_s`` (N-to-1 synchronized bursts).
+    downlink:
+        Model the AP as a contending transmitter: station 0 carries the
+        aggregate downlink flow at ``(N - 1) x rate_fps`` while stations
+        ``1..N-1`` keep the per-station uplink rate.  Applies to the
+        open-loop rate-based kinds.
     """
 
     kind: str
@@ -129,38 +156,81 @@ class ArrivalProcess:
     queue_limit: int = DEFAULT_QUEUE_LIMIT
     on_mean_s: Optional[float] = None
     off_mean_s: Optional[float] = None
+    retry_limit: Optional[int] = None
+    window: Optional[int] = None
+    flow_frames: Optional[int] = None
+    burst_frames: Optional[int] = None
+    epoch_s: Optional[float] = None
+    downlink: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
-    def saturated(cls) -> "ArrivalProcess":
+    def saturated(cls, retry_limit: Optional[int] = None) -> "ArrivalProcess":
         """Every station always backlogged (the paper's workload)."""
-        return cls(kind="saturated", rate_fps=0.0, queue_limit=0)
+        return cls(kind="saturated", rate_fps=0.0, queue_limit=0,
+                   retry_limit=retry_limit)
 
     @classmethod
     def poisson(cls, rate_fps: float,
-                queue_limit: int = DEFAULT_QUEUE_LIMIT) -> "ArrivalProcess":
+                queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                retry_limit: Optional[int] = None,
+                downlink: bool = False) -> "ArrivalProcess":
         """Poisson arrivals at ``rate_fps`` frames/s per station."""
         return cls(kind="poisson", rate_fps=float(rate_fps),
-                   queue_limit=int(queue_limit))
+                   queue_limit=int(queue_limit), retry_limit=retry_limit,
+                   downlink=bool(downlink))
 
     @classmethod
     def cbr(cls, rate_fps: float,
-            queue_limit: int = DEFAULT_QUEUE_LIMIT) -> "ArrivalProcess":
+            queue_limit: int = DEFAULT_QUEUE_LIMIT,
+            retry_limit: Optional[int] = None,
+            downlink: bool = False) -> "ArrivalProcess":
         """Deterministic constant-bit-rate arrivals, one frame every
         ``1 / rate_fps`` seconds, with a per-station uniform random phase
         (so stations do not arrive in lock-step)."""
         return cls(kind="cbr", rate_fps=float(rate_fps),
-                   queue_limit=int(queue_limit))
+                   queue_limit=int(queue_limit), retry_limit=retry_limit,
+                   downlink=bool(downlink))
 
     @classmethod
     def on_off(cls, rate_fps: float, on_mean_s: float, off_mean_s: float,
-               queue_limit: int = DEFAULT_QUEUE_LIMIT) -> "ArrivalProcess":
+               queue_limit: int = DEFAULT_QUEUE_LIMIT,
+               retry_limit: Optional[int] = None,
+               downlink: bool = False) -> "ArrivalProcess":
         """Bursty on-off source: exponential ON bursts (mean ``on_mean_s``)
         with Poisson arrivals at ``rate_fps``, separated by exponential OFF
         gaps (mean ``off_mean_s``); sources start ON at time 0."""
         return cls(kind="on-off", rate_fps=float(rate_fps),
                    queue_limit=int(queue_limit),
-                   on_mean_s=float(on_mean_s), off_mean_s=float(off_mean_s))
+                   on_mean_s=float(on_mean_s), off_mean_s=float(off_mean_s),
+                   retry_limit=retry_limit, downlink=bool(downlink))
+
+    @classmethod
+    def window_limited(cls, window: int, flow_frames: Optional[int] = None,
+                       queue_limit: Optional[int] = None,
+                       retry_limit: Optional[int] = None) -> "ArrivalProcess":
+        """TCP-like closed loop: ``window`` frames outstanding per station,
+        each departure (delivery or retry discard) releases the next frame.
+        ``flow_frames`` bounds the flow; ``None`` keeps the source
+        persistent.  ``queue_limit`` defaults to ``window`` (the loop never
+        holds more than the window, so the queue cannot overflow)."""
+        window = int(window)
+        limit = window if queue_limit is None else int(queue_limit)
+        return cls(kind="window", queue_limit=limit, window=window,
+                   flow_frames=None if flow_frames is None
+                   else int(flow_frames),
+                   retry_limit=retry_limit)
+
+    @classmethod
+    def incast(cls, burst_frames: int, epoch_s: float,
+               queue_limit: int = DEFAULT_QUEUE_LIMIT,
+               retry_limit: Optional[int] = None) -> "ArrivalProcess":
+        """N-to-1 incast: every station receives ``burst_frames`` frames
+        simultaneously at each epoch boundary ``k * epoch_s`` (fan-in
+        request rounds), deterministically — no randomness at all."""
+        return cls(kind="incast", queue_limit=int(queue_limit),
+                   burst_frames=int(burst_frames), epoch_s=float(epoch_s),
+                   retry_limit=retry_limit)
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -169,12 +239,55 @@ class ArrivalProcess:
                 f"unknown traffic kind '{self.kind}'; expected one of "
                 f"{TRAFFIC_KINDS}"
             )
+        if self.retry_limit is not None and self.retry_limit < 1:
+            raise ValueError(
+                "retry_limit must be at least 1 attempt (or None for "
+                "infinite retries)"
+            )
+        if self.downlink and self.kind not in ("poisson", "cbr", "on-off"):
+            raise ValueError(
+                f"downlink only applies to rate-based traffic, not "
+                f"'{self.kind}'"
+            )
+        for field, kinds in (("window", ("window",)),
+                             ("flow_frames", ("window",)),
+                             ("burst_frames", ("incast",)),
+                             ("epoch_s", ("incast",))):
+            if getattr(self, field) is not None and self.kind not in kinds:
+                raise ValueError(
+                    f"{field} only applies to {kinds[0]} traffic, not "
+                    f"'{self.kind}'"
+                )
         if self.kind == "saturated":
+            return
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if self.kind == "window":
+            if self.rate_fps:
+                raise ValueError("window traffic is clocked by deliveries, "
+                                 "not a rate")
+            if self.window is None or self.window < 1:
+                raise ValueError("window traffic needs a window of at "
+                                 "least 1 frame")
+            if self.queue_limit < self.window:
+                raise ValueError("queue_limit must be at least the window "
+                                 "(the loop keeps window frames queued)")
+            if self.flow_frames is not None and self.flow_frames < 1:
+                raise ValueError("flow_frames must be at least 1 (or None "
+                                 "for a persistent source)")
+            return
+        if self.kind == "incast":
+            if self.rate_fps:
+                raise ValueError("incast traffic is an epoch burst, not a "
+                                 "rate")
+            if self.burst_frames is None or self.burst_frames < 1:
+                raise ValueError("incast traffic needs at least 1 frame "
+                                 "per burst")
+            if self.epoch_s is None or self.epoch_s <= 0:
+                raise ValueError("incast traffic needs a positive epoch_s")
             return
         if self.rate_fps <= 0:
             raise ValueError("rate_fps must be positive")
-        if self.queue_limit < 1:
-            raise ValueError("queue_limit must be at least 1")
         if self.kind == "on-off":
             if not self.on_mean_s or self.on_mean_s <= 0:
                 raise ValueError("on-off traffic needs a positive on_mean_s")
@@ -192,33 +305,78 @@ class ArrivalProcess:
         return self.kind == "saturated"
 
     @property
+    def is_closed_loop(self) -> bool:
+        """Releases clocked by frame departures instead of wall time."""
+        return self.kind == "window"
+
+    @property
     def mean_rate_fps(self) -> float:
-        """Long-run mean arrival rate per station (inf when saturated)."""
-        if self.is_saturated:
+        """Long-run mean arrival rate per station (inf when the source is
+        always backlogged: saturated and window-limited closed loops)."""
+        if self.is_saturated or self.kind == "window":
             return math.inf
+        if self.kind == "incast":
+            return self.burst_frames / self.epoch_s
         if self.kind == "on-off":
             duty = self.on_mean_s / (self.on_mean_s + self.off_mean_s)
             return self.rate_fps * duty
         return self.rate_fps
 
+    def rate_for(self, station: int, num_stations: int) -> float:
+        """Per-station arrival rate, with the downlink aggregate on
+        station 0 (the AP's transmit queue) when ``downlink`` is set."""
+        if self.downlink and station == 0:
+            return self.rate_fps * max(num_stations - 1, 1)
+        return self.rate_fps
+
     def to_json(self) -> Dict[str, object]:
         payload: Dict[str, object] = {"kind": self.kind}
-        if not self.is_saturated:
+        if self.kind in ("poisson", "cbr", "on-off"):
             payload["rate_fps"] = self.rate_fps
             payload["queue_limit"] = self.queue_limit
         if self.kind == "on-off":
             payload["on_mean_s"] = self.on_mean_s
             payload["off_mean_s"] = self.off_mean_s
+        if self.kind == "window":
+            payload["window"] = self.window
+            if self.flow_frames is not None:
+                payload["flow_frames"] = self.flow_frames
+            payload["queue_limit"] = self.queue_limit
+        if self.kind == "incast":
+            payload["burst_frames"] = self.burst_frames
+            payload["epoch_s"] = self.epoch_s
+            payload["queue_limit"] = self.queue_limit
+        if self.downlink:
+            payload["downlink"] = True
+        if self.retry_limit is not None:
+            payload["retry_limit"] = self.retry_limit
         return payload
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "ArrivalProcess":
         kind = payload["kind"]
+        retry_limit = payload.get("retry_limit")
         if kind == "saturated":
-            return cls.saturated()
+            return cls.saturated(retry_limit=retry_limit)
+        if kind == "window":
+            return cls.window_limited(
+                window=payload["window"],
+                flow_frames=payload.get("flow_frames"),
+                queue_limit=payload.get("queue_limit"),
+                retry_limit=retry_limit,
+            )
+        if kind == "incast":
+            return cls.incast(
+                burst_frames=payload["burst_frames"],
+                epoch_s=payload["epoch_s"],
+                queue_limit=payload.get("queue_limit", DEFAULT_QUEUE_LIMIT),
+                retry_limit=retry_limit,
+            )
         kwargs = dict(
             rate_fps=payload["rate_fps"],
             queue_limit=payload.get("queue_limit", DEFAULT_QUEUE_LIMIT),
+            retry_limit=retry_limit,
+            downlink=bool(payload.get("downlink", False)),
         )
         if kind == "on-off":
             return cls.on_off(on_mean_s=payload["on_mean_s"],
@@ -236,15 +394,23 @@ class ArrivalStream:
     ``next_time`` is the absolute time (seconds) of the next frame arrival;
     :meth:`advance` consumes it and draws the following one.  All draws go
     through the inverse-CDF transform of ``rng.random()`` so the scalar and
-    batched implementations sample identical distributions.
+    batched implementations sample identical distributions.  ``rate_fps``
+    overrides the spec's rate for this station (downlink aggregates —
+    callers pass :meth:`ArrivalProcess.rate_for`); the deterministic
+    ``incast`` kind consumes no randomness at all.
     """
 
-    def __init__(self, spec: ArrivalProcess, rng: np.random.Generator) -> None:
-        if spec.is_saturated:
-            raise ValueError("saturated traffic has no arrival stream")
+    def __init__(self, spec: ArrivalProcess, rng: np.random.Generator,
+                 rate_fps: Optional[float] = None) -> None:
+        if spec.is_saturated or spec.is_closed_loop:
+            raise ValueError(f"{spec.kind} traffic has no arrival stream")
         self._spec = spec
         self._rng = rng
-        self._period = 1.0 / spec.rate_fps
+        if spec.kind == "incast":
+            self._burst_left = spec.burst_frames
+            self.next_time = 0.0
+            return
+        self._period = 1.0 / (spec.rate_fps if rate_fps is None else rate_fps)
         if spec.kind == "cbr":
             self.next_time = float(rng.random()) * self._period
         elif spec.kind == "poisson":
@@ -273,6 +439,12 @@ class ArrivalStream:
     def advance(self) -> float:
         """Consume and return the current arrival; compute the next one."""
         current = self.next_time
+        if self._spec.kind == "incast":
+            self._burst_left -= 1
+            if self._burst_left == 0:
+                self._burst_left = self._spec.burst_frames
+                self.next_time = current + self._spec.epoch_s
+            return current
         if self._spec.kind == "cbr":
             self.next_time = current + self._period
         elif self._spec.kind == "poisson":
@@ -353,7 +525,6 @@ class BatchedArrivals:
         from ..sim.batched import CellStreams  # local import: sim imports us
 
         self._spec = spec
-        self._period = 1.0 / spec.rate_fps
         self._limit = int(spec.queue_limit)
         n = np.asarray(num_stations, dtype=np.int64)
         num_cells = n.size
@@ -367,6 +538,19 @@ class BatchedArrivals:
             block=np.maximum(4096, 16 * n),
         )
         shape = (num_cells, width)
+        self._period = None
+        self._period_cs = None
+        if spec.kind in ("poisson", "cbr", "on-off"):
+            if spec.downlink:
+                # Station 0 is the AP queue carrying the (N-1)x aggregate.
+                rates = np.where(
+                    np.arange(width)[None, :] == 0,
+                    spec.rate_fps * np.maximum(n - 1, 1)[:, None].astype(float),
+                    spec.rate_fps,
+                )
+                self._period_cs = 1.0 / rates
+            else:
+                self._period = 1.0 / spec.rate_fps
         self._next = np.full(shape, np.inf)
         self._qlen = np.zeros(shape, dtype=np.int64)
         self._head = np.zeros(shape, dtype=np.int64)
@@ -377,21 +561,57 @@ class BatchedArrivals:
         self.offered = np.zeros(num_cells, dtype=np.int64)
         self.dropped = np.zeros(num_cells, dtype=np.int64)
         self.delay_sum = np.zeros(num_cells)
+        #: Measurement epoch per cell (bumped by :meth:`reset_measurement`)
+        #: tagging the per-frame delay log, so percentiles cover only the
+        #: post-warm-up window.
+        self._epoch = np.zeros(num_cells, dtype=np.int64)
+        self._delay_log: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._completions: List[List[Tuple[int, float]]] = [
+            [] for _ in range(num_cells)
+        ]
 
+        cells, stations = np.nonzero(self._exists)
+        if spec.kind == "window":
+            # Closed loop: pre-fill each queue with the window (release
+            # times 0.0 — the ring is already zeroed); later releases are
+            # clocked by departures, never by `_next`.
+            flow = spec.flow_frames
+            prefill = spec.window if flow is None else min(spec.window, flow)
+            self._qlen[self._exists] = prefill
+            self.offered[:] = prefill * n
+            remaining = _NO_FLOW_BOUND if flow is None else flow - prefill
+            self._flow_left = np.where(self._exists, remaining, 0)
+            self._flow_done = np.zeros(shape, dtype=np.int64)
+            self._flow_total = 0 if flow is None else int(flow)
+            return
+        if spec.kind == "incast":
+            # Deterministic epoch bursts: every station is due at t=0 and
+            # consumes zero uniforms, ever.
+            self._next[cells, stations] = 0.0
+            self._burst_left = np.where(self._exists, spec.burst_frames, 0)
+            return
         # First arrivals: one draw per existing station (plus the initial
         # burst length for on-off), consumed cell-by-cell in station order.
-        cells, stations = np.nonzero(self._exists)
         if spec.kind == "on-off":
             self._on_until[cells, stations] = _exponential(
                 self._claim_one(cells), spec.on_mean_s
             )
         if spec.kind == "cbr":
-            self._next[cells, stations] = self._claim_one(cells) * self._period
+            self._next[cells, stations] = (
+                self._claim_one(cells) * self._period_of(cells, stations)
+            )
         else:
             self._next[cells, stations] = 0.0
             self._draw_next(cells, stations)
 
     # ------------------------------------------------------------------
+    def _period_of(self, cells: np.ndarray, stations: np.ndarray):
+        """Mean inter-arrival period per (cell, station) pair — a scalar
+        unless downlink skews station 0."""
+        if self._period_cs is None:
+            return self._period
+        return self._period_cs[cells, stations]
+
     def _claim_one(self, cells: np.ndarray) -> np.ndarray:
         """Claim one uniform per entry of sorted ``cells`` (duplicates OK)."""
         counts = np.bincount(cells, minlength=self._n.size)
@@ -407,12 +627,19 @@ class BatchedArrivals:
         cell's own due set.
         """
         kind = self._spec.kind
+        if kind == "incast":
+            self._burst_left[cells, stations] -= 1
+            done = self._burst_left[cells, stations] == 0
+            dc, ds = cells[done], stations[done]
+            self._burst_left[dc, ds] = self._spec.burst_frames
+            self._next[dc, ds] += self._spec.epoch_s
+            return
         if kind == "cbr":
-            self._next[cells, stations] += self._period
+            self._next[cells, stations] += self._period_of(cells, stations)
             return
         if kind == "poisson":
             self._next[cells, stations] += _exponential(
-                self._claim_one(cells), self._period
+                self._claim_one(cells), self._period_of(cells, stations)
             )
             return
         # on-off: redraw until the candidate lands inside a burst; stations
@@ -425,7 +652,7 @@ class BatchedArrivals:
         while pending.size:
             pc, ps = cells[pending], stations[pending]
             candidate = cursor[pending] + _exponential(
-                self._claim_one(pc), self._period
+                self._claim_one(pc), self._period_of(pc, ps)
             )
             ok = candidate <= self._on_until[pc, ps]
             self._next[pc[ok], ps[ok]] = candidate[ok]
@@ -496,12 +723,51 @@ class BatchedArrivals:
     def pop_success(self, cells: np.ndarray, stations: np.ndarray,
                     now_s: np.ndarray) -> None:
         """Dequeue the head frame of each delivered (cell, station) pair,
-        accumulating its exact FIFO queueing delay."""
+        accumulating its exact FIFO queueing delay (sum and per-frame log
+        for the percentile metrics)."""
         head = self._head[cells, stations]
         delay = now_s[cells] - self._ring[cells, stations, head]
         np.add.at(self.delay_sum, cells, delay)
+        if cells.size:
+            self._delay_log.append(
+                (cells.copy(), delay, self._epoch[cells].copy())
+            )
         self._qlen[cells, stations] -= 1
         self._head[cells, stations] = (head + 1) % self._limit
+        self._after_pop(cells, stations, now_s[cells])
+
+    def pop_discard(self, cells: np.ndarray, stations: np.ndarray,
+                    now_s: np.ndarray) -> None:
+        """Dequeue the head frame of each retry-discarding pair *without*
+        delay accounting (the frame was never delivered); the departure
+        still clocks the closed-loop release like a delivery would —
+        discard-blind flow control would deadlock the window."""
+        head = self._head[cells, stations]
+        self._qlen[cells, stations] -= 1
+        self._head[cells, stations] = (head + 1) % self._limit
+        self._after_pop(cells, stations, now_s[cells])
+
+    def _after_pop(self, cells: np.ndarray, stations: np.ndarray,
+                   now_pair: np.ndarray) -> None:
+        """Closed-loop bookkeeping once a frame leaves the MAC: release the
+        next window frame and record finished flows.  No-op for the
+        open-loop kinds."""
+        if self._spec.kind != "window":
+            return
+        self._flow_done[cells, stations] += 1
+        release = self._flow_left[cells, stations] > 0
+        if release.any():
+            rc, rs = cells[release], stations[release]
+            slot = (self._head[rc, rs] + self._qlen[rc, rs]) % self._limit
+            self._ring[rc, rs, slot] = now_pair[release]
+            self._qlen[rc, rs] += 1
+            self._flow_left[rc, rs] -= 1
+            np.add.at(self.offered, rc, 1)
+        if self._flow_total:
+            finished = self._flow_done[cells, stations] == self._flow_total
+            for c, s, t in zip(cells[finished], stations[finished],
+                               now_pair[finished]):
+                self._completions[int(c)].append((int(s), float(t)))
 
     def flush(self, cells: np.ndarray, stations: np.ndarray) -> None:
         """Discard the queues of leaving stations, accounting the flushed
@@ -514,6 +780,19 @@ class BatchedArrivals:
         self.offered[cell_mask] = 0
         self.dropped[cell_mask] = 0
         self.delay_sum[cell_mask] = 0.0
+        self._epoch[cell_mask] += 1
+        for cell in np.flatnonzero(cell_mask):
+            self._completions[cell] = []
+
+    def delays_for(self, cell: int) -> np.ndarray:
+        """Per-frame queueing delays delivered by ``cell`` inside its
+        current measurement epoch (for the p50/p99 metrics)."""
+        epoch = self._epoch[cell]
+        chunks = [delays[(cells == cell) & (epochs == epoch)]
+                  for cells, delays, epochs in self._delay_log]
+        if not chunks:
+            return np.zeros(0)
+        return np.concatenate(chunks)
 
     def annotate_result(self, cell: int, stations: int,
                         extra: Dict[str, object]) -> Dict[str, object]:
@@ -521,15 +800,24 @@ class BatchedArrivals:
 
         Adds the workload metadata to ``extra`` in place and returns the
         :class:`~repro.sim.metrics.SimulationResult` counter fields
-        (``offered_frames`` / ``dropped_frames`` / ``queue_delay_sum_s``);
+        (``offered_frames`` / ``dropped_frames`` / ``queue_delay_sum_s``
+        plus the flow-level delay percentiles and completion times);
         shared by both vectorized backends so their serialisation cannot
         drift apart.
         """
         extra["traffic"] = self._spec.kind
         extra["offered_rate_fps"] = self._spec.mean_rate_fps
         extra["queued_frames"] = int(self._qlen[cell, :stations].sum())
+        delays = self.delays_for(cell)
+        if delays.size:
+            p50, p99 = np.quantile(delays, (0.5, 0.99))
+        else:
+            p50 = p99 = 0.0
         return dict(
             offered_frames=int(self.offered[cell]),
             dropped_frames=int(self.dropped[cell]),
             queue_delay_sum_s=float(self.delay_sum[cell]),
+            queue_delay_p50_s=float(p50),
+            queue_delay_p99_s=float(p99),
+            flow_completions=tuple(sorted(self._completions[cell])),
         )

@@ -34,6 +34,14 @@ TRAFFIC_SPECS = [
     ArrivalProcess.cbr(400.0, queue_limit=16),
     ArrivalProcess.on_off(800.0, on_mean_s=0.05, off_mean_s=0.05,
                           queue_limit=16),
+    # Retry-limited variants: the discard path claims extra backoff
+    # uniforms conditionally, so it must prove composition independence
+    # separately — a discard in one cell must never shift another cell's
+    # stream.  The closed-loop kinds ride along for the same reason.
+    ArrivalProcess.poisson(400.0, queue_limit=16, retry_limit=2),
+    ArrivalProcess.saturated(retry_limit=3),
+    ArrivalProcess.window_limited(3, retry_limit=3),
+    ArrivalProcess.incast(8, 0.05, retry_limit=5),
 ]
 
 SCHEMES = [

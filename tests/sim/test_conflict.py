@@ -150,6 +150,20 @@ class TestHiddenPairSemantics:
         assert shared.total_successes > 2 * shared.total_failures
         assert collided.total_throughput_bps < 0.5 * shared.total_throughput_bps
 
+    def test_idlesense_hidden_cluster_livelock_pinned_seeds(self, phy):
+        """The IdleSense hidden-pair livelock on the conflict backend, at
+        the same documented known-good seeds as the event-driven test
+        (tests/sim/test_simulation.py): seeds 1-8 all livelock — collision
+        fraction 1.00, throughput <= 0.10 Mbps (verified 2026-08).  Pinned
+        so a change to default seeding cannot flake the assertion."""
+        seeds = [1, 5]
+        hidden = two_cluster_hidden_scenario(3, separation=28.0, spread=0.5)
+        results = run_conflict("idlesense", {}, [hidden] * len(seeds), seeds,
+                               duration=1.0, warmup=1.0, phy=phy)
+        for seed, result in zip(seeds, results):
+            assert result.collision_fraction > 0.95, seed
+            assert result.total_throughput_mbps < 1.0, seed
+
     def test_hidden_pair_count_reported_per_cell(self, phy):
         graphs = [
             two_cluster_hidden_scenario(2),

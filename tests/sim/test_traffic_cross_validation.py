@@ -180,6 +180,51 @@ class TestHiddenDifferential:
             assert result.mean_queue_delay_s > 0.01, simulator
 
 
+class TestRetryLimitedDifferential:
+    """The discard path agrees across backends within the same envelope.
+
+    A bounded retry chain changes both the service process (discards free
+    the head of the queue early) and the backoff process (the contention
+    window resets on discard), so the differential harness must hold with
+    ``retry_limit`` set — on the connected triple and on the hidden pair,
+    at the overload point where discards actually fire.
+    """
+
+    @pytest.mark.parametrize("retry_limit", [2, 7])
+    def test_connected_backends_agree_under_overload(self, phy, retry_limit):
+        rate = (LOAD_POINTS["overload"] * saturation_frame_rate(phy)
+                / NUM_STATIONS)
+        traffic = ArrivalProcess.poisson(rate, retry_limit=retry_limit)
+        spec = SchemeSpec.make("standard-802.11")
+        topology = TopologySpec.connected(NUM_STATIONS)
+        results = {
+            simulator: execute_task(
+                _task(spec, topology, simulator, traffic, phy)
+            )
+            for simulator in ("slotted", "event", "batched")
+        }
+        _assert_agreement(results, f"retry={retry_limit}/overload/connected")
+
+    def test_hidden_backends_agree_and_discard(self, phy):
+        """Hidden-node collisions make a tight retry limit bite hard: both
+        backends must discard visibly and still agree on throughput."""
+        topology = TopologySpec.hidden_disc(NUM_STATIONS, 16.0, TOPOLOGY_SEED)
+        rate = (LOAD_POINTS["critical"] * saturation_frame_rate(phy)
+                / NUM_STATIONS)
+        traffic = ArrivalProcess.poisson(rate, retry_limit=3)
+        spec = SchemeSpec.make("standard-802.11")
+        results = {
+            simulator: execute_task(
+                _task(spec, topology, simulator, traffic, phy)
+            )
+            for simulator in ("event", "batched")
+        }
+        assert results["batched"].extra["backend"] == "conflict-matrix"
+        for simulator, result in results.items():
+            assert result.retry_discards > 0, simulator
+        _assert_agreement(results, "retry=3/critical/hidden")
+
+
 class TestBurstyAndCbrWorkloads:
     """The non-Poisson arrival families agree across backends too."""
 

@@ -27,10 +27,17 @@ For paper-scale budgets use :data:`repro.experiments.PAPER` instead (hours).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
+import tracemalloc
 
 import pytest
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_result
@@ -109,12 +116,35 @@ def bench_json(request):
     not set it explicitly.  The wall clock always covers the whole test
     body, so even benchmarks that record nothing still contribute a timing
     trajectory between PRs.
+
+    Peak memory is recorded additively (old baselines parse unchanged):
+
+    * ``peak_rss_kb`` — the process high-water mark around the test
+      (``getrusage``; essentially free, so it is always on).  The RSS
+      counter is process-monotonic, so a test re-walking memory another
+      test already claimed records ``0`` growth.
+    * ``peak_traced_kb`` — exact Python allocation peak via
+      :mod:`tracemalloc`, only when ``BENCH_TRACEMALLOC=1`` is exported:
+      tracing every allocation slows the numpy-heavy batched kernels by
+      more than an order of magnitude, so timing-derived metrics from such
+      runs must not be compared against committed baselines.
     """
     meta = {"backend": None, "grid_shape": None, "cells": None,
             "cells_per_s": None, "extra": {}}
+    trace_memory = os.environ.get("BENCH_TRACEMALLOC", "") == "1"
+    rss_before = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                  if resource is not None else None)
+    if trace_memory and not tracemalloc.is_tracing():
+        tracemalloc.start()
+    else:
+        trace_memory = False
     started = time.perf_counter()
     yield meta
     wall = time.perf_counter() - started
+    peak_traced = None
+    if trace_memory:
+        peak_traced = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
     payload = {
         "name": request.node.name,
         "wall_clock_s": round(wall, 3),
@@ -123,6 +153,13 @@ def bench_json(request):
         "cells": meta["cells"],
         "cells_per_s": meta["cells_per_s"],
     }
+    if rss_before is not None:
+        rss_after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux (bytes on macOS, where a 1024x error is
+        # obvious enough not to gate anything on).
+        payload["peak_rss_kb"] = max(0, rss_after - rss_before)
+    if peak_traced is not None:
+        payload["peak_traced_kb"] = round(peak_traced / 1024, 1)
     if meta["cells_per_s"] is None and meta["cells"] and wall > 0:
         payload["cells_per_s"] = round(meta["cells"] / wall, 3)
     if meta["extra"]:

@@ -18,7 +18,14 @@ Simulation cells are executed through a shared
 out over worker processes (bit-identical to serial execution), and
 ``--cache-dir`` persists every completed cell so interrupted or repeated
 invocations only simulate what is missing.  ``--progress`` streams one line
-per completed cell to stderr.
+per completed cell to stderr (with a rolling cells/s rate and ETA).
+
+Observability: ``--trace FILE.jsonl`` streams telemetry records (phase
+spans, per-cell task records, simulator loop counters) to a JSONL file;
+``python -m repro.experiments trace-report FILE.jsonl`` summarises one and
+exports a Perfetto-loadable Chrome trace; ``--profile`` runs cProfile in
+every worker and prints an aggregated hotspot table.  Neither flag changes
+results: runs with and without them are bit-identical.
 """
 
 from __future__ import annotations
@@ -130,7 +137,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--progress", action="store_true",
-        help="print one line per completed simulation cell to stderr",
+        help="print one line per completed simulation cell to stderr "
+             "(includes a rolling cells/s rate and ETA)",
+    )
+    parser.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="FILE.jsonl",
+        help="stream campaign telemetry (phase spans, per-cell task records, "
+             "simulator loop counters) to FILE as JSONL; summarise it later "
+             "with 'python -m repro.experiments trace-report FILE'",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run cProfile around every unit of simulation work (inside the "
+             "worker processes under --jobs) and print an aggregated top-20 "
+             "hotspot table at the end",
     )
     return parser
 
@@ -164,6 +184,15 @@ def _run_one(name: str, config: ExperimentConfig,
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``trace-report`` is a subcommand with its own argument set; dispatch
+    # before the main parser sees (and rejects) its options.
+    if argv and argv[0] == "trace-report":
+        from ..telemetry.report import trace_report_main
+
+        return trace_report_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -205,22 +234,60 @@ def main(argv: Optional[List[str]] = None) -> int:
             and not args.cache_dir.is_dir()):
         parser.error(f"--cache-dir: '{args.cache_dir}' exists and is not a directory")
 
+    writer = None
+    telemetry = None
+    if args.trace is not None:
+        from ..telemetry import Telemetry
+        from ..telemetry.trace import TRACE_SCHEMA_VERSION, JsonlTraceWriter
+
+        writer = JsonlTraceWriter(args.trace)
+        # Records stream straight to disk; keeping them in memory too would
+        # double the footprint of long campaigns for no benefit.
+        telemetry = Telemetry(sink=writer.write, keep_records=False)
+        telemetry.emit({
+            "type": "meta",
+            "t0": time.time(),
+            "schema": TRACE_SCHEMA_VERSION,
+            "info": {
+                "experiments": " ".join(names),
+                "preset": args.preset,
+                "backend": args.backend,
+                "jobs": args.jobs,
+                "profile": args.profile,
+            },
+        })
+
     executor = CampaignExecutor(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=stderr_progress if args.progress else None,
         backend=args.backend,
+        telemetry=telemetry,
+        profile=args.profile,
     )
 
-    for name in names:
-        started = time.perf_counter()
-        text = _run_one(name, config, executor)
-        elapsed = time.perf_counter() - started
-        print(text)
-        print(f"[{name} regenerated in {elapsed:.1f} s]\n")
-        if args.output is not None:
-            (args.output / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    try:
+        for name in names:
+            started = time.perf_counter()
+            text = _run_one(name, config, executor)
+            elapsed = time.perf_counter() - started
+            print(text)
+            print(f"[{name} regenerated in {elapsed:.1f} s]\n")
+            if args.output is not None:
+                (args.output / f"{name}.txt").write_text(text + "\n",
+                                                         encoding="utf-8")
+    finally:
+        if writer is not None:
+            writer.close()
+            print(f"[trace: {writer.count} record(s) written to {args.trace}; "
+                  f"summarise with 'python -m repro.experiments trace-report "
+                  f"{args.trace}']")
+
+    if args.profile:
+        report = executor.profile_report()
+        if report is not None:
+            print(report)
 
     if executor.stats.total:
         print(f"[campaign: {executor.stats.summary()}, jobs={executor.jobs}, "

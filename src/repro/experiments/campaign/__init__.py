@@ -39,6 +39,7 @@ from .batching import (
     batch_eligible,
     batch_key,
     execute_batch,
+    fallback_reason,
     plan_batches,
     topology_fingerprint,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "batch_eligible",
     "batch_key",
     "execute_batch",
+    "fallback_reason",
     "plan_batches",
     "topology_fingerprint",
     "CampaignEvent",

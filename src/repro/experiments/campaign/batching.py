@@ -42,6 +42,7 @@ from .specs import RunTask
 
 __all__ = [
     "batch_eligible",
+    "fallback_reason",
     "batch_key",
     "topology_fingerprint",
     "plan_batches",
@@ -62,27 +63,43 @@ def topology_fingerprint(task: RunTask) -> str:
     return "connected" if task.topology.kind == "connected" else "graph"
 
 
-def batch_eligible(task: RunTask) -> bool:
-    """Whether this task can execute on a batched backend.
+def fallback_reason(task: RunTask) -> Optional[str]:
+    """Why a task has no batched kernel (``None`` when it is eligible).
 
-    Eligibility is a pure function of the task (never of its neighbours), so
-    backend resolution is deterministic and cache keys stay stable across
-    campaigns that submit different task mixes.  Connected tasks need a
-    batched scheme kernel; hidden-node tasks additionally must not use an
-    activity schedule (the conflict-matrix backend does not model dynamic
-    populations — those cells fall back to the event-driven simulator).
+    This is the single source of truth for batch eligibility, phrased as a
+    diagnosis: the executor surfaces the reason when an ``auto`` hidden-node
+    task silently degrades from the conflict-matrix backend to the (3x
+    slower) event-driven simulator, and telemetry attaches it to the task's
+    trace record.  It is a pure function of the task (never of its
+    neighbours), so backend resolution stays deterministic and cache keys
+    stable across campaigns that submit different task mixes.
     """
     params = dict(task.scheme.params)
     if not batchable_scheme(task.scheme.kind, params):
-        return False
+        return f"unbatchable scheme '{task.scheme.kind}'"
     weights = params.get("weights")
     if weights is not None and len(weights) < task.topology.num_stations:
-        return False
+        return "unbatchable scheme (weight vector shorter than the cell)"
     if task.topology.kind == "connected":
-        return True
+        return None
     if task.topology.kind == "hidden-disc":
-        return task.activity is None
-    return False
+        if task.activity is not None:
+            return ("activity schedule (the conflict-matrix backend models "
+                    "static populations only)")
+        return None
+    return f"topology kind '{task.topology.kind}' has no batched kernel"
+
+
+def batch_eligible(task: RunTask) -> bool:
+    """Whether this task can execute on a batched backend.
+
+    Connected tasks need a batched scheme kernel; hidden-node tasks
+    additionally must not use an activity schedule (the conflict-matrix
+    backend does not model dynamic populations — those cells fall back to
+    the event-driven simulator).  See :func:`fallback_reason` for the
+    diagnosis behind a ``False``.
+    """
+    return fallback_reason(task) is None
 
 
 def batch_key(task: RunTask) -> Tuple:

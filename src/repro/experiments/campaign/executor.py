@@ -21,13 +21,16 @@ cache, and reports progress through a callback.
 
 from __future__ import annotations
 
+import cProfile
 import dataclasses
 import os
 import sys
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,7 +39,10 @@ from ...sim.dynamics import step_activity
 from ...sim.metrics import SimulationResult
 from ...sim.simulation import WlanSimulation
 from ...sim.slotted import SlottedSimulator
-from .batching import batch_eligible, execute_batch, plan_batches
+from ...telemetry import NULL, NullTelemetry, Telemetry
+from ...telemetry import session as telemetry_session
+from ...telemetry.profiling import hotspot_report, stats_dict, top_hotspots
+from .batching import batch_eligible, execute_batch, fallback_reason, plan_batches
 from .cache import ResultCache
 from .specs import RunTask
 
@@ -129,6 +135,62 @@ def execute_task(task: RunTask) -> SimulationResult:
     return dataclasses.replace(result, extra=extra)
 
 
+@dataclass(frozen=True)
+class _UnitReport:
+    """Worker-side measurements for one executed unit of work.
+
+    Shipped back across the process pool next to the unit's results when
+    telemetry or profiling is active: ``records`` are the telemetry records
+    the unit emitted in the worker (simulator counters, nested spans),
+    ``profile`` is the picklable cProfile stats mapping.
+    """
+
+    pid: int
+    queue_wait_s: float
+    execute_s: float
+    records: Tuple[Dict[str, Any], ...] = ()
+    profile: Optional[Dict[Any, Any]] = None
+
+
+#: A unit of campaign work: a batch group (list of tasks) or one scalar task.
+_Unit = Union[List[RunTask], RunTask]
+
+
+def _execute_unit(unit: _Unit, submitted: float, collect: bool,
+                  profile: bool) -> Tuple[List[SimulationResult], _UnitReport]:
+    """Run one unit with telemetry/profiling active (pool-side wrapper).
+
+    ``submitted`` is the parent's wall-clock epoch at submission time, so
+    queue wait (time spent waiting for a worker) is measured across the
+    process boundary.  The plain, uninstrumented path submits
+    :func:`execute_batch`/:func:`execute_task` directly instead — this
+    wrapper only exists when there is something to measure.
+    """
+    started = time.time()
+    tel = Telemetry(keep_records=True) if collect else None
+    profiler = cProfile.Profile() if profile else None
+    begin = time.perf_counter()
+    with telemetry_session(tel) if tel is not None else nullcontext():
+        if profiler is not None:
+            profiler.enable()
+        try:
+            if isinstance(unit, list):
+                results = execute_batch(unit)
+            else:
+                results = [execute_task(unit)]
+        finally:
+            if profiler is not None:
+                profiler.disable()
+    report = _UnitReport(
+        pid=os.getpid(),
+        queue_wait_s=max(0.0, started - submitted),
+        execute_s=time.perf_counter() - begin,
+        records=tuple(tel.records) if tel is not None else (),
+        profile=stats_dict(profiler) if profiler is not None else None,
+    )
+    return results, report
+
+
 @dataclass
 class CampaignStats:
     """Counters describing how a campaign's cells were satisfied."""
@@ -139,6 +201,9 @@ class CampaignStats:
     deduplicated: int = 0
     #: Cells (not groups) that executed on the batched backend.
     batched_cells: int = 0
+    #: Unique ``auto`` hidden-node cells that fell back from the
+    #: conflict-matrix backend to the event-driven simulator.
+    fallbacks: int = 0
 
     def merge(self, other: "CampaignStats") -> None:
         self.total += other.total
@@ -146,13 +211,17 @@ class CampaignStats:
         self.cached += other.cached
         self.deduplicated += other.deduplicated
         self.batched_cells += other.batched_cells
+        self.fallbacks += other.fallbacks
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} task(s): {self.executed} simulated "
             f"({self.batched_cells} batched), {self.cached} from cache, "
             f"{self.deduplicated} deduplicated"
         )
+        if self.fallbacks:
+            text += f", {self.fallbacks} scalar fallback(s)"
+        return text
 
 
 @dataclass(frozen=True)
@@ -167,6 +236,12 @@ class CampaignEvent:
     elapsed_s: float
     #: Simulator backend that produced (or would produce) the cell.
     backend: str = "?"
+    #: Completion rate over the recent window (cells/s); falls back to the
+    #: whole-campaign average until enough events accumulate.
+    rolling_cells_per_s: float = 0.0
+    #: Estimated seconds until the campaign completes, from the rolling rate
+    #: and the remaining cell count (``None`` when the rate is still zero).
+    eta_s: Optional[float] = None
 
     @property
     def cells_per_s(self) -> float:
@@ -176,12 +251,24 @@ class CampaignEvent:
         return self.completed / self.elapsed_s
 
 
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
 def stderr_progress(event: CampaignEvent) -> None:
     """Stock progress reporter: one line per completed cell on stderr."""
+    tail = ""
+    if event.eta_s is not None and event.completed < event.total:
+        tail = (f", {event.rolling_cells_per_s:.1f} cells/s rolling, "
+                f"ETA {_format_eta(event.eta_s)}")
     print(
         f"[campaign {event.completed}/{event.total}] "
         f"{event.label or event.key[:12]} ({event.source}:{event.backend}, "
-        f"{event.elapsed_s:.1f}s, {event.cells_per_s:.1f} cells/s)",
+        f"{event.elapsed_s:.1f}s, {event.cells_per_s:.1f} cells/s{tail})",
         file=sys.stderr,
         flush=True,
     )
@@ -210,6 +297,16 @@ class CampaignExecutor:
         :data:`BACKENDS`).  Backend resolution is per-task and deterministic,
         so results (and cache keys) depend only on the policy, never on
         which other tasks happen to share the campaign.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` collector.  When given,
+        the executor emits spans for its plan / cache-lookup / group /
+        dispatch / execute phases, one ``task`` record per completed cell,
+        and relays the simulator counters workers collect.  Telemetry never
+        influences results: runs with and without it are bit-identical.
+    profile:
+        When True, every unit of work runs under :mod:`cProfile` (in the
+        worker processes when ``jobs > 1``); :meth:`profile_report` renders
+        the aggregated top-N hotspots afterwards.
     """
 
     def __init__(
@@ -219,6 +316,8 @@ class CampaignExecutor:
         use_cache: bool = True,
         progress: Optional[Callable[[CampaignEvent], None]] = None,
         backend: str = "auto",
+        telemetry: Optional[Union[Telemetry, NullTelemetry]] = None,
+        profile: bool = False,
     ) -> None:
         if jobs <= 0:
             jobs = os.cpu_count() or 1
@@ -232,6 +331,11 @@ class CampaignExecutor:
             ResultCache(cache_dir) if (cache_dir is not None and use_cache) else None
         )
         self._progress = progress
+        self._telemetry = telemetry if telemetry is not None else NULL
+        self._profile = bool(profile)
+        #: Picklable cProfile stats mappings, one per profiled unit of work,
+        #: accumulated across :meth:`run` calls (see :meth:`profile_report`).
+        self.profile_stats: List[Dict[Any, Any]] = []
         #: Cumulative counters across every :meth:`run` call.
         self.stats = CampaignStats()
         #: Counters of the most recent :meth:`run` call only.
@@ -250,8 +354,18 @@ class CampaignExecutor:
     def cache(self) -> Optional[ResultCache]:
         return self._cache
 
+    @property
+    def telemetry(self) -> Union[Telemetry, NullTelemetry]:
+        return self._telemetry
+
+    def profile_report(self, limit: int = 20) -> Optional[str]:
+        """Aggregated top-``limit`` hotspot table (``None`` without data)."""
+        if not self.profile_stats:
+            return None
+        return hotspot_report(self.profile_stats, limit)
+
     # ------------------------------------------------------------------
-    def _resolve_backend(self, task: RunTask) -> RunTask:
+    def _resolve_backend(self, task: RunTask) -> Tuple[RunTask, Optional[str]]:
         """Rewrite an ``auto`` task to the backend this policy selects.
 
         Explicit simulator choices are always respected.  Under ``auto`` and
@@ -259,14 +373,26 @@ class CampaignExecutor:
         the renewal-slot backend, hidden-node topologies on the
         conflict-matrix backend); everything else falls back to the scalar
         simulators (slotted for connected, event-driven otherwise).
+
+        The second element names *why* an ``auto`` hidden-node task degraded
+        from the conflict-matrix backend to the much slower event-driven
+        simulator (``None`` for every other outcome); the executor surfaces
+        it as a one-line warning and in the cell's telemetry record.
         """
         if task.simulator != "auto":
-            return task
+            return task, None
         if self._backend == "event":
-            return dataclasses.replace(task, simulator="event")
-        if self._backend in ("auto", "batched") and batch_eligible(task):
-            return dataclasses.replace(task, simulator="batched")
-        return task  # auto: slotted for connected cells, event otherwise
+            return dataclasses.replace(task, simulator="event"), None
+        if self._backend in ("auto", "batched"):
+            reason = fallback_reason(task)
+            if reason is None:
+                return dataclasses.replace(task, simulator="batched"), None
+            if task.topology.kind != "connected":
+                # Hidden-node fallback: the slotted simulator cannot model
+                # it, so the cell lands on the event-driven one.  Worth
+                # naming — this is a ~3x slowdown per cell.
+                return task, reason
+        return task, None  # auto: slotted for connected cells, event otherwise
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[RunTask]) -> List[SimulationResult]:
@@ -277,86 +403,210 @@ class CampaignExecutor:
         batched tasks are grouped into vectorized calls; per-cell results do
         not depend on the grouping.
         """
-        tasks = [self._resolve_backend(task) for task in tasks]
+        tel = self._telemetry
         stats = CampaignStats(total=len(tasks))
         started = time.perf_counter()
 
-        # Deduplicate by content hash, preserving first-seen order.
-        first_task: Dict[str, RunTask] = {}
-        positions: Dict[str, List[int]] = {}
-        for index, task in enumerate(tasks):
-            key = task.task_key()
-            if key in positions:
-                stats.deduplicated += 1
-            else:
-                first_task[key] = task
-            positions.setdefault(key, []).append(index)
+        with tel.span("plan", tasks=len(tasks)) as plan_args:
+            resolutions = [self._resolve_backend(task) for task in tasks]
+            tasks = [task for task, _ in resolutions]
+
+            # Deduplicate by content hash, preserving first-seen order; the
+            # fallback diagnosis travels with the unique cell.
+            first_task: Dict[str, RunTask] = {}
+            positions: Dict[str, List[int]] = {}
+            fallbacks: Dict[str, str] = {}
+            fallback_counts: Dict[str, int] = {}
+            for index, (task, reason) in enumerate(resolutions):
+                key = task.task_key()
+                if key in positions:
+                    stats.deduplicated += 1
+                else:
+                    first_task[key] = task
+                    if reason is not None:
+                        stats.fallbacks += 1
+                        fallbacks[key] = reason
+                        fallback_counts[reason] = fallback_counts.get(reason, 0) + 1
+                positions.setdefault(key, []).append(index)
+            plan_args["unique"] = len(first_task)
+            plan_args["fallbacks"] = stats.fallbacks
+
+        for reason, count in sorted(fallback_counts.items()):
+            print(
+                f"[campaign] {count} hidden-node cell(s) fell back from the "
+                f"conflict-matrix backend to the event-driven simulator: "
+                f"{reason}",
+                file=sys.stderr, flush=True,
+            )
 
         resolved: Dict[str, SimulationResult] = {}
         completed = 0
+        # Rolling completion window for the progress line's rate and ETA.
+        window: deque = deque(maxlen=32)
 
         def report(key: str, source: str) -> None:
             nonlocal completed
             completed += 1
+            elapsed = time.perf_counter() - started
+            window.append((elapsed, completed))
             if self._progress is not None:
+                span = elapsed - window[0][0]
+                gain = completed - window[0][1]
+                if span > 0 and gain > 0:
+                    rolling = gain / span
+                elif elapsed > 0:
+                    rolling = completed / elapsed
+                else:
+                    rolling = 0.0
+                remaining = len(first_task) - completed
+                eta = remaining / rolling if rolling > 0 else None
                 self._progress(CampaignEvent(
                     completed=completed,
                     total=len(first_task),
                     label=first_task[key].label,
                     key=key,
                     source=source,
-                    elapsed_s=time.perf_counter() - started,
+                    elapsed_s=elapsed,
                     backend=first_task[key].resolved_simulator(),
+                    rolling_cells_per_s=rolling,
+                    eta_s=eta,
                 ))
 
-        def record(key: str, result: SimulationResult) -> None:
+        def trace_task(key: str, source: str, group: Optional[int] = None,
+                       unit: Optional[_UnitReport] = None,
+                       unit_cells: int = 1) -> None:
+            if not tel.enabled:
+                return
+            execute_s = unit.execute_s if unit is not None else None
+            tel.emit({
+                "type": "task",
+                "key": key,
+                "label": first_task[key].label,
+                "backend": first_task[key].resolved_simulator(),
+                "source": source,
+                "cache_hit": source == "cache",
+                "t0": time.time(),
+                "group": group,
+                "worker_pid": unit.pid if unit is not None else None,
+                "queue_wait_s": unit.queue_wait_s if unit is not None else None,
+                "execute_s": execute_s,
+                "cells_per_s": (unit_cells / execute_s
+                                if execute_s else None),
+                "fallback_reason": fallbacks.get(key),
+            })
+
+        def record(key: str, result: SimulationResult,
+                   group: Optional[int] = None,
+                   unit: Optional[_UnitReport] = None,
+                   unit_cells: int = 1) -> None:
             resolved[key] = result
             stats.executed += 1
             if first_task[key].resolved_simulator() == "batched":
                 stats.batched_cells += 1
             self._store(first_task[key], result)
+            trace_task(key, "run", group=group, unit=unit,
+                       unit_cells=unit_cells)
             report(key, "run")
 
         # Serve cache hits first so only true misses hit the pool.
         pending: List[str] = []
-        for key in first_task:
-            cached = self._cache.load(key) if self._cache is not None else None
-            if cached is not None:
-                resolved[key] = cached
-                stats.cached += 1
-                report(key, "cache")
-            else:
-                pending.append(key)
+        with tel.span("cache-lookup", candidates=len(first_task)) as cache_args:
+            for key in first_task:
+                cached = self._cache.load(key) if self._cache is not None else None
+                if cached is not None:
+                    resolved[key] = cached
+                    stats.cached += 1
+                    trace_task(key, "cache")
+                    report(key, "cache")
+                else:
+                    pending.append(key)
+            cache_args["hits"] = stats.cached
+            cache_args["misses"] = len(pending)
 
         # Group pending batched tasks into vectorized units of work (split to
         # keep every worker busy when running in a pool); every other pending
         # task is a scalar unit of its own.
-        batch_groups = plan_batches(
-            [
-                first_task[key] for key in pending
-                if first_task[key].resolved_simulator() == "batched"
-            ],
-            target_units=self._jobs if self._jobs > 1 else None,
-        )
-        scalar_keys = [
-            key for key in pending
-            if first_task[key].resolved_simulator() != "batched"
-        ]
+        with tel.span("group") as group_args:
+            batch_groups = plan_batches(
+                [
+                    first_task[key] for key in pending
+                    if first_task[key].resolved_simulator() == "batched"
+                ],
+                target_units=self._jobs if self._jobs > 1 else None,
+            )
+            scalar_keys = [
+                key for key in pending
+                if first_task[key].resolved_simulator() != "batched"
+            ]
+            group_args["batch_groups"] = len(batch_groups)
+            group_args["scalar_units"] = len(scalar_keys)
 
         if pending:
             units = len(batch_groups) + len(scalar_keys)
             if self._jobs == 1 or units == 1:
-                for group in batch_groups:
-                    for task, result in zip(group, execute_batch(group)):
-                        record(task.task_key(), result)
-                for key in scalar_keys:
-                    record(key, execute_task(first_task[key]))
+                self._run_serial(first_task, batch_groups, scalar_keys, record)
             else:
                 self._run_parallel(first_task, batch_groups, scalar_keys, record)
+
+        if self._profile and tel.enabled and self.profile_stats:
+            tel.emit({
+                "type": "profile",
+                "t0": time.time(),
+                "units": len(self.profile_stats),
+                "top": top_hotspots(self.profile_stats),
+            })
 
         self.last_run_stats = stats
         self.stats.merge(stats)
         return [resolved[task.task_key()] for task in tasks]
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        first_task: Dict[str, RunTask],
+        batch_groups: Sequence[Sequence[RunTask]],
+        scalar_keys: Sequence[str],
+        record: Callable[..., None],
+    ) -> None:
+        """In-process execution (``jobs == 1`` or a single unit of work).
+
+        With telemetry active, the executor's collector is installed as the
+        process-wide session so simulator counters land in the same trace;
+        with profiling active one profiler spans all units (enabled only
+        while simulation code runs).
+        """
+        tel = self._telemetry
+        instrumented = tel.enabled or self._profile
+        with tel.span("dispatch", mode="serial",
+                      units=len(batch_groups) + len(scalar_keys)):
+            ordered: List[Tuple[Optional[int], _Unit]] = [
+                (index, list(group)) for index, group in enumerate(batch_groups)
+            ] + [(None, first_task[key]) for key in scalar_keys]
+
+        with tel.span("execute", mode="serial"):
+            if not instrumented:
+                for _, unit in ordered:
+                    if isinstance(unit, list):
+                        for task, result in zip(unit, execute_batch(unit)):
+                            record(task.task_key(), result)
+                    else:
+                        record(unit.task_key(), execute_task(unit))
+                return
+            submitted = time.time()
+            for group_id, unit in ordered:
+                results, unit_report = _execute_unit(
+                    unit, submitted, tel.enabled, self._profile,
+                )
+                if unit_report.profile is not None:
+                    self.profile_stats.append(unit_report.profile)
+                for rec in unit_report.records:
+                    tel.emit(rec)
+                cells = len(unit) if isinstance(unit, list) else 1
+                unit_tasks = unit if isinstance(unit, list) else [unit]
+                for task, result in zip(unit_tasks, results):
+                    record(task.task_key(), result, group=group_id,
+                           unit=unit_report, unit_cells=cells)
+                submitted = time.time()
 
     # ------------------------------------------------------------------
     def _run_parallel(
@@ -364,26 +614,54 @@ class CampaignExecutor:
         first_task: Dict[str, RunTask],
         batch_groups: Sequence[Sequence[RunTask]],
         scalar_keys: Sequence[str],
-        record: Callable[[str, SimulationResult], None],
+        record: Callable[..., None],
     ) -> None:
+        tel = self._telemetry
+        instrumented = tel.enabled or self._profile
         units = len(batch_groups) + len(scalar_keys)
         workers = min(self._jobs, units)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            for group in batch_groups:
-                futures[pool.submit(execute_batch, list(group))] = list(group)
-            for key in scalar_keys:
-                futures[pool.submit(execute_task, first_task[key])] = key
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    unit = futures[future]
-                    if isinstance(unit, list):
-                        for task, result in zip(unit, future.result()):
-                            record(task.task_key(), result)
-                    else:
-                        record(unit, future.result())
+            futures: Dict[Any, Tuple[Optional[int], _Unit]] = {}
+
+            def submit(group_id: Optional[int], unit: _Unit) -> None:
+                if instrumented:
+                    future = pool.submit(_execute_unit, unit, time.time(),
+                                         tel.enabled, self._profile)
+                elif isinstance(unit, list):
+                    future = pool.submit(execute_batch, unit)
+                else:
+                    future = pool.submit(execute_task, unit)
+                futures[future] = (group_id, unit)
+
+            with tel.span("dispatch", mode="parallel", units=units,
+                          workers=workers):
+                for index, group in enumerate(batch_groups):
+                    submit(index, list(group))
+                for key in scalar_keys:
+                    submit(None, first_task[key])
+
+            with tel.span("execute", mode="parallel", workers=workers):
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                    for future in done:
+                        group_id, unit = futures[future]
+                        unit_tasks = unit if isinstance(unit, list) else [unit]
+                        if instrumented:
+                            results, unit_report = future.result()
+                            if unit_report.profile is not None:
+                                self.profile_stats.append(unit_report.profile)
+                            for rec in unit_report.records:
+                                tel.emit(rec)
+                        else:
+                            results = (future.result() if isinstance(unit, list)
+                                       else [future.result()])
+                            unit_report = None
+                        for task, result in zip(unit_tasks, results):
+                            record(task.task_key(), result, group=group_id,
+                                   unit=unit_report,
+                                   unit_cells=len(unit_tasks))
 
     def _store(self, task: RunTask, result: SimulationResult) -> None:
         if self._cache is not None:

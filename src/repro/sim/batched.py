@@ -56,6 +56,7 @@ from ..mac.batched import (
     BatchedStationIdleSenseBank,
 )
 from ..phy.constants import PhyParameters
+from ..telemetry import current as _telemetry
 from ..traffic import ArrivalProcess, BatchedArrivals
 from .dynamics import ActivitySchedule
 from .metrics import SimulationResult, StationStats
@@ -341,10 +342,20 @@ class BatchedSlottedSimulator:
                 bits_last[cell] = cum_bits[cell]
             report_at[cells] += interval
 
+        # Loop-level telemetry: counters are plain ints accumulated behind a
+        # hoisted enabled flag (one branch per iteration when disabled) and
+        # never touch the random streams, so results are bit-identical with
+        # telemetry on or off.
+        tel = _telemetry()
+        tel_on = tel.enabled
+        t_iterations = t_idle_ffwd = t_slots = t_busy = t_discards = 0
+
         while True:
             alive = now < end_time
             if not alive.any():
                 break
+            if tel_on:
+                t_iterations += 1
 
             # Activity changes take effect at their breakpoint times; joining
             # stations redraw a backoff under the current control values
@@ -457,6 +468,9 @@ class BatchedSlottedSimulator:
                 else:
                     counters -= np.where(contend, advance[:, None], 0)
                 now += advance * sigma
+                if tel_on:
+                    t_idle_ffwd += 1
+                    t_slots += int(advance.sum())
                 if observes:
                     idle_run += advance
                 if not none_measuring:
@@ -496,6 +510,8 @@ class BatchedSlottedSimulator:
                 transmitters = tx_col & (counters == 0) & contend
             num_tx = transmitters.sum(axis=1)
             single = num_tx == 1
+            if tel_on:
+                t_busy += int(np.count_nonzero(tx))
             if fer_on and single.any():
                 cells = np.flatnonzero(single)
                 counts = np.zeros(num_cells, dtype=np.int64)
@@ -589,6 +605,8 @@ class BatchedSlottedSimulator:
                     if disc.any():
                         dc, ds = cells[disc], station[disc]
                         retry_cnt[dc, ds] = 0
+                        if tel_on:
+                            t_discards += int(np.count_nonzero(disc))
                         if all_measuring:
                             np.add.at(retry_disc, dc, 1)
                         elif not none_measuring:
@@ -617,6 +635,16 @@ class BatchedSlottedSimulator:
             # final pass makes both count identically.
             arrivals.advance(np.minimum(now, end_time),
                              st_range[None, :] < active[:, None])
+        if tel_on:
+            tel.counters("batched", {
+                "loop_iterations": t_iterations,
+                "idle_fast_forwards": t_idle_ffwd,
+                "idle_slots_advanced": t_slots,
+                "busy_slots": t_busy,
+                "retry_discards": t_discards,
+                "cells": num_cells,
+                "max_stations": max_n,
+            })
         return self._build_results(successes, failures, idle_slots, busy_periods,
                                    throughput_tl, control_tl, arrivals,
                                    retry_disc)

@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..phy.constants import NS_PER_SECOND, PhyParameters, seconds_to_ns
+from ..telemetry import current as _telemetry
 from ..topology.graph import ConnectivityGraph
 from ..traffic import ArrivalProcess, BatchedArrivals
 from .batched import CellStreams, batchable_scheme, make_batched_system
@@ -343,9 +344,20 @@ class BatchedConflictSimulator:
         ack_skip = np.int64(ack_ns + difs)
         any_resume = False
 
+        # Loop-level telemetry: plain-int counters behind a hoisted enabled
+        # flag; they never touch the random streams, so results are
+        # bit-identical with telemetry on or off.  Each carrier-sense
+        # recompute is one (cells x stations x stations) boolean matrix
+        # product, so its work is tracked as ``recomputes x cells x S^2``.
+        tel = _telemetry()
+        tel_on = tel.enabled
+        t_iterations = t_starts = t_ends = t_sense = t_discards = 0
+
         while True:
             if not (now < end_ns).any():
                 break
+            if tel_on:
+                t_iterations += 1
 
             # Jump every cell to its own next event instant.  Finished cells
             # have no schedulable event at or before end_ns, so the clamp
@@ -426,6 +438,8 @@ class BatchedConflictSimulator:
             if ending.any():
                 changed = True
                 cnt_end = ending.sum(axis=1)
+                if tel_on:
+                    t_ends += int(cnt_end.sum())
                 active_cnt -= cnt_end
                 if not none_measuring:
                     idle_now = (cnt_end > 0) & (active_cnt == 0)
@@ -488,6 +502,8 @@ class BatchedConflictSimulator:
                         if disc.any():
                             dc, ds = f_cells[disc], f_st[disc]
                             retry_cnt[dc, ds] = 0
+                            if tel_on:
+                                t_discards += int(np.count_nonzero(disc))
                             if all_measuring:
                                 np.add.at(retry_disc, dc, 1)
                             elif not none_measuring:
@@ -594,6 +610,8 @@ class BatchedConflictSimulator:
                 changed = True
                 starters = start_mask
                 n_start = start_mask.sum(axis=1)
+                if tel_on:
+                    t_starts += int(n_start.sum())
                 stc, sts = np.nonzero(start_mask)
                 if observes:
                     # A station observes its own transmission: the idle run
@@ -624,6 +642,8 @@ class BatchedConflictSimulator:
 
             # -- carrier-sense recompute and freeze/resume edges ----------
             if changed:
+                if tel_on:
+                    t_sense += 1
                 busy_cnt = sense_u8 @ txing.view(np.uint8)[:, :, None]
                 new_busy = busy_cnt[:, :, 0] > 0
                 contend = exists & ~txing
@@ -705,6 +725,17 @@ class BatchedConflictSimulator:
         # Close the occupancy accounting for cells still busy at the end.
         still = active_cnt > 0
         busy_total[still] += end_ns - busy_since[still]
+        if tel_on:
+            tel.counters("conflict", {
+                "loop_iterations": t_iterations,
+                "frame_starts": t_starts,
+                "frame_ends": t_ends,
+                "sense_recomputes": t_sense,
+                "sense_product_ops": t_sense * num_cells * max_n * max_n,
+                "retry_discards": t_discards,
+                "cells": num_cells,
+                "max_stations": max_n,
+            })
         return self._build_results(successes, failures, busy_total,
                                    busy_periods, throughput_tl, control_tl,
                                    arrivals, retry_disc)

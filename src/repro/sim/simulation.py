@@ -31,6 +31,7 @@ from ..mac.backoff import BackoffPolicy
 from ..mac.schemes import Scheme
 from ..phy.constants import NS_PER_SECOND, PhyParameters, seconds_to_ns
 from ..phy.frame import FrameFactory
+from ..telemetry import current as _telemetry
 from ..topology.graph import ConnectivityGraph
 from ..traffic import ArrivalProcess, ArrivalStream, FrameQueue, station_arrival_rng
 from .dynamics import ActivitySchedule, constant_activity
@@ -376,6 +377,17 @@ class WlanSimulation:
         self._scheduler.run_until(end_ns)
 
         self._finalise_idle_statistics(duration)
+        tel = _telemetry()
+        if tel.enabled:
+            # The scheduler maintains these counters anyway, so the event
+            # backend's telemetry is free: one record per run, no loop cost.
+            tel.counters("event", {
+                "events_processed": self._scheduler.processed_events,
+                "events_cancelled": self._scheduler.cancelled_events,
+                "heap_compactions": self._scheduler.heap_compactions,
+                "events_pending_at_end": self._scheduler.pending_events,
+                "num_stations": self._num_stations,
+            })
         extra: Dict[str, object] = {
             "scheme": self._scheme.name,
             "simulator": "event-driven",

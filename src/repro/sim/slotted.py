@@ -33,6 +33,7 @@ from ..core.controller import AccessPointController
 from ..mac.backoff import BackoffPolicy
 from ..mac.schemes import Scheme
 from ..phy.constants import PhyParameters
+from ..telemetry import current as _telemetry
 from ..traffic import ArrivalProcess, ArrivalStream, FrameQueue, station_arrival_rng
 from .dynamics import ActivitySchedule, constant_activity
 from .metrics import MetricsCollector, SimulationResult
@@ -235,6 +236,13 @@ class SlottedSimulator:
         retry_counts = (np.zeros(self._num_stations, dtype=np.int64)
                         if retry_limit is not None else None)
 
+        # Loop-level telemetry: the enabled flag is hoisted into a local so
+        # the disabled (default) path costs one predictable branch per
+        # iteration; counters are plain ints and never touch the RNG.
+        tel = _telemetry()
+        tel_on = tel.enabled
+        t_virtual_slots = t_idle_ffwd = t_busy = t_discards = 0
+
         now = 0.0
         measuring = warmup == 0.0
         idle_run = 0
@@ -340,6 +348,9 @@ class SlottedSimulator:
                     window[contenders] -= advance
                 now += advance * sigma
                 idle_run += advance
+                if tel_on:
+                    t_idle_ffwd += 1
+                    t_virtual_slots += advance
                 if measuring:
                     metrics.record_idle_slots(advance)
                     report_at -= advance * sigma
@@ -375,6 +386,9 @@ class SlottedSimulator:
                     policy.observe_transmission(idle_run)
             idle_run = 0
             now += slot_duration
+            if tel_on:
+                t_busy += 1
+                t_virtual_slots += 1
             if measuring:
                 metrics.record_busy_period()
                 report_at -= slot_duration
@@ -420,6 +434,8 @@ class SlottedSimulator:
                             # the contention window (a success draw) and
                             # move on to the next frame, if any.
                             retry_counts[station] = 0
+                            if tel_on:
+                                t_discards += 1
                             if measuring:
                                 metrics.record_retry_discard()
                             if traffic is not None:
@@ -447,6 +463,14 @@ class SlottedSimulator:
             # the run may have jumped past several of them).
             self._process_arrivals(streams, end_time, active, measuring,
                                    metrics, has_frame)
+        if tel_on:
+            tel.counters("slotted", {
+                "virtual_slots": t_virtual_slots,
+                "idle_fast_forwards": t_idle_ffwd,
+                "busy_slots": t_busy,
+                "retry_discards": t_discards,
+                "num_stations": self._num_stations,
+            })
         extra: Dict[str, object] = {
             "scheme": self._scheme.name,
             "simulator": "slotted",

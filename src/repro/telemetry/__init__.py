@@ -1,0 +1,170 @@
+"""Lightweight, dependency-free runtime telemetry (spans and counters).
+
+The campaign stack and all four simulator backends report *what they spent
+their time on* through this module: the executor opens :meth:`Telemetry.span`
+blocks around its phases (plan / cache-lookup / group / dispatch / execute),
+emits one ``task`` record per completed cell, and each simulator emits one
+``counters`` record per ``run()`` summarising its inner loop (slots advanced,
+idle fast-forwards, events processed, heap compactions, sensing-matrix
+product sizes, retry discards, ...).
+
+Design constraints, in order of importance:
+
+1. **Results are sacred.**  Telemetry never touches a random stream, never
+   mutates simulator state, and is only consulted *after* per-slot decisions
+   are made — a run with telemetry enabled is bit-identical to one without.
+2. **Disabled means free.**  The default collector is the module-level
+   :data:`NULL` singleton whose ``enabled`` flag is ``False``; instrumented
+   hot loops hoist that flag into a local once per run and skip all
+   accumulation, so the no-op path costs one attribute read per ``run()``
+   plus one predictable branch per loop iteration.
+3. **No dependencies.**  Pure stdlib; records are plain dicts so any sink
+   (JSONL file, in-memory list, test assertion) can consume them.
+
+Collectors are activated per-thread-of-control with :func:`session`; code
+that wants to report looks up :func:`current` and checks ``enabled``.
+Worker processes build their own :class:`Telemetry` with ``keep_records=
+True`` and ship the record list back to the parent, which re-emits it into
+its own sink (records carry the originating ``pid``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "current",
+    "session",
+]
+
+
+class Telemetry:
+    """An enabled collector: records spans and counters as plain dicts.
+
+    Parameters
+    ----------
+    sink:
+        Optional callable invoked with each record as it is emitted (the
+        CLI passes a JSONL writer).  Exceptions from the sink propagate —
+        a broken trace file should fail loudly, not silently drop records.
+    keep_records:
+        When True (default), emitted records are also appended to
+        :attr:`records` so they can be shipped across process boundaries
+        or asserted on in tests.
+    """
+
+    __slots__ = ("enabled", "records", "_sink", "_keep", "pid")
+
+    def __init__(self, sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+                 keep_records: bool = True) -> None:
+        self.enabled = True
+        self.records: List[Dict[str, Any]] = []
+        self._sink = sink
+        self._keep = bool(keep_records)
+        self.pid = os.getpid()
+
+    # ------------------------------------------------------------------
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Emit one record (adds the producing ``pid`` if absent)."""
+        record.setdefault("pid", self.pid)
+        if self._keep:
+            self.records.append(record)
+        if self._sink is not None:
+            self._sink(record)
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Dict[str, Any]]:
+        """Measure a phase: emits a ``span`` record when the block exits.
+
+        ``t0`` is a wall-clock epoch (so spans from different processes
+        align on one timeline); ``dur`` is measured with ``perf_counter``.
+        The yielded dict is the span's ``args`` mapping — callers may add
+        entries while the block runs (e.g. counts discovered mid-phase).
+        """
+        t0 = time.time()
+        p0 = time.perf_counter()
+        payload: Dict[str, Any] = dict(args)
+        try:
+            yield payload
+        finally:
+            self.emit({
+                "type": "span",
+                "name": name,
+                "t0": t0,
+                "dur": time.perf_counter() - p0,
+                "args": payload,
+            })
+
+    def counter(self, scope: str, name: str, value: float) -> None:
+        """Emit a single named counter (convenience over :meth:`counters`)."""
+        self.counters(scope, {name: value})
+
+    def counters(self, scope: str, values: Mapping[str, Any],
+                 **args: Any) -> None:
+        """Emit one ``counters`` record for a backend/component ``scope``."""
+        record: Dict[str, Any] = {
+            "type": "counters",
+            "scope": scope,
+            "t0": time.time(),
+            "counters": {str(k): v for k, v in values.items()},
+        }
+        if args:
+            record["args"] = dict(args)
+        self.emit(record)
+
+
+class NullTelemetry:
+    """The disabled collector: every operation is a near-free no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+    records: List[Dict[str, Any]] = []  # always empty; shared sentinel
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Dict[str, Any]]:
+        yield dict(args)
+
+    def counter(self, scope: str, name: str, value: float) -> None:
+        pass
+
+    def counters(self, scope: str, values: Mapping[str, Any],
+                 **args: Any) -> None:
+        pass
+
+
+#: Process-wide disabled collector; ``current()`` returns it by default.
+NULL = NullTelemetry()
+
+_active: Telemetry | NullTelemetry = NULL
+
+
+def current() -> Telemetry | NullTelemetry:
+    """The collector instrumented code should report to right now."""
+    return _active
+
+
+@contextmanager
+def session(telemetry: Optional[Telemetry | NullTelemetry]) -> Iterator[None]:
+    """Make ``telemetry`` the :func:`current` collector inside the block.
+
+    ``None`` (and :data:`NULL`) deactivate collection.  Sessions nest: the
+    previous collector is restored on exit, so an executor can activate its
+    own collector around a unit of work without disturbing an outer one.
+    """
+    global _active
+    previous = _active
+    _active = telemetry if telemetry is not None else NULL
+    try:
+        yield
+    finally:
+        _active = previous

@@ -1,0 +1,96 @@
+"""cProfile plumbing for campaign workers: collect, merge, summarise.
+
+``--profile`` wraps every unit of campaign work (a vectorized batch or a
+scalar task) in a :class:`cProfile.Profile`.  A live profiler is not
+picklable, but its ``stats`` dict (produced by ``Profile.create_stats()``)
+is — workers ship that dict back to the parent, which merges all of them
+with :class:`pstats.Stats` and renders one top-N hotspot table: the direct
+input to the ROADMAP kernel-speed item.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "stats_dict",
+    "merge_stats",
+    "top_hotspots",
+    "hotspot_report",
+]
+
+
+def stats_dict(profiler: cProfile.Profile) -> Dict[Any, Any]:
+    """Extract a profiler's picklable stats mapping (ships across the pool)."""
+    profiler.create_stats()
+    return profiler.stats  # type: ignore[attr-defined]
+
+
+class _StatsCarrier:
+    """The minimal duck type :class:`pstats.Stats` accepts: a finished
+    profiler — ``create_stats()`` already done, ``stats`` attached."""
+
+    def __init__(self, stats: Mapping[Any, Any]) -> None:
+        self.stats = dict(stats)
+
+    def create_stats(self) -> None:  # pstats calls this before reading .stats
+        pass
+
+
+def merge_stats(stat_dicts: Sequence[Mapping[Any, Any]]) -> Optional[pstats.Stats]:
+    """Merge worker stats dicts into one :class:`pstats.Stats` (or None)."""
+    carriers = [_StatsCarrier(d) for d in stat_dicts if d]
+    if not carriers:
+        return None
+    merged = pstats.Stats(carriers[0])
+    for carrier in carriers[1:]:
+        merged.add(carrier)
+    return merged
+
+
+def _func_name(func: Any) -> str:
+    """Render a pstats function key ``(file, line, name)`` compactly."""
+    filename, lineno, name = func
+    if filename == "~":  # built-ins have no file
+        return name
+    return f"{filename}:{lineno}({name})"
+
+
+def top_hotspots(stat_dicts: Sequence[Mapping[Any, Any]],
+                 limit: int = 20) -> List[Dict[str, Any]]:
+    """The ``limit`` most expensive functions by cumulative time.
+
+    Returns JSON-ready rows (``func``/``ncalls``/``tottime``/``cumtime``)
+    for the trace's ``profile`` record, sorted by ``cumtime`` descending.
+    """
+    merged = merge_stats(stat_dicts)
+    if merged is None:
+        return []
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in merged.stats.items():
+        rows.append({
+            "func": _func_name(func),
+            "ncalls": int(nc),
+            "tottime": float(tt),
+            "cumtime": float(ct),
+        })
+    rows.sort(key=lambda row: row["cumtime"], reverse=True)
+    return rows[:limit]
+
+
+def hotspot_report(stat_dicts: Sequence[Mapping[Any, Any]],
+                   limit: int = 20) -> str:
+    """A human-readable top-N hotspot table aggregated over all workers."""
+    merged = merge_stats(stat_dicts)
+    if merged is None:
+        return "no profile data collected"
+    stream = io.StringIO()
+    merged.stream = stream  # pstats prints to its .stream attribute
+    merged.sort_stats("cumulative").print_stats(limit)
+    body = stream.getvalue().rstrip()
+    header = (f"profile: {len(stat_dicts)} unit(s) of work aggregated, "
+              f"top {limit} by cumulative time")
+    return f"{header}\n{body}"

@@ -1,0 +1,183 @@
+"""``trace-report``: summarise a JSONL campaign trace for humans.
+
+``python -m repro.experiments trace-report FILE.jsonl`` validates the trace
+against the schema (:func:`~repro.telemetry.trace.validate_trace_file`),
+prints a phase/task/counter summary table, and writes a Perfetto-loadable
+Chrome trace-event file next to the input (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .trace import (
+    chrome_trace,
+    read_trace,
+    validate_trace_file,
+    write_chrome_trace,
+)
+
+__all__ = ["render_report", "trace_report_main"]
+
+
+def _fmt_s(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Minimal fixed-width table (matches the repo's text-report style)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def render_report(records: Sequence[Mapping[str, Any]]) -> str:
+    """Render the human summary of a record list (already validated)."""
+    sections: List[str] = []
+
+    metas = [r for r in records if r.get("type") == "meta"]
+    if metas:
+        info = metas[0].get("info", {})
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(info.items()))
+        sections.append(f"campaign: {pairs}" if pairs else "campaign: (no metadata)")
+
+    # Phases: one row per span name.
+    spans: Dict[str, List[float]] = defaultdict(list)
+    for record in records:
+        if record.get("type") == "span":
+            spans[record["name"]].append(float(record["dur"]))
+    if spans:
+        rows = [
+            (name, len(durs), _fmt_s(sum(durs)), _fmt_s(_mean(durs)))
+            for name, durs in sorted(spans.items(),
+                                     key=lambda item: -sum(item[1]))
+        ]
+        sections.append("phases (by total time)\n" + _table(
+            ("span", "count", "total", "mean"), rows))
+
+    # Tasks: one row per backend.
+    per_backend: Dict[str, List[Mapping[str, Any]]] = defaultdict(list)
+    for record in records:
+        if record.get("type") == "task":
+            per_backend[record["backend"]].append(record)
+    if per_backend:
+        rows = []
+        for backend, tasks in sorted(per_backend.items()):
+            hits = sum(1 for t in tasks if t.get("cache_hit"))
+            rates = [t["cells_per_s"] for t in tasks
+                     if t.get("cells_per_s") is not None]
+            waits = [t["queue_wait_s"] for t in tasks
+                     if t.get("queue_wait_s") is not None]
+            execs = [t["execute_s"] for t in tasks
+                     if t.get("execute_s") is not None]
+            workers = {t["worker_pid"] for t in tasks
+                       if t.get("worker_pid") is not None}
+            rate = _mean(rates)
+            rows.append((
+                backend, len(tasks), hits,
+                f"{rate:.2f}" if rate is not None else "-",
+                _fmt_s(_mean(waits)), _fmt_s(_mean(execs)),
+                len(workers) or "-",
+            ))
+        sections.append("tasks (by backend)\n" + _table(
+            ("backend", "cells", "cache hits", "cells/s",
+             "mean queue wait", "mean execute", "workers"), rows))
+
+    fallbacks: Dict[str, int] = defaultdict(int)
+    for record in records:
+        if record.get("type") == "task" and record.get("fallback_reason"):
+            fallbacks[record["fallback_reason"]] += 1
+    if fallbacks:
+        rows = sorted(fallbacks.items(), key=lambda item: -item[1])
+        sections.append("backend fallbacks\n" + _table(
+            ("reason", "cells"), rows))
+
+    # Counters: summed per scope across runs.
+    totals: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    runs: Dict[str, int] = defaultdict(int)
+    for record in records:
+        if record.get("type") == "counters":
+            runs[record["scope"]] += 1
+            for name, value in record["counters"].items():
+                totals[record["scope"]][name] += value
+    if totals:
+        rows = []
+        for scope in sorted(totals):
+            for name in sorted(totals[scope]):
+                value = totals[scope][name]
+                rows.append((scope, name,
+                             f"{value:g}", runs[scope]))
+        sections.append("simulator counters (summed over runs)\n" + _table(
+            ("scope", "counter", "total", "runs"), rows))
+
+    profiles = [r for r in records if r.get("type") == "profile"]
+    if profiles:
+        rows = [
+            (row["func"], row["ncalls"],
+             _fmt_s(row["tottime"]), _fmt_s(row["cumtime"]))
+            for row in profiles[-1].get("top", [])
+        ]
+        if rows:
+            sections.append("profile hotspots (aggregated, by cumulative time)\n"
+                            + _table(("function", "ncalls", "tottime",
+                                      "cumtime"), rows))
+
+    if not sections:
+        return "trace contains no reportable records"
+    return "\n\n".join(sections)
+
+
+def trace_report_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.experiments trace-report``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace-report",
+        description="Summarise a --trace JSONL file and export a "
+                    "Perfetto-loadable Chrome trace.",
+    )
+    parser.add_argument("trace", type=Path, help="JSONL file written by --trace")
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="Chrome trace-event output path "
+             "(default: <trace>.chrome.json; '-' to skip)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        counts = validate_trace_file(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"trace-report: invalid trace: {exc}", file=sys.stderr)
+        return 1
+
+    records = read_trace(args.trace)
+    print(render_report(records))
+    total = sum(counts.values())
+    breakdown = ", ".join(f"{n} {t}" for t, n in sorted(counts.items()) if n)
+    print(f"\n[{args.trace}: {total} records ({breakdown}); schema OK]")
+
+    if args.out != Path("-"):
+        out = args.out or args.trace.with_suffix(args.trace.suffix + ".chrome.json")
+        write_chrome_trace(records, out)
+        events = len(chrome_trace(records)["traceEvents"])
+        print(f"[chrome trace: {out} ({events} events) — load in Perfetto "
+              f"or chrome://tracing]")
+    return 0

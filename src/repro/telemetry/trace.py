@@ -1,0 +1,312 @@
+"""Trace persistence: JSONL record streams, validation, Chrome export.
+
+A trace file is one JSON object per line (JSONL), each a record emitted by a
+:class:`~repro.telemetry.Telemetry` collector.  Five record types exist:
+
+``meta``
+    One per campaign invocation: CLI arguments, backend policy, job count.
+``span``
+    A timed phase (``name``, wall-clock ``t0`` epoch, ``dur`` seconds).
+``task``
+    One completed campaign cell: backend, cache hit/miss, batch-group id,
+    worker pid, queue-wait vs execute split, cells/sec, fallback reason.
+``counters``
+    One simulator run's loop-level counters under a backend ``scope``
+    (``slotted`` / ``event`` / ``batched`` / ``conflict`` / ``campaign``).
+``profile``
+    Aggregated cProfile hotspots when ``--profile`` is active.
+
+:func:`validate_record` is the schema both the tests and CI enforce —
+dependency-free on purpose (no jsonschema in the container).
+:func:`chrome_trace` converts a record list into the Chrome trace-event JSON
+that Perfetto / ``chrome://tracing`` load directly: spans and executed tasks
+become complete (``ph="X"``) events on their producing process's timeline,
+everything else becomes instant events.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Union
+
+__all__ = [
+    "JsonlTraceWriter",
+    "read_trace",
+    "validate_record",
+    "validate_trace_file",
+    "chrome_trace",
+    "write_chrome_trace",
+    "RECORD_TYPES",
+    "TRACE_SCHEMA_VERSION",
+]
+
+#: Bumped when the record shapes below change incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+RECORD_TYPES = ("meta", "span", "task", "counters", "profile")
+
+_TASK_SOURCES = ("run", "cache")
+
+
+class JsonlTraceWriter:
+    """Streams records to a JSONL file as they are emitted.
+
+    Use as the ``sink`` of a :class:`~repro.telemetry.Telemetry` collector;
+    also usable as a context manager.  Records are written with sorted keys
+    and flushed per line so a crashed campaign still leaves a readable
+    prefix.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self.count = 0
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError(f"trace writer for {self.path} is closed")
+        json.dump(record, self._fh, sort_keys=True, default=_jsonable)
+        self._fh.write("\n")
+        self._fh.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback encoder: numpy scalars (and friends) to plain python."""
+    for attr in ("item",):  # numpy scalar protocol without importing numpy
+        if hasattr(value, attr):
+            return value.item()
+    raise TypeError(f"record field of type {type(value).__name__} "
+                    f"is not JSON-serialisable: {value!r}")
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL trace file (no validation)."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Schema validation (dependency-free).
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(message)
+
+
+def _is_num(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_optional_num(record: Mapping[str, Any], field: str,
+                        minimum: Optional[float] = None) -> None:
+    value = record.get(field)
+    if value is None:
+        return
+    _require(_is_num(value), f"'{field}' must be a number or null")
+    if minimum is not None:
+        _require(value >= minimum, f"'{field}' must be >= {minimum}")
+
+
+def validate_record(record: Any) -> str:
+    """Validate one trace record; returns its type or raises ValueError."""
+    _require(isinstance(record, dict), "record must be a JSON object")
+    rtype = record.get("type")
+    _require(rtype in RECORD_TYPES,
+             f"unknown record type {rtype!r}; expected one of {RECORD_TYPES}")
+    _require(isinstance(record.get("pid"), int), "'pid' must be an integer")
+
+    if rtype == "meta":
+        _require(_is_num(record.get("t0")), "'t0' must be a number")
+        _require(isinstance(record.get("info"), dict),
+                 "'info' must be an object")
+        _require(record.get("schema") == TRACE_SCHEMA_VERSION,
+                 f"'schema' must be {TRACE_SCHEMA_VERSION}")
+    elif rtype == "span":
+        name = record.get("name")
+        _require(isinstance(name, str) and bool(name),
+                 "'name' must be a non-empty string")
+        _require(_is_num(record.get("t0")), "'t0' must be a number")
+        _require(_is_num(record.get("dur")) and record["dur"] >= 0,
+                 "'dur' must be a non-negative number")
+        _require(isinstance(record.get("args"), dict),
+                 "'args' must be an object")
+    elif rtype == "task":
+        _require(isinstance(record.get("key"), str) and record["key"],
+                 "'key' must be a non-empty string")
+        _require(isinstance(record.get("label"), str),
+                 "'label' must be a string")
+        _require(isinstance(record.get("backend"), str) and record["backend"],
+                 "'backend' must be a non-empty string")
+        _require(record.get("source") in _TASK_SOURCES,
+                 f"'source' must be one of {_TASK_SOURCES}")
+        _require(isinstance(record.get("cache_hit"), bool),
+                 "'cache_hit' must be a boolean")
+        _require(_is_num(record.get("t0")), "'t0' must be a number")
+        group = record.get("group")
+        _require(group is None or isinstance(group, int),
+                 "'group' must be an integer or null")
+        worker = record.get("worker_pid")
+        _require(worker is None or isinstance(worker, int),
+                 "'worker_pid' must be an integer or null")
+        _check_optional_num(record, "cells_per_s", minimum=0.0)
+        _check_optional_num(record, "queue_wait_s", minimum=0.0)
+        _check_optional_num(record, "execute_s", minimum=0.0)
+        reason = record.get("fallback_reason")
+        _require(reason is None or (isinstance(reason, str) and reason),
+                 "'fallback_reason' must be a non-empty string or null")
+    elif rtype == "counters":
+        scope = record.get("scope")
+        _require(isinstance(scope, str) and bool(scope),
+                 "'scope' must be a non-empty string")
+        _require(_is_num(record.get("t0")), "'t0' must be a number")
+        counters = record.get("counters")
+        _require(isinstance(counters, dict) and counters,
+                 "'counters' must be a non-empty object")
+        for name, value in counters.items():
+            _require(isinstance(name, str) and bool(name),
+                     "counter names must be non-empty strings")
+            _require(_is_num(value), f"counter '{name}' must be a number")
+    elif rtype == "profile":
+        _require(_is_num(record.get("t0")), "'t0' must be a number")
+        top = record.get("top")
+        _require(isinstance(top, list), "'top' must be a list")
+        for row in top:
+            _require(isinstance(row, dict), "'top' rows must be objects")
+            _require(isinstance(row.get("func"), str) and row["func"],
+                     "'func' must be a non-empty string")
+            _require(isinstance(row.get("ncalls"), int),
+                     "'ncalls' must be an integer")
+            _require(_is_num(row.get("tottime")), "'tottime' must be a number")
+            _require(_is_num(row.get("cumtime")), "'cumtime' must be a number")
+    return rtype
+
+
+def validate_trace_file(path: Union[str, Path]) -> Dict[str, int]:
+    """Validate every line of a JSONL trace; returns per-type counts.
+
+    Raises :class:`ValueError` naming the 1-based line number of the first
+    invalid record.  An empty file (or one with no ``meta`` record) is
+    considered invalid — every trace begins with campaign metadata.
+    """
+    counts: Dict[str, int] = {rtype: 0 for rtype in RECORD_TYPES}
+    lineno = 0
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}")
+            try:
+                counts[validate_record(record)] += 1
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}")
+    _require(sum(counts.values()) > 0, f"{path}: trace contains no records")
+    _require(counts["meta"] > 0, f"{path}: trace has no 'meta' record")
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing loadable).
+
+def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Convert trace records to the Chrome trace-event JSON format.
+
+    Timestamps are microseconds relative to the earliest record so the
+    viewer's timeline starts at zero.  Spans and executed tasks become
+    complete events (``ph="X"``); cache hits, counters and profiles become
+    instant events (``ph="i"``).
+    """
+    records = list(records)
+    starts = []
+    for record in records:
+        t0 = record.get("t0")
+        if _is_num(t0):
+            start = t0
+            if record.get("type") == "task" and _is_num(record.get("execute_s")):
+                start = t0 - record["execute_s"]
+            starts.append(start)
+    origin = min(starts) if starts else 0.0
+
+    def us(epoch: float) -> float:
+        return (epoch - origin) * 1e6
+
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        rtype = record.get("type")
+        pid = record.get("pid", 0)
+        if rtype == "span":
+            events.append({
+                "name": record["name"], "cat": "span", "ph": "X",
+                "ts": us(record["t0"]), "dur": record["dur"] * 1e6,
+                "pid": pid, "tid": pid, "args": record.get("args", {}),
+            })
+        elif rtype == "task":
+            args = {
+                k: record.get(k)
+                for k in ("backend", "source", "group", "cells_per_s",
+                          "queue_wait_s", "fallback_reason")
+                if record.get(k) is not None
+            }
+            tid = record.get("worker_pid") or pid
+            if record.get("source") == "run" and _is_num(record.get("execute_s")):
+                events.append({
+                    "name": record.get("label") or record["key"][:12],
+                    "cat": "task", "ph": "X",
+                    "ts": us(record["t0"] - record["execute_s"]),
+                    "dur": record["execute_s"] * 1e6,
+                    "pid": tid, "tid": tid, "args": args,
+                })
+            else:
+                events.append({
+                    "name": record.get("label") or record["key"][:12],
+                    "cat": "task", "ph": "i", "s": "p",
+                    "ts": us(record["t0"]), "pid": tid, "tid": tid,
+                    "args": args,
+                })
+        elif rtype == "counters":
+            events.append({
+                "name": f"counters:{record['scope']}", "cat": "counters",
+                "ph": "i", "s": "p", "ts": us(record["t0"]),
+                "pid": pid, "tid": pid, "args": dict(record["counters"]),
+            })
+        elif rtype in ("meta", "profile"):
+            events.append({
+                "name": rtype, "cat": rtype, "ph": "i", "s": "g",
+                "ts": us(record.get("t0", origin)), "pid": pid, "tid": pid,
+                "args": record.get("info", {}) if rtype == "meta" else {
+                    "top": record.get("top", []),
+                },
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[Mapping[str, Any]],
+                       path: Union[str, Path]) -> Path:
+    """Write :func:`chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(records), fh, default=_jsonable)
+    return path

@@ -379,9 +379,12 @@ class TestBackendSelection:
 
     def test_backend_changes_cache_key_but_not_task(self):
         task = _quick_task()
-        auto = CampaignExecutor(jobs=1)._resolve_backend(task)
-        slotted = CampaignExecutor(jobs=1, backend="slotted")._resolve_backend(task)
+        auto, auto_reason = CampaignExecutor(jobs=1)._resolve_backend(task)
+        slotted, slotted_reason = CampaignExecutor(
+            jobs=1, backend="slotted"
+        )._resolve_backend(task)
         assert auto.task_key() != slotted.task_key()
+        assert auto_reason is None and slotted_reason is None
         assert task.simulator == "auto"  # original untouched
 
     def test_plan_batches_groups_only_compatible_tasks(self):

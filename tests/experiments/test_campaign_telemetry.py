@@ -1,0 +1,235 @@
+"""Tests for campaign-level telemetry: spans, task records, profiling.
+
+The executor promises that enabling telemetry/profiling changes nothing
+about the results (bit-identity is covered per-backend in
+``tests/sim/test_telemetry_differential.py``; here we re-check it through
+the full executor path) while producing a complete trace: spans for every
+phase, one ``task`` record per cell, worker-side simulator counters relayed
+into the parent's sink, and named fallback diagnostics.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments import EXPERIMENT_REGISTRY
+from repro.experiments.campaign import (
+    CampaignExecutor,
+    RunTask,
+    SchemeSpec,
+    TopologySpec,
+)
+from repro.experiments.runner import ExperimentResult, ExperimentRow
+from repro.phy.constants import PhyParameters
+from repro.telemetry import Telemetry
+from repro.telemetry.trace import validate_record, validate_trace_file
+
+PHASES = ("plan", "cache-lookup", "group", "dispatch", "execute")
+
+
+def _task(seed=1, num_stations=4, duration=0.2, **overrides):
+    defaults = dict(
+        scheme=SchemeSpec.make("standard-802.11"),
+        topology=TopologySpec.connected(num_stations),
+        seed=seed,
+        duration=duration,
+        warmup=0.05,
+        phy=PhyParameters(),
+    )
+    defaults.update(overrides)
+    return RunTask(**defaults)
+
+
+def _hidden_activity_task(seed=1):
+    """An ``auto`` cell only the event simulator can run (named fallback)."""
+    return _task(
+        seed=seed, topology=TopologySpec.hidden_disc(5, 16.0, 1),
+        activity=((0.0, 3), (0.1, 5)),
+    )
+
+
+def _run(tasks, **kwargs):
+    tel = Telemetry()
+    executor = CampaignExecutor(telemetry=tel, **kwargs)
+    results = executor.run(tasks)
+    return executor, tel.records, results
+
+
+def _of_type(records, rtype):
+    return [r for r in records if r["type"] == rtype]
+
+
+class TestExecutorTrace:
+    def test_spans_cover_every_phase(self):
+        _, records, _ = _run([_task()])
+        names = [r["name"] for r in _of_type(records, "span")]
+        assert names == list(PHASES)
+
+    def test_every_record_is_schema_valid(self):
+        _, records, _ = _run([_task(seed=1), _task(seed=2)])
+        for record in records:
+            validate_record(record)
+
+    def test_task_records_describe_execution(self):
+        _, records, _ = _run([_task()])
+        [record] = _of_type(records, "task")
+        assert record["backend"] == "batched"  # auto policy, connected cell
+        assert record["source"] == "run"
+        assert record["cache_hit"] is False
+        assert record["group"] == 0
+        assert record["worker_pid"] == os.getpid()
+        assert record["execute_s"] > 0
+        assert record["cells_per_s"] > 0
+        assert record["fallback_reason"] is None
+
+    def test_simulator_counters_reach_the_trace(self):
+        _, records, _ = _run([_task()])
+        scopes = {r["scope"] for r in _of_type(records, "counters")}
+        assert "batched" in scopes
+
+    def test_plan_span_reports_dedup(self):
+        task = _task()
+        _, records, _ = _run([task, task, task])
+        [plan] = [r for r in _of_type(records, "span") if r["name"] == "plan"]
+        assert plan["args"] == {"tasks": 3, "unique": 1, "fallbacks": 0}
+
+    def test_cache_hits_traced_on_second_run(self, tmp_path):
+        task = _task()
+        _run([task], cache_dir=tmp_path)
+        _, records, _ = _run([task], cache_dir=tmp_path)
+        [record] = _of_type(records, "task")
+        assert record["source"] == "cache"
+        assert record["cache_hit"] is True
+        assert record["worker_pid"] is None
+        [lookup] = [r for r in _of_type(records, "span")
+                    if r["name"] == "cache-lookup"]
+        assert lookup["args"] == {"candidates": 1, "hits": 1, "misses": 0}
+
+    def test_results_identical_with_and_without_telemetry(self):
+        tasks = [_task(seed=1), _task(seed=2), _hidden_activity_task()]
+        plain = CampaignExecutor().run(tasks)
+        _, _, traced = _run(tasks)
+        assert traced == plain
+
+
+class TestFallbackDiagnostics:
+    def test_fallback_counted_named_and_warned(self, capsys):
+        executor, records, _ = _run([_hidden_activity_task()])
+        assert executor.stats.fallbacks == 1
+        assert "1 scalar fallback(s)" in executor.stats.summary()
+        [record] = _of_type(records, "task")
+        assert record["backend"] == "event"
+        assert "activity schedule" in record["fallback_reason"]
+        err = capsys.readouterr().err
+        assert "1 hidden-node cell(s) fell back" in err
+        assert "activity schedule" in err
+
+    def test_no_warning_without_fallbacks(self, capsys):
+        executor, _, _ = _run([_task()])
+        assert executor.stats.fallbacks == 0
+        assert "fell back" not in capsys.readouterr().err
+        assert "fallback" not in executor.stats.summary()
+
+    def test_duplicate_fallback_cells_counted_once(self, capsys):
+        task = _hidden_activity_task()
+        executor, _, _ = _run([task, task])
+        assert executor.stats.fallbacks == 1
+        assert "1 hidden-node cell(s)" in capsys.readouterr().err
+
+    def test_explicit_event_choice_is_not_a_fallback(self, capsys):
+        executor, records, _ = _run([_task(simulator="event")])
+        assert executor.stats.fallbacks == 0
+        [record] = _of_type(records, "task")
+        assert record["fallback_reason"] is None
+
+
+class TestParallelTrace:
+    def test_worker_records_are_relayed(self):
+        tasks = [_task(seed=s, num_stations=n)
+                 for s in (1, 2) for n in (3, 4)]
+        executor, records, results = _run(tasks, jobs=2)
+        task_records = _of_type(records, "task")
+        assert len(task_records) == 4
+        workers = {r["worker_pid"] for r in task_records}
+        assert all(pid is not None for pid in workers)
+        scopes = {r["scope"] for r in _of_type(records, "counters")}
+        assert "batched" in scopes
+        [execute] = [r for r in _of_type(records, "span")
+                     if r["name"] == "execute"]
+        assert execute["args"]["mode"] == "parallel"
+        assert results == CampaignExecutor().run(tasks)
+
+    def test_queue_wait_measured_across_processes(self):
+        _, records, _ = _run([_task(seed=1), _task(simulator="event")],
+                             jobs=2)
+        for record in _of_type(records, "task"):
+            assert record["queue_wait_s"] >= 0
+
+
+class TestProgressRollingEta:
+    def test_events_carry_rolling_rate_and_eta(self):
+        events = []
+        executor = CampaignExecutor(progress=events.append)
+        executor.run([_task(seed=s) for s in (1, 2, 3)])
+        assert [e.completed for e in events] == [1, 2, 3]
+        for event in events:
+            assert event.rolling_cells_per_s > 0
+            assert event.eta_s is not None and event.eta_s >= 0
+        # ETA shrinks to zero as the campaign completes.
+        assert events[-1].eta_s == 0
+
+
+class TestProfiling:
+    def test_serial_profile_collects_and_reports(self):
+        tel = Telemetry()
+        executor = CampaignExecutor(telemetry=tel, profile=True)
+        executor.run([_task()])
+        assert executor.profile_stats
+        report = executor.profile_report(limit=5)
+        assert "unit(s) of work aggregated" in report
+        [record] = _of_type(tel.records, "profile")
+        assert record["units"] == len(executor.profile_stats)
+        assert record["top"]
+        validate_record(record)
+
+    def test_parallel_profile_aggregates_workers(self):
+        executor = CampaignExecutor(profile=True, jobs=2)
+        results = executor.run([_task(seed=1), _task(simulator="event")])
+        assert len(executor.profile_stats) == 2
+        assert executor.profile_report() is not None
+        assert results == CampaignExecutor().run(
+            [_task(seed=1), _task(simulator="event")])
+
+    def test_profile_without_telemetry_emits_no_records(self):
+        executor = CampaignExecutor(profile=True)
+        executor.run([_task()])
+        assert executor.profile_stats
+        assert executor.profile_report() is not None
+
+    def test_no_profile_no_report(self):
+        executor = CampaignExecutor()
+        executor.run([_task()])
+        assert executor.profile_report() is None
+
+
+class TestCliTrace:
+    def test_trace_flag_writes_schema_valid_jsonl(self, tmp_path,
+                                                  monkeypatch, capsys):
+        def runner(config, executor=None):
+            executor.run([_task()])
+            return ExperimentResult(
+                name="fig3", description="stub", columns=("v",),
+                rows=(ExperimentRow(label="r", values={"v": 1.0}),),
+            )
+
+        monkeypatch.setitem(EXPERIMENT_REGISTRY, "fig3", runner)
+        trace = tmp_path / "campaign.jsonl"
+        assert experiments_main(["fig3", "--trace", str(trace)]) == 0
+        counts = validate_trace_file(trace)
+        assert counts["meta"] == 1
+        assert counts["task"] == 1
+        assert counts["span"] == len(PHASES)
+        assert counts["counters"] >= 1
+        out = capsys.readouterr().out
+        assert "[trace:" in out and "trace-report" in out

@@ -18,6 +18,8 @@ class TestParser:
         assert args.no_cache is False
         assert args.progress is False
         assert args.backend == "auto"
+        assert args.trace is None
+        assert args.profile is False
 
     def test_preset_choices(self):
         with pytest.raises(SystemExit):

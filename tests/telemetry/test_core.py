@@ -1,0 +1,107 @@
+"""Tests for the core telemetry collector (spans, counters, sessions)."""
+
+import os
+
+import pytest
+
+from repro.telemetry import NULL, NullTelemetry, Telemetry, current, session
+
+
+class TestTelemetry:
+    def test_emit_keeps_records_and_stamps_pid(self):
+        tel = Telemetry()
+        tel.emit({"type": "meta", "t0": 0.0, "info": {}, "schema": 1})
+        assert len(tel.records) == 1
+        assert tel.records[0]["pid"] == os.getpid()
+
+    def test_emit_respects_existing_pid(self):
+        tel = Telemetry()
+        tel.emit({"type": "counters", "pid": 12345})
+        assert tel.records[0]["pid"] == 12345
+
+    def test_sink_receives_every_record(self):
+        sunk = []
+        tel = Telemetry(sink=sunk.append, keep_records=False)
+        tel.counter("slotted", "busy_slots", 3)
+        assert tel.records == []
+        assert len(sunk) == 1
+        assert sunk[0]["counters"] == {"busy_slots": 3}
+
+    def test_sink_exceptions_propagate(self):
+        def broken(record):
+            raise OSError("disk full")
+
+        tel = Telemetry(sink=broken)
+        with pytest.raises(OSError):
+            tel.counter("slotted", "busy_slots", 1)
+
+    def test_span_records_name_duration_and_args(self):
+        tel = Telemetry()
+        with tel.span("plan", tasks=7) as args:
+            args["unique"] = 5
+        [record] = tel.records
+        assert record["type"] == "span"
+        assert record["name"] == "plan"
+        assert record["dur"] >= 0
+        assert record["args"] == {"tasks": 7, "unique": 5}
+
+    def test_span_emits_even_when_body_raises(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.span("execute"):
+                raise RuntimeError("boom")
+        assert [r["name"] for r in tel.records] == ["execute"]
+
+    def test_counters_record_shape(self):
+        tel = Telemetry()
+        tel.counters("batched", {"loop_iterations": 10, "cells": 4}, note="x")
+        [record] = tel.records
+        assert record["type"] == "counters"
+        assert record["scope"] == "batched"
+        assert record["counters"] == {"loop_iterations": 10, "cells": 4}
+        assert record["args"] == {"note": "x"}
+
+
+class TestNullTelemetry:
+    def test_disabled_and_inert(self):
+        assert NULL.enabled is False
+        NULL.emit({"type": "span"})
+        NULL.counter("slotted", "x", 1)
+        NULL.counters("slotted", {"x": 1})
+        with NULL.span("plan", tasks=3) as args:
+            args["extra"] = 1  # accepted and dropped
+        assert NULL.records == []
+
+    def test_singleton_records_list_stays_empty(self):
+        assert NullTelemetry().records is NULL.records
+
+
+class TestSession:
+    def test_default_is_null(self):
+        assert current() is NULL
+
+    def test_session_activates_and_restores(self):
+        tel = Telemetry()
+        with session(tel):
+            assert current() is tel
+        assert current() is NULL
+
+    def test_sessions_nest(self):
+        outer, inner = Telemetry(), Telemetry()
+        with session(outer):
+            with session(inner):
+                assert current() is inner
+            assert current() is outer
+        assert current() is NULL
+
+    def test_none_deactivates(self):
+        with session(Telemetry()):
+            with session(None):
+                assert current() is NULL
+
+    def test_restores_on_exception(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with session(tel):
+                raise ValueError("boom")
+        assert current() is NULL

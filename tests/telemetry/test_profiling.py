@@ -1,0 +1,74 @@
+"""Tests for cProfile collection, cross-process merge and summaries."""
+
+import cProfile
+import pickle
+
+from repro.telemetry.profiling import (
+    hotspot_report,
+    merge_stats,
+    stats_dict,
+    top_hotspots,
+)
+
+
+def _busy(n=2000):
+    return sum(i * i for i in range(n))
+
+
+def _profiled_stats():
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _busy()
+    profiler.disable()
+    return stats_dict(profiler)
+
+
+def _ncalls(stats, name):
+    for (_file, _line, func), (_cc, nc, _tt, _ct, _callers) in stats.items():
+        if func == name:
+            return nc
+    return 0
+
+
+class TestStatsDict:
+    def test_picklable(self):
+        stats = _profiled_stats()
+        assert pickle.loads(pickle.dumps(stats)) == stats
+
+    def test_contains_profiled_function(self):
+        assert _ncalls(_profiled_stats(), "_busy") == 1
+
+
+class TestMergeStats:
+    def test_empty_input_merges_to_none(self):
+        assert merge_stats([]) is None
+        assert merge_stats([{}, {}]) is None
+
+    def test_merge_adds_call_counts(self):
+        dicts = [_profiled_stats(), _profiled_stats(), {}]
+        merged = merge_stats(dicts)
+        assert _ncalls(merged.stats, "_busy") == 2
+
+
+class TestSummaries:
+    def test_top_hotspots_sorted_and_limited(self):
+        rows = top_hotspots([_profiled_stats()], limit=3)
+        assert 0 < len(rows) <= 3
+        cums = [row["cumtime"] for row in rows]
+        assert cums == sorted(cums, reverse=True)
+        for row in rows:
+            assert set(row) == {"func", "ncalls", "tottime", "cumtime"}
+
+    def test_hotspots_name_the_profiled_function(self):
+        rows = top_hotspots([_profiled_stats()], limit=50)
+        assert any("_busy" in row["func"] for row in rows)
+
+    def test_hotspot_report_renders(self):
+        report = hotspot_report([_profiled_stats(), _profiled_stats()],
+                                limit=5)
+        assert "2 unit(s) of work aggregated" in report
+        assert "cumulative" in report
+        assert "_busy" in report
+
+    def test_hotspot_report_without_data(self):
+        assert hotspot_report([]) == "no profile data collected"

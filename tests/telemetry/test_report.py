@@ -1,0 +1,110 @@
+"""Tests for the human trace summary and the ``trace-report`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.telemetry.trace import TRACE_SCHEMA_VERSION, JsonlTraceWriter
+from repro.telemetry.report import render_report, trace_report_main
+
+PID = 4321
+
+
+def _records():
+    return [
+        {"type": "meta", "pid": PID, "t0": 100.0,
+         "schema": TRACE_SCHEMA_VERSION,
+         "info": {"experiments": "fig3", "jobs": 2}},
+        {"type": "span", "pid": PID, "name": "plan", "t0": 100.0,
+         "dur": 0.01, "args": {"tasks": 2}},
+        {"type": "span", "pid": PID, "name": "execute", "t0": 100.1,
+         "dur": 1.5, "args": {}},
+        {"type": "task", "pid": PID, "key": "k1", "label": "cell-a",
+         "backend": "batched", "source": "run", "cache_hit": False,
+         "t0": 101.0, "group": 0, "worker_pid": 777, "queue_wait_s": 0.05,
+         "execute_s": 0.8, "cells_per_s": 1.25, "fallback_reason": None},
+        {"type": "task", "pid": PID, "key": "k2", "label": "cell-b",
+         "backend": "event", "source": "cache", "cache_hit": True,
+         "t0": 101.1, "group": None, "worker_pid": None,
+         "queue_wait_s": None, "execute_s": None, "cells_per_s": None,
+         "fallback_reason": "activity schedule"},
+        {"type": "counters", "pid": PID, "scope": "batched", "t0": 100.5,
+         "counters": {"loop_iterations": 40, "busy_slots": 12}},
+        {"type": "counters", "pid": PID, "scope": "batched", "t0": 100.9,
+         "counters": {"loop_iterations": 10, "busy_slots": 3}},
+        {"type": "profile", "pid": PID, "t0": 102.0, "units": 1,
+         "top": [{"func": "batched.py:10(run)", "ncalls": 4,
+                  "tottime": 0.2, "cumtime": 0.9}]},
+    ]
+
+
+class TestRenderReport:
+    def test_all_sections_present(self):
+        text = render_report(_records())
+        assert "campaign: experiments=fig3, jobs=2" in text
+        assert "phases (by total time)" in text
+        assert "tasks (by backend)" in text
+        assert "backend fallbacks" in text
+        assert "simulator counters (summed over runs)" in text
+        assert "profile hotspots" in text
+
+    def test_phases_sorted_by_total_time(self):
+        text = render_report(_records())
+        assert text.index("execute") < text.index("plan")
+
+    def test_counters_are_summed_across_runs(self):
+        lines = render_report(_records()).splitlines()
+        [row] = [l for l in lines if "loop_iterations" in l]
+        assert "50" in row and "2" in row  # total over 2 runs
+
+    def test_fallback_reasons_tallied(self):
+        assert "activity schedule" in render_report(_records())
+
+    def test_empty_records(self):
+        assert render_report([]) == "trace contains no reportable records"
+
+
+class TestTraceReportMain:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            for record in _records():
+                writer.write(record)
+        return path
+
+    def test_reports_and_exports_chrome_trace(self, trace_file, capsys):
+        assert trace_report_main([str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert "8 records" in out
+        chrome = trace_file.with_suffix(".jsonl.chrome.json")
+        assert chrome.exists()
+        data = json.loads(chrome.read_text())
+        assert data["traceEvents"]
+
+    def test_out_flag_overrides_chrome_path(self, trace_file, tmp_path):
+        out = tmp_path / "custom.json"
+        assert trace_report_main([str(trace_file), "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_out_dash_skips_chrome_export(self, trace_file, capsys):
+        assert trace_report_main([str(trace_file), "--out", "-"]) == 0
+        assert "chrome trace" not in capsys.readouterr().out
+        assert not trace_file.with_suffix(".jsonl.chrome.json").exists()
+
+    def test_invalid_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\n', encoding="utf-8")
+        assert trace_report_main([str(path)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert trace_report_main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_dispatch_from_experiments_cli(self, trace_file, capsys):
+        assert experiments_main(["trace-report", str(trace_file),
+                                 "--out", "-"]) == 0
+        assert "schema OK" in capsys.readouterr().out

@@ -1,0 +1,221 @@
+"""Tests for JSONL trace persistence, schema validation and Chrome export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.trace import (
+    RECORD_TYPES,
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceWriter,
+    chrome_trace,
+    read_trace,
+    validate_record,
+    validate_trace_file,
+    write_chrome_trace,
+)
+
+PID = 1234
+
+
+def meta(**info):
+    return {"type": "meta", "pid": PID, "t0": 100.0,
+            "schema": TRACE_SCHEMA_VERSION, "info": info}
+
+
+def span(name="plan", t0=100.0, dur=0.5, **args):
+    return {"type": "span", "pid": PID, "name": name, "t0": t0, "dur": dur,
+            "args": args}
+
+
+def task(key="k1", source="run", **overrides):
+    record = {
+        "type": "task", "pid": PID, "key": key, "label": "cell",
+        "backend": "batched", "source": source,
+        "cache_hit": source == "cache", "t0": 101.0, "group": 0,
+        "worker_pid": PID, "queue_wait_s": 0.01, "execute_s": 0.5,
+        "cells_per_s": 2.0, "fallback_reason": None,
+    }
+    record.update(overrides)
+    return record
+
+
+def counters(scope="batched", **values):
+    values = values or {"loop_iterations": 10}
+    return {"type": "counters", "pid": PID, "scope": scope, "t0": 100.5,
+            "counters": values}
+
+
+def profile():
+    return {"type": "profile", "pid": PID, "t0": 102.0, "units": 2,
+            "top": [{"func": "batched.py:10(run)", "ncalls": 4,
+                     "tottime": 0.2, "cumtime": 0.9}]}
+
+
+class TestJsonlTraceWriter:
+    def test_streams_sorted_flushed_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            writer.write(meta(jobs=1))
+            writer.write(counters())
+            assert writer.count == 2
+            # flushed per line: readable before close
+            assert len(path.read_text().splitlines()) == 2
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path / "t.jsonl")
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.write(meta())
+
+    def test_creates_parent_directories(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path / "deep" / "dir" / "t.jsonl")
+        writer.write(meta())
+        writer.close()
+        assert (tmp_path / "deep" / "dir" / "t.jsonl").exists()
+
+    def test_numpy_scalars_serialise(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            writer.write(counters(busy_slots=np.int64(7),
+                                  rate=np.float64(1.5)))
+        [record] = read_trace(path)
+        assert record["counters"] == {"busy_slots": 7, "rate": 1.5}
+
+    def test_unserialisable_fields_fail_loudly(self, tmp_path):
+        with JsonlTraceWriter(tmp_path / "t.jsonl") as writer:
+            with pytest.raises(TypeError, match="not JSON-serialisable"):
+                writer.write({"type": "meta", "bad": object()})
+
+    def test_telemetry_sink_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            tel = Telemetry(sink=writer.write, keep_records=False)
+            with tel.span("plan", tasks=2):
+                tel.counters("slotted", {"busy_slots": 1})
+        records = read_trace(path)
+        assert [r["type"] for r in records] == ["counters", "span"]
+        for record in records:
+            validate_record(record)
+
+
+class TestValidateRecord:
+    @pytest.mark.parametrize("record", [
+        meta(experiments="fig3"), span(), task(), task(source="cache"),
+        counters(), profile(),
+    ])
+    def test_valid_records_return_their_type(self, record):
+        assert validate_record(record) == record["type"]
+        assert record["type"] in RECORD_TYPES
+
+    @pytest.mark.parametrize("record, message", [
+        ("not a dict", "JSON object"),
+        ({"type": "bogus", "pid": PID}, "unknown record type"),
+        ({"type": "span", "name": "x", "t0": 0.0, "dur": 0.1, "args": {}},
+         "'pid'"),
+        (dict(meta(), schema=99), "'schema'"),
+        (dict(span(), name=""), "'name'"),
+        (dict(span(), dur=-1.0), "'dur'"),
+        (dict(span(), args=None), "'args'"),
+        (dict(task(), source="wormhole"), "'source'"),
+        (dict(task(), cache_hit="yes"), "'cache_hit'"),
+        (dict(task(), cells_per_s=-2.0), "'cells_per_s'"),
+        (dict(task(), fallback_reason=""), "'fallback_reason'"),
+        (dict(counters(), counters={}), "non-empty"),
+        ({"type": "counters", "pid": PID, "scope": "batched", "t0": 0.0,
+          "counters": {"x": "fast"}}, "must be a number"),
+        (dict(profile(), top=[{"func": "", "ncalls": 1, "tottime": 0.0,
+                               "cumtime": 0.0}]), "'func'"),
+    ])
+    def test_invalid_records_raise(self, record, message):
+        with pytest.raises(ValueError, match=message):
+            validate_record(record)
+
+    def test_booleans_are_not_numbers(self):
+        with pytest.raises(ValueError, match="'t0'"):
+            validate_record(dict(span(), t0=True))
+
+
+class TestValidateTraceFile:
+    def write(self, tmp_path, records):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            for record in records:
+                writer.write(record)
+        return path
+
+    def test_counts_per_type(self, tmp_path):
+        path = self.write(tmp_path, [meta(), span(), span(name="execute"),
+                                     task(), counters(), profile()])
+        counts = validate_trace_file(path)
+        assert counts == {"meta": 1, "span": 2, "task": 1, "counters": 1,
+                          "profile": 1}
+
+    def test_empty_file_is_invalid(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError, match="no records"):
+            validate_trace_file(path)
+
+    def test_trace_without_meta_is_invalid(self, tmp_path):
+        path = self.write(tmp_path, [span(), counters()])
+        with pytest.raises(ValueError, match="no 'meta'"):
+            validate_trace_file(path)
+
+    def test_error_names_the_line(self, tmp_path):
+        path = self.write(tmp_path, [meta(), dict(span(), dur=-1.0)])
+        with pytest.raises(ValueError, match=r"trace\.jsonl:2:"):
+            validate_trace_file(path)
+
+    def test_broken_json_names_the_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(meta()) + "\n{not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r":2: not valid JSON"):
+            validate_trace_file(path)
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(meta()) + "\n\n" + json.dumps(span()) + "\n",
+                        encoding="utf-8")
+        assert validate_trace_file(path)["span"] == 1
+
+
+class TestChromeTrace:
+    def test_spans_and_run_tasks_become_complete_events(self):
+        out = chrome_trace([meta(), span(t0=100.0, dur=0.5),
+                            task(t0=101.0, execute_s=0.5)])
+        by_cat = {event["cat"]: event for event in out["traceEvents"]}
+        assert by_cat["span"]["ph"] == "X"
+        assert by_cat["span"]["dur"] == pytest.approx(0.5e6)
+        assert by_cat["task"]["ph"] == "X"
+        # t0 is completion time; the event starts execute_s earlier.
+        assert by_cat["task"]["ts"] == pytest.approx(
+            by_cat["span"]["ts"] + 0.5e6)
+
+    def test_timestamps_are_relative_to_earliest_record(self):
+        out = chrome_trace([meta(), span(t0=100.0)])
+        assert min(e["ts"] for e in out["traceEvents"]) == pytest.approx(0.0)
+
+    def test_cache_hits_and_counters_are_instants(self):
+        out = chrome_trace([task(source="cache", execute_s=None,
+                                 worker_pid=None, queue_wait_s=None,
+                                 cells_per_s=None, group=None),
+                            counters()])
+        phases = [event["ph"] for event in out["traceEvents"]]
+        assert phases == ["i", "i"]
+
+    def test_tasks_land_on_their_worker_timeline(self):
+        out = chrome_trace([task(worker_pid=777)])
+        [event] = out["traceEvents"]
+        assert event["pid"] == 777
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = write_chrome_trace([meta(), span(), task()],
+                                  tmp_path / "out" / "trace.chrome.json")
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) == 3

@@ -41,6 +41,11 @@ BASELINES_DIR = HERE / "baselines"
 #: Fail on a cells/sec (or speedup-ratio) drop larger than this fraction.
 DEFAULT_TOLERANCE = 0.25
 
+#: Exit code when there are no benchmark results to gate at all (distinct
+#: from 1 = regression found): the benchmark suite crashed before emitting
+#: any ``BENCH_*.json``, or was never run.
+EXIT_NO_RESULTS = 2
+
 
 def _load(path: pathlib.Path):
     """Parse one benchmark record; None (with a message) on any defect.
@@ -178,6 +183,19 @@ def main(argv=None) -> int:
     if args.update_baselines:
         update_baselines()
         return 0
+    # An empty results directory means the benchmark suite crashed (or was
+    # never run) before emitting a single record: gating nothing would pass
+    # vacuously, hiding exactly the failure the gate exists to catch.
+    if not RESULTS_DIR.is_dir() or not any(RESULTS_DIR.glob("BENCH_*.json")):
+        print(f"no benchmark results: {RESULTS_DIR} "
+              f"{'is empty of BENCH_*.json records' if RESULTS_DIR.is_dir() else 'does not exist'}.")
+        print("The benchmark suite crashed before emitting JSON, or was "
+              "never run. Run it first:")
+        print("  PYTHONPATH=src python -m pytest benchmarks/ "
+              "--benchmark-disable -q")
+        print(f"then re-run this gate (exit {EXIT_NO_RESULTS} = nothing to "
+              f"gate, distinct from 1 = regression).")
+        return EXIT_NO_RESULTS
     print(f"benchmark regression gate (tolerance {args.tolerance:.0%}):")
     regressions = compare(args.tolerance)
     if regressions:

@@ -152,6 +152,35 @@ def build_parser() -> argparse.ArgumentParser:
              "worker processes under --jobs) and print an aggregated top-20 "
              "hotspot table at the end",
     )
+    parser.add_argument(
+        "--journal", type=pathlib.Path, default=None, metavar="FILE.jsonl",
+        help="durably append every completed simulation cell to FILE "
+             "(fsync'd JSONL); combine with --resume to skip the recorded "
+             "cells after a crash or Ctrl-C, with bit-identical results",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed cells from the --journal file instead of "
+             "overwriting it (requires --journal)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock budget under --jobs > 1: a hung unit's "
+             "worker pool is torn down and the unit retried (default: no "
+             "timeout)",
+    )
+    parser.add_argument(
+        "--task-retries", type=int, default=2, metavar="N",
+        help="re-dispatch a failed simulation unit up to N times before "
+             "quarantining it as a named failure (default: 2; 0 disables "
+             "retries)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.1, metavar="SECONDS",
+        help="base of the exponential retry backoff (attempt n waits "
+             "about SECONDS * 2^(n-1), with deterministic per-task jitter; "
+             "default: 0.1)",
+    )
     return parser
 
 
@@ -233,6 +262,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if (args.cache_dir is not None and args.cache_dir.exists()
             and not args.cache_dir.is_dir()):
         parser.error(f"--cache-dir: '{args.cache_dir}' exists and is not a directory")
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal FILE.jsonl")
+    if args.task_timeout is not None and (
+            not math.isfinite(args.task_timeout) or args.task_timeout <= 0):
+        parser.error(
+            f"--task-timeout must be a positive finite number of seconds, "
+            f"got {args.task_timeout!r}"
+        )
+    if args.task_retries < 0:
+        parser.error(f"--task-retries must be non-negative, got {args.task_retries}")
+    if not math.isfinite(args.retry_backoff) or args.retry_backoff < 0:
+        parser.error(
+            f"--retry-backoff must be a non-negative finite number of "
+            f"seconds, got {args.retry_backoff!r}"
+        )
 
     writer = None
     telemetry = None
@@ -265,8 +309,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
         telemetry=telemetry,
         profile=args.profile,
+        task_timeout_s=args.task_timeout,
+        task_retries=args.task_retries,
+        retry_backoff_s=args.retry_backoff,
+        journal=args.journal,
+        resume=args.resume,
     )
 
+    interrupted = False
     try:
         for name in names:
             started = time.perf_counter()
@@ -277,7 +327,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.output is not None:
                 (args.output / f"{name}.txt").write_text(text + "\n",
                                                          encoding="utf-8")
+    except KeyboardInterrupt:
+        # The executor has already drained in-flight work and flushed the
+        # journal; report the partial state and exit nonzero (130 = SIGINT)
+        # instead of dumping a pool traceback.
+        interrupted = True
+        print("\n[campaign] interrupted by user (Ctrl-C); partial results "
+              "reported above", file=sys.stderr, flush=True)
     finally:
+        executor.close()
         if writer is not None:
             writer.close()
             print(f"[trace: {writer.count} record(s) written to {args.trace}; "
@@ -292,6 +350,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if executor.stats.total:
         print(f"[campaign: {executor.stats.summary()}, jobs={executor.jobs}, "
               f"backend={executor.backend}]")
+    if args.journal is not None and executor.journal is not None:
+        print(f"[journal: {len(executor.journal)} completed cell(s) recorded "
+              f"in {args.journal}; resume with --journal {args.journal} "
+              f"--resume]")
+    if interrupted:
+        return 130
+    if executor.stats.failures:
+        print(f"[campaign] {len(executor.stats.failures)} task(s) were "
+              f"quarantined — see the failure report above", file=sys.stderr,
+              flush=True)
+        return 3
     return 0
 
 

@@ -38,6 +38,7 @@ entire evaluation as one campaign.
 from .batching import (
     batch_eligible,
     batch_key,
+    degraded_reason,
     execute_batch,
     fallback_reason,
     plan_batches,
@@ -54,9 +55,11 @@ from .executor import (
     CampaignEvent,
     CampaignExecutor,
     CampaignStats,
+    FailedTask,
     execute_task,
     stderr_progress,
 )
+from .journal import JOURNAL_SCHEMA_VERSION, CampaignJournal
 from .specs import (
     CACHE_VERSION,
     SCHEME_SPEC_KINDS,
@@ -72,17 +75,21 @@ __all__ = [
     "ArrivalProcess",
     "BACKENDS",
     "CACHE_VERSION",
+    "JOURNAL_SCHEMA_VERSION",
     "RESULT_SCHEMA_VERSION",
     "SCHEME_SPEC_KINDS",
     "batch_eligible",
     "batch_key",
+    "degraded_reason",
     "execute_batch",
     "fallback_reason",
     "plan_batches",
     "topology_fingerprint",
     "CampaignEvent",
     "CampaignExecutor",
+    "CampaignJournal",
     "CampaignStats",
+    "FailedTask",
     "ResultCache",
     "RunTask",
     "SchemeSpec",

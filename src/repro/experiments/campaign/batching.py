@@ -43,6 +43,7 @@ from .specs import RunTask
 __all__ = [
     "batch_eligible",
     "fallback_reason",
+    "degraded_reason",
     "batch_key",
     "topology_fingerprint",
     "plan_batches",
@@ -88,6 +89,20 @@ def fallback_reason(task: RunTask) -> Optional[str]:
                     "static populations only)")
         return None
     return f"topology kind '{task.topology.kind}' has no batched kernel"
+
+
+def degraded_reason(kind: str, target: str) -> str:
+    """Fallback-style diagnosis for a cell re-dispatched after batch failure.
+
+    Companion of :func:`fallback_reason` for the *runtime* degradation path:
+    when a batched cell exhausts its retry budget (worker crash, hang or
+    exception), the fault-tolerant executor gives it one final attempt on
+    its scalar oracle simulator and names the degradation with this string
+    in the same places planner fallbacks appear (stderr warning, trace
+    record ``fallback_reason``).
+    """
+    return (f"batched kernel failed repeatedly ({kind}); cell re-dispatched "
+            f"on the scalar '{target}' simulator")
 
 
 def batch_eligible(task: RunTask) -> bool:

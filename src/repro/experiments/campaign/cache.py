@@ -9,7 +9,13 @@ cache is bit-identical to the freshly computed one, so cached and simulated
 cells can be mixed freely inside one campaign.
 
 Corrupt or version-mismatched entries are treated as misses (and re-run),
-never as errors: a cache must not be able to break a campaign.
+never as errors: a cache must not be able to break a campaign.  Corrupt
+files (unparseable JSON, malformed result payloads) are additionally
+*quarantined* — renamed to ``<entry>.corrupt`` so they stop shadowing the
+key, counted on :attr:`ResultCache.corrupt_entries`, surfaced through a
+telemetry counter and one stderr warning, and reported in the campaign
+summary.  Version-mismatched entries are merely stale, not corrupt: they
+stay in place (an older build may still want them).
 """
 
 from __future__ import annotations
@@ -17,10 +23,12 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import sys
 import tempfile
 from typing import Dict, Optional
 
 from ...sim.metrics import SimulationResult, StationStats
+from ...telemetry import current as telemetry_current
 from .specs import CACHE_VERSION, RunTask
 
 __all__ = [
@@ -121,6 +129,10 @@ class ResultCache:
     def __init__(self, root: os.PathLike) -> None:
         self._root = pathlib.Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
+        #: Corrupt entries quarantined (renamed to ``*.corrupt``) by
+        #: :meth:`load` over this instance's lifetime.
+        self.corrupt_entries = 0
+        self._warned_corrupt = False
 
     @property
     def root(self) -> pathlib.Path:
@@ -131,20 +143,51 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[SimulationResult]:
-        """Return the cached result for ``key``, or None on miss/corruption."""
+        """Return the cached result for ``key``, or None on miss/corruption.
+
+        Corrupt entries are quarantined (renamed to ``*.corrupt``), counted
+        and warned about once per cache instance; the campaign re-simulates
+        the cell.  Version mismatches are silent misses, not corruption.
+        """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
             return None
         try:
-            if payload.get("version") != CACHE_VERSION:
-                return None
-            if payload.get("schema_version") != RESULT_SCHEMA_VERSION:
-                return None
-            return result_from_dict(payload["result"])
-        except (KeyError, TypeError, ValueError):
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError as error:
+            self._quarantine(path, f"invalid JSON ({error})")
             return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        if payload.get("schema_version") != RESULT_SCHEMA_VERSION:
+            return None
+        try:
+            return result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError) as error:
+            self._quarantine(path, f"malformed result payload ({error!r})")
+            return None
+
+    def _quarantine(self, path: pathlib.Path, why: str) -> None:
+        """Move a corrupt entry aside so it stops shadowing its key."""
+        corrupt_path = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, corrupt_path)
+            where = f"; quarantined as {corrupt_path.name}"
+        except OSError:
+            where = "; could not be renamed aside"
+        self.corrupt_entries += 1
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            print(
+                f"[cache] corrupt entry {path.name}: {why}{where}. The cell "
+                f"will be re-simulated (further corrupt entries are counted "
+                f"silently).", file=sys.stderr, flush=True,
+            )
+        telemetry_current().counter("cache", "corrupt_entries", 1)
 
     def store(self, task: RunTask, result: SimulationResult) -> pathlib.Path:
         """Persist one completed task atomically; returns the entry path."""

@@ -1,0 +1,211 @@
+"""Append-only campaign journal: checkpoint every completed task.
+
+The :class:`~repro.experiments.campaign.cache.ResultCache` makes *tasks*
+resumable but is per-cell, silent and optional; a long campaign killed
+mid-run still has to rediscover what completed.  The journal makes the
+*campaign* resumable: every finished cell is appended as one fsync'd JSONL
+record, and a later run constructed with the same journal path serves the
+recorded cells without re-simulating them.  Because task execution is a
+pure function of the descriptor, replaying the remainder is bit-identical
+to the uninterrupted campaign.
+
+File layout (one JSON object per line)::
+
+    {"type": "meta", "journal_schema": 1, "cache_version": ...,
+     "result_schema": ...}
+    {"type": "task", "key": "<task_key>", "label": "...", "result": {...}}
+
+The meta line pins the same version pair the result cache uses
+(:data:`~repro.experiments.campaign.specs.CACHE_VERSION` and
+:data:`~repro.experiments.campaign.cache.RESULT_SCHEMA_VERSION`); a journal
+written by incompatible code is discarded with a warning rather than
+replayed into garbage.  A torn final line (the writer was killed mid-write)
+is truncated away on load so appends continue from the last complete
+record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+from typing import Dict, Optional
+
+from ...sim.metrics import SimulationResult
+from .cache import RESULT_SCHEMA_VERSION, result_from_dict, result_to_dict
+from .specs import CACHE_VERSION
+
+__all__ = ["CampaignJournal", "JOURNAL_SCHEMA_VERSION"]
+
+#: Bump when the journal record layout changes incompatibly.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class CampaignJournal:
+    """Append-only, fsync'd JSONL record of completed campaign tasks."""
+
+    def __init__(self, path: os.PathLike, resume: bool = True) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._entries: Dict[str, SimulationResult] = {}
+        #: Torn final records truncated away on load (0 or 1).
+        self.torn_records = 0
+        #: Complete-but-unusable records skipped on load.
+        self.invalid_records = 0
+        keep = 0
+        if resume and self.path.exists():
+            keep = self._load()
+        if keep:
+            size = self.path.stat().st_size
+            if keep < size:
+                with self.path.open("r+b") as fh:
+                    fh.truncate(keep)
+                print(
+                    f"[journal] {self.path}: truncated a torn final record "
+                    f"(writer was killed mid-write); resuming after "
+                    f"{len(self._entries)} complete task(s)",
+                    file=sys.stderr, flush=True,
+                )
+            self._fh = self.path.open("a", encoding="utf-8")
+        else:
+            self._entries = {}
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._append({
+                "type": "meta",
+                "journal_schema": JOURNAL_SCHEMA_VERSION,
+                "cache_version": CACHE_VERSION,
+                "result_schema": RESULT_SCHEMA_VERSION,
+            })
+
+    # ------------------------------------------------------------------
+    def _load(self) -> int:
+        """Replay the file; returns the byte length of the usable prefix.
+
+        A return of 0 means "start fresh" (empty, unreadable, or written by
+        incompatible code).  Only newline-terminated lines count: a torn
+        final fragment is excluded from the usable prefix so the caller can
+        truncate it away before appending.
+        """
+        data = self.path.read_bytes()
+        if not data:
+            return 0
+        keep = 0
+        offset = 0
+        first = True
+        while offset < len(data):
+            end = data.find(b"\n", offset)
+            if end < 0:  # torn final record: no terminating newline
+                self.torn_records = 1
+                break
+            line = data[offset:end].strip()
+            offset = end + 1
+            if not line:
+                keep = offset
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("journal record is not a JSON object")
+            except (ValueError, UnicodeDecodeError):
+                # A complete-but-corrupt line poisons everything after it
+                # (we cannot trust the stream); keep only the prefix.
+                self.invalid_records += 1
+                print(
+                    f"[journal] {self.path}: corrupt record at byte "
+                    f"{offset - len(line) - 1}; ignoring the rest of the "
+                    f"journal", file=sys.stderr, flush=True,
+                )
+                break
+            if first:
+                first = False
+                if not self._meta_compatible(record):
+                    return 0
+                keep = offset
+                continue
+            if record.get("type") != "task":
+                keep = offset
+                continue
+            try:
+                key = record["key"]
+                result = result_from_dict(record["result"])
+            except (KeyError, TypeError, ValueError):
+                self.invalid_records += 1
+                print(
+                    f"[journal] {self.path}: malformed task record; "
+                    f"ignoring the rest of the journal",
+                    file=sys.stderr, flush=True,
+                )
+                break
+            self._entries[key] = result
+            keep = offset
+        return keep
+
+    def _meta_compatible(self, record: Dict[str, object]) -> bool:
+        expected = {
+            "journal_schema": JOURNAL_SCHEMA_VERSION,
+            "cache_version": CACHE_VERSION,
+            "result_schema": RESULT_SCHEMA_VERSION,
+        }
+        if record.get("type") != "meta":
+            print(
+                f"[journal] {self.path}: first record is not journal "
+                f"metadata; discarding and starting fresh",
+                file=sys.stderr, flush=True,
+            )
+            return False
+        for field, want in expected.items():
+            if record.get(field) != want:
+                print(
+                    f"[journal] {self.path}: {field}={record.get(field)!r} "
+                    f"does not match this build ({want}); discarding the "
+                    f"journal and starting fresh",
+                    file=sys.stderr, flush=True,
+                )
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, object]) -> None:
+        if self._fh is None:
+            raise ValueError(f"journal {self.path} is closed")
+        # One write per record keeps the torn-write window to a single
+        # line; fsync makes a completed task durable before the campaign
+        # moves on (the whole point of a crash journal).
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, key: str, result: SimulationResult,
+               label: str = "") -> pathlib.Path:
+        """Durably append one completed task; returns the journal path."""
+        self._append({
+            "type": "task",
+            "key": key,
+            "label": label,
+            "result": result_to_dict(result),
+        })
+        self._entries[key] = result
+        return self.path
+
+    def lookup(self, key: str) -> Optional[SimulationResult]:
+        """The journaled result for ``key``, or None."""
+        return self._entries.get(key)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

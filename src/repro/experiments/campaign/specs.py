@@ -352,6 +352,19 @@ class RunTask:
     def with_label(self, label: str) -> "RunTask":
         return dataclasses.replace(self, label=label)
 
+    def scalar_equivalent(self) -> "RunTask":
+        """This cell retargeted at its scalar oracle simulator.
+
+        The fault-tolerant executor uses this as the last resort for a cell
+        whose batched kernel keeps failing: connected cells re-run on the
+        slotted simulator, everything else on the event-driven one.  The
+        scalar simulators are cross-validated oracles of the batched
+        kernels, not bit-exact clones, so the executor names the
+        degradation (it is a fallback, not a transparent retry).
+        """
+        target = "slotted" if self.topology.kind == "connected" else "event"
+        return dataclasses.replace(self, simulator=target)
+
 
 # ----------------------------------------------------------------------
 # Deterministic seed derivation

@@ -112,6 +112,19 @@ def render_report(records: Sequence[Mapping[str, Any]]) -> str:
         sections.append("backend fallbacks\n" + _table(
             ("reason", "cells"), rows))
 
+    failed = [r for r in records
+              if r.get("type") == "task" and r.get("source") == "failed"]
+    if failed:
+        rows = [
+            (r.get("label") or r["key"][:12], r.get("backend", "?"),
+             r.get("failure_reason", "?"), r.get("attempts", "?"),
+             r.get("error", "?"))
+            for r in failed
+        ]
+        sections.append("quarantined tasks (exhausted retry budget)\n"
+                        + _table(("task", "backend", "reason", "attempts",
+                                  "error"), rows))
+
     # Counters: summed per scope across runs.
     totals: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
     runs: Dict[str, int] = defaultdict(int)
@@ -163,16 +176,23 @@ def trace_report_main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        counts = validate_trace_file(args.trace)
+        counts = validate_trace_file(args.trace, allow_torn_tail=True)
     except (OSError, ValueError) as exc:
         print(f"trace-report: invalid trace: {exc}", file=sys.stderr)
         return 1
 
-    records = read_trace(args.trace)
+    torn = counts.pop("torn_tail", 0)
+    if torn:
+        print("trace-report: warning: the final record is torn (the writer "
+              "was killed mid-write); summarising the valid prefix",
+              file=sys.stderr)
+    records = read_trace(args.trace, skip_torn_tail=True)
     print(render_report(records))
     total = sum(counts.values())
     breakdown = ", ".join(f"{n} {t}" for t, n in sorted(counts.items()) if n)
-    print(f"\n[{args.trace}: {total} records ({breakdown}); schema OK]")
+    tail_note = "; 1 torn final record ignored" if torn else ""
+    print(f"\n[{args.trace}: {total} records ({breakdown}); "
+          f"schema OK{tail_note}]")
 
     if args.out != Path("-"):
         out = args.out or args.trace.with_suffix(args.trace.suffix + ".chrome.json")

@@ -46,7 +46,10 @@ TRACE_SCHEMA_VERSION = 1
 
 RECORD_TYPES = ("meta", "span", "task", "counters", "profile")
 
-_TASK_SOURCES = ("run", "cache")
+#: How a campaign cell was satisfied: executed, served from the result
+#: cache, replayed from a resume journal, or quarantined after exhausting
+#: its retry budget (a ``failed`` record carries ``failure_reason``).
+_TASK_SOURCES = ("run", "cache", "journal", "failed")
 
 
 class JsonlTraceWriter:
@@ -93,14 +96,25 @@ def _jsonable(value: Any) -> Any:
                     f"is not JSON-serialisable: {value!r}")
 
 
-def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Load every record of a JSONL trace file (no validation)."""
+def read_trace(path: Union[str, Path],
+               skip_torn_tail: bool = False) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL trace file (no validation).
+
+    With ``skip_torn_tail=True`` an unparseable *final* line — the writer
+    was killed mid-write — is dropped instead of raising, so the valid
+    prefix of a crashed campaign's trace remains loadable.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    stripped = [line.strip() for line in lines]
+    nonempty = [(i, line) for i, line in enumerate(stripped) if line]
     records = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    for position, (_, line) in enumerate(nonempty):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if skip_torn_tail and position == len(nonempty) - 1:
+                break
+            raise
     return records
 
 
@@ -200,29 +214,45 @@ def validate_record(record: Any) -> str:
     return rtype
 
 
-def validate_trace_file(path: Union[str, Path]) -> Dict[str, int]:
+def validate_trace_file(path: Union[str, Path],
+                        allow_torn_tail: bool = False) -> Dict[str, int]:
     """Validate every line of a JSONL trace; returns per-type counts.
 
     Raises :class:`ValueError` naming the 1-based line number of the first
     invalid record.  An empty file (or one with no ``meta`` record) is
     considered invalid — every trace begins with campaign metadata.
+
+    With ``allow_torn_tail=True`` an invalid *final* record — the writer
+    was killed mid-write — does not fail validation; it is reported as
+    ``counts["torn_tail"] == 1`` so callers can summarise the valid prefix
+    while still surfacing the tear.  The ``torn_tail`` key is present only
+    under that flag, so default-mode callers see pure per-type counts.
     """
     counts: Dict[str, int] = {rtype: 0 for rtype in RECORD_TYPES}
-    lineno = 0
+    if allow_torn_tail:
+        counts["torn_tail"] = 0
     with Path(path).open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}")
-            try:
-                counts[validate_record(record)] += 1
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}")
-    _require(sum(counts.values()) > 0, f"{path}: trace contains no records")
+        numbered = [(lineno, line.strip())
+                    for lineno, line in enumerate(fh, start=1)]
+    nonempty = [(lineno, line) for lineno, line in numbered if line]
+    for position, (lineno, line) in enumerate(nonempty):
+        is_final = position == len(nonempty) - 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if allow_torn_tail and is_final:
+                counts["torn_tail"] = 1
+                break
+            raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}")
+        try:
+            counts[validate_record(record)] += 1
+        except ValueError as exc:
+            if allow_torn_tail and is_final:
+                counts["torn_tail"] = 1
+                break
+            raise ValueError(f"{path}:{lineno}: {exc}")
+    _require(sum(counts[rtype] for rtype in RECORD_TYPES) > 0,
+             f"{path}: trace contains no records")
     _require(counts["meta"] > 0, f"{path}: trace has no 'meta' record")
     return counts
 

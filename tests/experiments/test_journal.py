@@ -1,0 +1,243 @@
+"""Tests for the append-only campaign journal (checkpoint/resume)."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    CACHE_VERSION,
+    JOURNAL_SCHEMA_VERSION,
+    RESULT_SCHEMA_VERSION,
+    CampaignExecutor,
+    CampaignJournal,
+    RunTask,
+    SchemeSpec,
+    TopologySpec,
+)
+from repro.testing import FaultPlan, FaultRule, tear_file
+
+
+def _task(seed=1, label="", **overrides):
+    defaults = dict(
+        scheme=SchemeSpec.make("standard-802.11"),
+        topology=TopologySpec.connected(4),
+        seed=seed,
+        duration=0.25,
+        warmup=0.05,
+        label=label or f"cell-{seed}",
+    )
+    defaults.update(overrides)
+    return RunTask(**defaults)
+
+
+def _result(tmp_path, task):
+    return CampaignExecutor(jobs=1, cache_dir=tmp_path / "scratch").run([task])[0]
+
+
+class TestJournalBasics:
+    def test_fresh_journal_writes_versioned_meta(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CampaignJournal(path) as journal:
+            assert len(journal) == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        meta = json.loads(lines[0])
+        assert meta == {
+            "type": "meta",
+            "journal_schema": JOURNAL_SCHEMA_VERSION,
+            "cache_version": CACHE_VERSION,
+            "result_schema": RESULT_SCHEMA_VERSION,
+        }
+
+    def test_record_and_reload_round_trips(self, tmp_path):
+        task = _task(seed=1)
+        result = _result(tmp_path, task)
+        path = tmp_path / "run.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record(task.task_key(), result, label=task.label)
+        with CampaignJournal(path) as reloaded:
+            assert len(reloaded) == 1
+            assert task.task_key() in reloaded
+            assert reloaded.lookup(task.task_key()) == result
+
+    def test_record_after_close_raises(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "run.jsonl")
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.record("key", _result(tmp_path, _task()))
+
+    def test_resume_false_starts_fresh(self, tmp_path):
+        task = _task(seed=1)
+        path = tmp_path / "run.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record(task.task_key(), _result(tmp_path, task))
+        with CampaignJournal(path, resume=False) as fresh:
+            assert len(fresh) == 0
+        assert len(path.read_text().splitlines()) == 1  # meta only
+
+
+class TestJournalRobustness:
+    def _journal_with_two_tasks(self, tmp_path):
+        tasks = [_task(seed=s) for s in (1, 2)]
+        results = [_result(tmp_path, t) for t in tasks]
+        path = tmp_path / "run.jsonl"
+        with CampaignJournal(path) as journal:
+            for task, result in zip(tasks, results):
+                journal.record(task.task_key(), result, label=task.label)
+        return path, tasks, results
+
+    def test_torn_final_record_is_truncated_away(self, tmp_path, capsys):
+        path, tasks, results = self._journal_with_two_tasks(tmp_path)
+        tear_file(path)
+        with CampaignJournal(path) as journal:
+            assert journal.torn_records == 1
+            assert len(journal) == 1  # the complete first task survives
+            assert journal.lookup(tasks[0].task_key()) == results[0]
+            assert tasks[1].task_key() not in journal
+        assert "torn final record" in capsys.readouterr().err
+        # The torn bytes are gone: the file ends on a complete line again.
+        assert path.read_bytes().endswith(b"\n")
+
+    def test_corrupt_middle_record_poisons_the_suffix(self, tmp_path, capsys):
+        path, tasks, results = self._journal_with_two_tasks(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = "{ not json"
+        path.write_text("\n".join(lines) + "\n")
+        with CampaignJournal(path) as journal:
+            assert journal.invalid_records == 1
+            assert len(journal) == 0  # nothing after the corruption is kept
+        assert "corrupt record" in capsys.readouterr().err
+
+    def test_version_mismatch_discards_the_journal(self, tmp_path, capsys):
+        path, tasks, _ = self._journal_with_two_tasks(tmp_path)
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta["journal_schema"] = JOURNAL_SCHEMA_VERSION + 1
+        lines[0] = json.dumps(meta)
+        path.write_text("\n".join(lines) + "\n")
+        with CampaignJournal(path) as journal:
+            assert len(journal) == 0
+        assert "does not match this build" in capsys.readouterr().err
+        # The discarded journal was rewritten with a fresh meta record.
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_missing_meta_discards_the_journal(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"type": "task", "key": "k", "result": {}}\n')
+        with CampaignJournal(path) as journal:
+            assert len(journal) == 0
+        assert "not journal metadata" in capsys.readouterr().err
+
+    def test_empty_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        with CampaignJournal(path) as journal:
+            assert len(journal) == 0
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestExecutorIntegration:
+    def test_resumed_campaign_is_bit_identical(self, tmp_path):
+        tasks = [_task(seed=s) for s in (1, 2, 3)]
+        path = tmp_path / "run.jsonl"
+        first = CampaignExecutor(jobs=2, cache_dir=tmp_path / "c1",
+                                 journal=path)
+        reference = first.run(tasks)
+        first.close()
+        # A second campaign with a cold cache serves everything journaled.
+        second = CampaignExecutor(jobs=2, cache_dir=tmp_path / "c2",
+                                  journal=path)
+        results = second.run(tasks)
+        second.close()
+        assert results == reference
+        assert second.stats.journaled == 3
+        assert second.stats.executed == 0
+        assert "from journal" in second.stats.summary()
+
+    def test_partial_journal_resumes_only_the_remainder(self, tmp_path):
+        # Explicit simulator so task_key() here matches the executed key
+        # (the "auto" policy rewrites tasks, changing their hash).
+        tasks = [_task(seed=s, simulator="slotted") for s in (1, 2, 3)]
+        reference = CampaignExecutor(jobs=1,
+                                     cache_dir=tmp_path / "ref").run(tasks)
+        path = tmp_path / "run.jsonl"
+        # Journal only the first cell, as if the campaign was killed there.
+        with CampaignJournal(path) as journal:
+            journal.record(tasks[0].task_key(), reference[0])
+        executor = CampaignExecutor(jobs=1, cache_dir=tmp_path / "c",
+                                    journal=path)
+        results = executor.run(tasks)
+        executor.close()
+        assert results == reference
+        assert executor.stats.journaled == 1
+        assert executor.stats.executed == 2
+
+    def test_journal_accepts_an_instance(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "run.jsonl")
+        executor = CampaignExecutor(jobs=1, cache_dir=tmp_path / "c",
+                                    journal=journal)
+        assert executor.journal is journal
+        executor.run([_task(seed=1)])
+        assert len(journal) == 1
+        executor.close()
+
+    def test_journal_serves_before_the_cache(self, tmp_path):
+        """Journal hits are counted as journaled, not cached, even when the
+        cache also holds the cell."""
+        task = _task(seed=1)
+        path = tmp_path / "run.jsonl"
+        cache_dir = tmp_path / "c"
+        first = CampaignExecutor(jobs=1, cache_dir=cache_dir, journal=path)
+        first.run([task])
+        first.close()
+        second = CampaignExecutor(jobs=1, cache_dir=cache_dir, journal=path)
+        second.run([task])
+        second.close()
+        assert second.stats.journaled == 1
+        assert second.stats.cached == 0
+
+    def test_torn_journal_write_resumes_cleanly(self, tmp_path):
+        """A journal torn mid-append (injected) loses only the torn cell."""
+        tasks = [_task(seed=s) for s in (1, 2)]
+        reference = CampaignExecutor(jobs=1,
+                                     cache_dir=tmp_path / "ref").run(tasks)
+        path = tmp_path / "run.jsonl"
+        # Tear the *final* append (cell-2 completes last): a torn write is a
+        # crash at that point, so nothing may be appended after it.
+        faults = FaultPlan([FaultRule("torn-journal",
+                                      label_contains="cell-2", times=1)],
+                           state_dir=tmp_path / "faults")
+        first = CampaignExecutor(jobs=1, cache_dir=tmp_path / "c1",
+                                 journal=path, faults=faults)
+        first.run(tasks)
+        first.close()
+        second = CampaignExecutor(jobs=1, cache_dir=tmp_path / "c2",
+                                  journal=path)
+        results = second.run(tasks)
+        second.close()
+        assert results == reference
+        assert second.stats.journaled == 1  # the torn record was lost
+        assert second.stats.executed == 1  # ...and re-simulated
+
+    def test_quarantined_tasks_are_not_journaled(self, tmp_path):
+        """A later resume retries a previously-poisoned cell."""
+        task = _task(seed=1, label="poisoned", simulator="slotted")
+        path = tmp_path / "run.jsonl"
+        faults = FaultPlan(
+            [FaultRule("error", label_contains="poisoned", times=3)],
+            state_dir=tmp_path / "faults")
+        first = CampaignExecutor(jobs=1, cache_dir=tmp_path / "c1",
+                                 journal=path, task_retries=0,
+                                 retry_backoff_s=0.01, faults=faults)
+        [nothing] = first.run([task])
+        first.close()
+        assert nothing is None
+        # The rule still has firings left but the resumed campaign gets a
+        # fresh retry budget and eventually succeeds.
+        second = CampaignExecutor(jobs=1, cache_dir=tmp_path / "c2",
+                                  journal=path, task_retries=3,
+                                  retry_backoff_s=0.01, faults=faults)
+        [result] = second.run([task])
+        second.close()
+        assert result is not None
+        assert second.stats.journaled == 0

@@ -108,3 +108,64 @@ class TestTraceReportMain:
         assert experiments_main(["trace-report", str(trace_file),
                                  "--out", "-"]) == 0
         assert "schema OK" in capsys.readouterr().out
+
+
+class TestQuarantinedSection:
+    def _failed_record(self):
+        return {
+            "type": "task", "pid": PID, "key": "deadbeef" * 8,
+            "label": "poisoned-cell", "backend": "slotted",
+            "source": "failed", "cache_hit": False, "t0": 102.0,
+            "group": None, "worker_pid": None, "queue_wait_s": None,
+            "execute_s": None, "cells_per_s": None, "fallback_reason": None,
+            "failure_reason": "error", "attempts": 3,
+            "error": "InjectedFault: boom",
+        }
+
+    def test_quarantined_tasks_get_their_own_table(self):
+        text = render_report(_records() + [self._failed_record()])
+        assert "quarantined tasks (exhausted retry budget)" in text
+        assert "poisoned-cell" in text
+        assert "InjectedFault: boom" in text
+
+    def test_no_quarantine_section_without_failures(self):
+        assert "quarantined" not in render_report(_records())
+
+
+class TestTornTraceReport:
+    """trace-report on a truncated trace (the writer was SIGKILLed)."""
+
+    @pytest.fixture
+    def torn_trace(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        lines = [json.dumps(r) for r in _records()]
+        torn = json.dumps(_records()[3])[:25]  # a task record cut mid-write
+        path.write_text("\n".join(lines + [torn]), encoding="utf-8")
+        return path
+
+    def test_torn_final_record_is_reported_not_fatal(self, torn_trace, capsys):
+        assert trace_report_main([str(torn_trace), "--out", "-"]) == 0
+        captured = capsys.readouterr()
+        assert "torn" in captured.err
+        assert "1 torn final record ignored" in captured.out
+        # The valid prefix is still summarised in full.
+        assert "tasks (by backend)" in captured.out
+        assert "8 records" in captured.out
+
+    def test_clean_trace_has_no_torn_note(self, tmp_path, capsys):
+        path = tmp_path / "ok.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            for record in _records():
+                writer.write(record)
+        assert trace_report_main([str(path), "--out", "-"]) == 0
+        captured = capsys.readouterr()
+        assert "torn final record" not in captured.out
+        assert "torn final record" not in captured.err
+
+    def test_mid_file_corruption_is_still_fatal(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        records = [json.dumps(r) for r in _records()]
+        records.insert(2, "{torn mid file")
+        path.write_text("\n".join(records) + "\n", encoding="utf-8")
+        assert trace_report_main([str(path), "--out", "-"]) == 1
+        assert "invalid trace" in capsys.readouterr().err

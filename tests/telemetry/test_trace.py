@@ -219,3 +219,66 @@ class TestChromeTrace:
         data = json.loads(path.read_text())
         assert data["displayTimeUnit"] == "ms"
         assert len(data["traceEvents"]) == 3
+
+
+class TestTornTail:
+    """A writer killed mid-record leaves a torn final line; validation and
+    reading must be able to keep the valid prefix on request."""
+
+    def write_torn(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [json.dumps(meta()), json.dumps(span()),
+                 '{"type": "task", "key": "k9", "la']  # torn mid-write
+        path.write_text("\n".join(lines), encoding="utf-8")
+        return path
+
+    def test_torn_tail_rejected_by_default(self, tmp_path):
+        path = self.write_torn(tmp_path)
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_trace_file(path)
+
+    def test_allow_torn_tail_counts_it(self, tmp_path):
+        path = self.write_torn(tmp_path)
+        counts = validate_trace_file(path, allow_torn_tail=True)
+        assert counts["torn_tail"] == 1
+        assert counts["meta"] == 1
+        assert counts["span"] == 1
+
+    def test_allow_torn_tail_reports_zero_on_clean_files(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            writer.write(meta())
+            writer.write(span())
+        counts = validate_trace_file(path, allow_torn_tail=True)
+        assert counts["torn_tail"] == 0
+
+    def test_torn_mid_file_record_is_still_invalid(self, tmp_path):
+        """Only the FINAL record may be torn: damage anywhere else is
+        corruption, with or without the allowance."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(meta()) + "\n{torn\n"
+                        + json.dumps(span()) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=":2: not valid JSON"):
+            validate_trace_file(path, allow_torn_tail=True)
+
+    def test_read_trace_skip_torn_tail(self, tmp_path):
+        path = self.write_torn(tmp_path)
+        records = read_trace(path, skip_torn_tail=True)
+        assert [r["type"] for r in records] == ["meta", "span"]
+
+    def test_read_trace_still_raises_without_skip(self, tmp_path):
+        path = self.write_torn(tmp_path)
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestFailedTaskRecords:
+    def test_failed_source_is_valid(self):
+        record = task(source="failed", cache_hit=False)
+        record["failure_reason"] = "error"
+        record["error"] = "InjectedFault: boom"
+        record["attempts"] = 3
+        assert validate_record(record) == "task"
+
+    def test_journal_source_is_valid(self):
+        assert validate_record(task(source="journal", cache_hit=False)) == "task"

@@ -1,0 +1,66 @@
+"""Tests for the benchmark regression gate's failure modes.
+
+The gate must never pass vacuously: an empty results directory (the
+benchmark suite crashed before emitting JSON) exits with its own code so CI
+can tell "no data" apart from "regression".
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+GATE = (pathlib.Path(__file__).resolve().parents[1]
+        / "benchmarks" / "check_benchmark_regression.py")
+
+
+@pytest.fixture
+def gate(monkeypatch, tmp_path):
+    spec = importlib.util.spec_from_file_location("bench_gate", GATE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path / "results")
+    monkeypatch.setattr(module, "BASELINES_DIR", tmp_path / "baselines")
+    return module
+
+
+def _record(cells_per_s=100.0):
+    return {"backend": "batched", "cells_per_s": cells_per_s}
+
+
+class TestEmptyResults:
+    def test_missing_results_dir_exits_distinctly(self, gate, capsys):
+        assert gate.main([]) == gate.EXIT_NO_RESULTS
+        out = capsys.readouterr().out
+        assert "does not exist" in out
+        assert "Run it first" in out
+
+    def test_results_dir_without_records_exits_distinctly(self, gate, capsys):
+        gate.RESULTS_DIR.mkdir(parents=True)
+        (gate.RESULTS_DIR / "notes.txt").write_text("not a record")
+        assert gate.main([]) == gate.EXIT_NO_RESULTS
+        assert "empty of BENCH_*.json" in capsys.readouterr().out
+
+    def test_exit_code_is_distinct_from_regression(self, gate):
+        assert gate.EXIT_NO_RESULTS not in (0, 1)
+
+    def test_populated_results_still_gate(self, gate, capsys):
+        gate.RESULTS_DIR.mkdir(parents=True)
+        gate.BASELINES_DIR.mkdir(parents=True)
+        (gate.BASELINES_DIR / "BENCH_x.json").write_text(
+            json.dumps(_record(100.0)))
+        (gate.RESULTS_DIR / "BENCH_x.json").write_text(
+            json.dumps(_record(10.0)))  # 10x regression
+        assert gate.main([]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_healthy_results_pass(self, gate, capsys):
+        gate.RESULTS_DIR.mkdir(parents=True)
+        gate.BASELINES_DIR.mkdir(parents=True)
+        (gate.BASELINES_DIR / "BENCH_x.json").write_text(
+            json.dumps(_record(100.0)))
+        (gate.RESULTS_DIR / "BENCH_x.json").write_text(
+            json.dumps(_record(101.0)))
+        assert gate.main([]) == 0
+        assert "passed" in capsys.readouterr().out

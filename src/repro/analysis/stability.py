@@ -1,0 +1,133 @@
+"""Stability classification of controller time series.
+
+The stability atlas (``fig_stability_atlas``) needs a mechanical way to tell
+whether a controller run *converged*, *oscillated*, or fell into the IdleSense
+*livelock* basin that the hidden-terminal regression tests pin.  This module
+classifies a throughput (or control-variable) time line into one of four
+states and summarises its tail behaviour.
+
+Functions operate on plain ``(time, value)`` sequences, the same convention as
+:mod:`repro.analysis.convergence`, so they work on
+:class:`~repro.sim.metrics.SimulationResult` time lines and on ``probe``
+records alike (see :func:`stability_from_probe`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .convergence import settling_time, steady_state_statistics
+
+__all__ = [
+    "StabilityReport",
+    "classify_stability",
+    "stability_from_probe",
+    "LIVELOCK_FLOOR_BPS",
+    "OSCILLATION_THRESHOLD",
+]
+
+# A cell whose tail-mean throughput stays below this floor is considered
+# livelocked: the documented IdleSense hidden-terminal livelock delivers well
+# under 1 Mb/s while healthy cells deliver tens of Mb/s, so the floor has a
+# wide safety margin on both sides.
+LIVELOCK_FLOOR_BPS = 1e6
+
+# Relative peak-to-peak amplitude of the tail above which a series counts as
+# oscillating rather than converged.
+OSCILLATION_THRESHOLD = 0.25
+
+# Classifying needs at least a couple of tail samples to be meaningful.
+MIN_SAMPLES = 4
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Classification and tail summary of one controller time line."""
+
+    classification: str  # "livelock" | "converged" | "oscillating" | "inconclusive"
+    settling_time_s: Optional[float]
+    oscillation_amplitude: float
+    tail_mean: float
+    tail_std: float
+
+    @property
+    def is_livelock(self) -> bool:
+        return self.classification == "livelock"
+
+
+def classify_stability(series: Sequence[Tuple[float, float]],
+                       livelock_floor: float = LIVELOCK_FLOOR_BPS,
+                       oscillation_threshold: float = OSCILLATION_THRESHOLD,
+                       tail_fraction: float = 0.5,
+                       tolerance: float = 0.1) -> StabilityReport:
+    """Classify a ``(time, value)`` series into a :class:`StabilityReport`.
+
+    Rules, in order:
+
+    1. Fewer than four samples -> ``inconclusive`` (too short to judge).
+    2. Tail mean at or below ``livelock_floor`` -> ``livelock``.
+    3. Relative tail peak-to-peak amplitude above ``oscillation_threshold``
+       -> ``oscillating``.
+    4. Otherwise ``converged``, with the settling time against the tail mean.
+    """
+    cleaned = [(float(t), float(v)) for t, v in series]
+    if len(cleaned) < MIN_SAMPLES:
+        values = np.array([v for _, v in cleaned], dtype=float)
+        mean = float(values.mean()) if values.size else 0.0
+        std = float(values.std()) if values.size else 0.0
+        return StabilityReport(
+            classification="inconclusive",
+            settling_time_s=None,
+            oscillation_amplitude=0.0,
+            tail_mean=mean,
+            tail_std=std,
+        )
+
+    tail_mean, tail_std = steady_state_statistics(cleaned, tail_fraction=tail_fraction)
+    values = np.array([v for _, v in cleaned], dtype=float)
+    tail = values[int(len(values) * (1.0 - tail_fraction)):]
+    if tail.size == 0:
+        tail = values[-1:]
+    amplitude = float(tail.max() - tail.min())
+    relative_amplitude = amplitude / tail_mean if tail_mean > 0 else 0.0
+
+    if tail_mean <= livelock_floor:
+        classification = "livelock"
+        settle = None
+    elif relative_amplitude > oscillation_threshold:
+        classification = "oscillating"
+        settle = None
+    else:
+        classification = "converged"
+        settle = settling_time(cleaned, tail_mean, tolerance=tolerance)
+
+    return StabilityReport(
+        classification=classification,
+        settling_time_s=settle,
+        oscillation_amplitude=relative_amplitude,
+        tail_mean=tail_mean,
+        tail_std=tail_std,
+    )
+
+
+def stability_from_probe(record: Mapping[str, object],
+                         series_name: str,
+                         **kwargs) -> Optional[StabilityReport]:
+    """Classify one series of a ``probe`` trace record.
+
+    ``record`` is a schema-v2 ``probe`` record as emitted by the simulators
+    (``{"type": "probe", "t": [...], "series": {name: [...]}}``).  ``None``
+    entries (NaN placeholders) are skipped.  Returns ``None`` when the record
+    has no series of that name.
+    """
+    series = record.get("series")
+    if not isinstance(series, Mapping) or series_name not in series:
+        return None
+    times = record.get("t") or []
+    column = series[series_name]
+    pairs = [(float(t), float(v))
+             for t, v in zip(times, column) if v is not None]
+    return classify_stability(pairs, **kwargs)

@@ -62,6 +62,18 @@ class BatchedControllerBank:
         """Per-cell scalar control value for convergence time lines, or None."""
         return None
 
+    def probe_state(self) -> dict:
+        """Controller-state snapshot for simulator probes (read-only).
+
+        Returns ``{"control": per-cell array}`` when the bank advertises a
+        primary control value; adaptive banks may add further 1-D series
+        (e.g. TORA's ``ctrl_stage``).  Must never mutate bank state.
+        """
+        control = self.primary_control()
+        if control is None:
+            return {}
+        return {"control": control}
+
 
 class BatchedStaticBank(BatchedControllerBank):
     """Counterpart of :class:`~repro.core.controller.StaticController`."""
@@ -325,3 +337,9 @@ class BatchedToraBank(_BatchedAdaptiveBank):
 
     def primary_control(self):
         return self.advertised_p0()
+
+    def probe_state(self) -> dict:
+        return {
+            "control": self.advertised_p0(),
+            "ctrl_stage": self.advertised_stage().astype(np.float64),
+        }

@@ -39,6 +39,7 @@ from .fig12 import run_fig12
 from .fig13 import run_fig13
 from .fig_fct_sweep import run_fig_fct_sweep
 from .fig_load_sweep import run_fig_load_sweep
+from .fig_stability_atlas import run_fig_stability_atlas
 from .reporting import format_result, format_table, summarize_series
 from .runner import (
     ExperimentResult,
@@ -77,6 +78,7 @@ EXPERIMENT_REGISTRY = {
     "table3": run_table3,
     "fig_load_sweep": run_fig_load_sweep,
     "fig_fct_sweep": run_fig_fct_sweep,
+    "fig_stability_atlas": run_fig_stability_atlas,
 }
 
 __all__ = [
@@ -113,6 +115,7 @@ __all__ = [
     "run_fig13",
     "run_fig_fct_sweep",
     "run_fig_load_sweep",
+    "run_fig_stability_atlas",
     "format_result",
     "format_table",
     "summarize_series",

@@ -22,10 +22,14 @@ per completed cell to stderr (with a rolling cells/s rate and ETA).
 
 Observability: ``--trace FILE.jsonl`` streams telemetry records (phase
 spans, per-cell task records, simulator loop counters) to a JSONL file;
+``--probe-interval SECONDS`` additionally samples per-station controller
+state inside every simulator backend and streams the time series as
+``probe`` records into the same file;
 ``python -m repro.experiments trace-report FILE.jsonl`` summarises one and
-exports a Perfetto-loadable Chrome trace; ``--profile`` runs cProfile in
-every worker and prints an aggregated hotspot table.  Neither flag changes
-results: runs with and without them are bit-identical.
+exports a Perfetto-loadable Chrome trace (probe series become counter
+tracks); ``--profile`` runs cProfile in every worker and prints an
+aggregated hotspot table.  None of these flags changes results: runs with
+and without them are bit-identical.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..telemetry import ProbeConfig
 from . import EXPERIMENT_REGISTRY, PAPER, QUICK
 from .campaign import BACKENDS, CampaignExecutor, stderr_progress
 from .config import ExperimentConfig
@@ -145,6 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream campaign telemetry (phase spans, per-cell task records, "
              "simulator loop counters) to FILE as JSONL; summarise it later "
              "with 'python -m repro.experiments trace-report FILE'",
+    )
+    parser.add_argument(
+        "--probe-interval", type=float, default=None, metavar="SECONDS",
+        help="sample per-station controller state (contention window / "
+             "attempt probability, IdleSense idle estimate, queue depth, "
+             "windowed throughput, channel busy fraction) every SECONDS of "
+             "virtual time in every simulator backend and stream the series "
+             "as 'probe' records into the --trace file (requires --trace; "
+             "probes never change simulation results)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -277,6 +291,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"--retry-backoff must be a non-negative finite number of "
             f"seconds, got {args.retry_backoff!r}"
         )
+    if args.probe_interval is not None:
+        if not math.isfinite(args.probe_interval) or args.probe_interval <= 0:
+            parser.error(
+                f"--probe-interval must be a positive finite number of "
+                f"seconds, got {args.probe_interval!r}"
+            )
+        if args.trace is None:
+            parser.error("--probe-interval requires --trace FILE.jsonl "
+                         "(probe records stream into the trace)")
 
     writer = None
     telemetry = None
@@ -298,6 +321,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "backend": args.backend,
                 "jobs": args.jobs,
                 "profile": args.profile,
+                "probe_interval": args.probe_interval,
             },
         })
 
@@ -314,6 +338,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         retry_backoff_s=args.retry_backoff,
         journal=args.journal,
         resume=args.resume,
+        probe=(ProbeConfig(args.probe_interval)
+               if args.probe_interval is not None else None),
     )
 
     interrupted = False

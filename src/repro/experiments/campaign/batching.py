@@ -83,7 +83,7 @@ def fallback_reason(task: RunTask) -> Optional[str]:
         return "unbatchable scheme (weight vector shorter than the cell)"
     if task.topology.kind == "connected":
         return None
-    if task.topology.kind == "hidden-disc":
+    if task.topology.kind in ("hidden-disc", "two-cluster"):
         if task.activity is not None:
             return ("activity schedule (the conflict-matrix backend models "
                     "static populations only)")

@@ -73,6 +73,8 @@ from ...sim.simulation import WlanSimulation
 from ...sim.slotted import SlottedSimulator
 from ...telemetry import NULL, NullTelemetry, Telemetry
 from ...telemetry import session as telemetry_session
+from ...telemetry.probes import ProbeConfig
+from ...telemetry.probes import session as probe_session
 from ...telemetry.profiling import hotspot_report, stats_dict, top_hotspots
 from ...testing.faults import FaultPlan, InjectedCrash
 from .batching import (
@@ -222,6 +224,7 @@ def _execute_unit(tasks: Tuple[RunTask, ...], batched: bool, submitted: float,
                   collect: bool, profile: bool,
                   faults: Optional[FaultPlan] = None,
                   allow_exit: bool = True,
+                  probe: Optional[ProbeConfig] = None,
                   ) -> Tuple[List[SimulationResult], _UnitReport]:
     """Run one unit of work (pool-side wrapper).
 
@@ -230,7 +233,10 @@ def _execute_unit(tasks: Tuple[RunTask, ...], batched: bool, submitted: float,
     process boundary.  ``faults`` is the test-only injection plan; it fires
     before simulation starts so an injected crash/hang/error models a
     failure of the unit as a whole (``allow_exit=False`` keeps in-process
-    crashes survivable).
+    crashes survivable).  ``probe`` installs a simulator probe session for
+    the unit; the probe records land in ``records`` next to the simulator
+    counters (probes never influence results — see
+    :mod:`repro.telemetry.probes`).
     """
     started = time.time()
     if faults is not None:
@@ -239,7 +245,8 @@ def _execute_unit(tasks: Tuple[RunTask, ...], batched: bool, submitted: float,
     tel = Telemetry(keep_records=True) if collect else None
     profiler = cProfile.Profile() if profile else None
     begin = time.perf_counter()
-    with telemetry_session(tel) if tel is not None else nullcontext():
+    with telemetry_session(tel) if tel is not None else nullcontext(), \
+            probe_session(probe) if probe is not None else nullcontext():
         if profiler is not None:
             profiler.enable()
         try:
@@ -580,7 +587,7 @@ class _UnitScheduler:
                         future = pool.submit(
                             _execute_unit, tuple(unit.tasks), unit.batched,
                             time.time(), ex._telemetry.enabled, ex._profile,
-                            ex._faults, True,
+                            ex._faults, True, ex._probe,
                         )
                     except BrokenExecutor as exc:
                         self._queue.appendleft(unit)
@@ -818,6 +825,14 @@ class CampaignExecutor:
     faults:
         Test-only :class:`~repro.testing.faults.FaultPlan` injected into
         every unit execution and after journal/cache writes.
+    probe:
+        Optional :class:`~repro.telemetry.probes.ProbeConfig` installed
+        around every executed unit (including in worker processes), making
+        the simulators sample per-station controller state and emit
+        ``probe`` records through ``telemetry``.  Like telemetry, probes
+        never influence results and never enter task hashes or cache keys
+        — but note that cache/journal hits skip execution entirely, so
+        previously cached cells produce no probe records.
     """
 
     def __init__(
@@ -835,6 +850,7 @@ class CampaignExecutor:
         journal: Optional[os.PathLike] = None,
         resume: bool = True,
         faults: Optional[FaultPlan] = None,
+        probe: Optional[ProbeConfig] = None,
     ) -> None:
         if jobs <= 0:
             jobs = os.cpu_count() or 1
@@ -864,6 +880,7 @@ class CampaignExecutor:
         else:
             self._journal = CampaignJournal(journal, resume=resume)
         self._faults = faults
+        self._probe = probe
         #: Picklable cProfile stats mappings, one per profiled unit of work,
         #: accumulated across :meth:`run` calls (see :meth:`profile_report`).
         self.profile_stats: List[Dict[Any, Any]] = []
@@ -892,6 +909,10 @@ class CampaignExecutor:
     @property
     def journal(self) -> Optional[CampaignJournal]:
         return self._journal
+
+    @property
+    def probe(self) -> Optional[ProbeConfig]:
+        return self._probe
 
     def close(self) -> None:
         """Flush and close the journal (results remain resumable)."""
@@ -926,13 +947,15 @@ class CampaignExecutor:
     ) -> Tuple[List[SimulationResult], Optional[_UnitReport]]:
         """Run one unit in-process (serial mode)."""
         tel = self._telemetry
-        if not (tel.enabled or self._profile or self._faults is not None):
+        if not (tel.enabled or self._profile or self._faults is not None
+                or self._probe is not None):
             if unit.batched:
                 return execute_batch(unit.tasks), None
             return [execute_task(task) for task in unit.tasks], None
         results, report = _execute_unit(
             tuple(unit.tasks), unit.batched, time.time(), tel.enabled,
             self._profile, self._faults, allow_exit=False,
+            probe=self._probe,
         )
         return results, report
 

@@ -42,7 +42,11 @@ from ...mac.schemes import (
 )
 from ...phy.constants import PhyParameters
 from ...topology.graph import ConnectivityGraph
-from ...topology.scenarios import fully_connected_scenario, hidden_node_scenario
+from ...topology.scenarios import (
+    fully_connected_scenario,
+    hidden_node_scenario,
+    two_cluster_hidden_scenario,
+)
 from ...traffic import ArrivalProcess
 
 __all__ = [
@@ -162,13 +166,21 @@ class SchemeSpec:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class TopologySpec:
-    """Declarative placement: fully connected ring or seeded hidden-node disc."""
+    """Declarative placement: connected ring, hidden-node disc or two clusters.
+
+    ``two-cluster`` is the controlled hidden-terminal geometry the stability
+    atlas sweeps: two equal clusters of stations whose cross-cluster distance
+    (``separation``) decides whether the clusters can carrier-sense each
+    other, with ``spread`` controlling the jitter inside each cluster.
+    """
 
     kind: str
     num_stations: int
     radius: Optional[float] = None
     topology_seed: Optional[int] = None
     require_hidden_pairs: bool = True
+    separation: Optional[float] = None
+    spread: Optional[float] = None
 
     @classmethod
     def connected(cls, num_stations: int) -> "TopologySpec":
@@ -187,8 +199,20 @@ class TopologySpec:
             require_hidden_pairs=bool(require_hidden_pairs),
         )
 
+    @classmethod
+    def two_cluster(cls, stations_per_cluster: int, separation: float,
+                    topology_seed: int, spread: float = 1.0) -> "TopologySpec":
+        """Two seeded clusters ``separation`` metres apart (stability atlas)."""
+        return cls(
+            kind="two-cluster",
+            num_stations=2 * int(stations_per_cluster),
+            topology_seed=int(topology_seed),
+            separation=float(separation),
+            spread=float(spread),
+        )
+
     def __post_init__(self) -> None:
-        if self.kind not in ("connected", "hidden-disc"):
+        if self.kind not in ("connected", "hidden-disc", "two-cluster"):
             raise ValueError(f"unknown topology kind '{self.kind}'")
         if self.num_stations < 1:
             raise ValueError("num_stations must be at least 1")
@@ -197,6 +221,15 @@ class TopologySpec:
                 raise ValueError("hidden-disc topologies need a positive radius")
             if self.topology_seed is None:
                 raise ValueError("hidden-disc topologies need a topology_seed")
+        if self.kind == "two-cluster":
+            if self.num_stations % 2 != 0:
+                raise ValueError("two-cluster topologies need an even station count")
+            if self.separation is None or self.separation <= 0:
+                raise ValueError("two-cluster topologies need a positive separation")
+            if self.spread is None or self.spread < 0:
+                raise ValueError("two-cluster topologies need a non-negative spread")
+            if self.topology_seed is None:
+                raise ValueError("two-cluster topologies need a topology_seed")
 
     def build(self) -> ConnectivityGraph:
         """Materialise the :class:`ConnectivityGraph` for the event simulator."""
@@ -205,6 +238,11 @@ class TopologySpec:
         if self.kind == "connected":
             return fully_connected_scenario(self.num_stations)
         rng = np.random.default_rng(self.topology_seed)
+        if self.kind == "two-cluster":
+            return two_cluster_hidden_scenario(
+                self.num_stations // 2, rng,
+                separation=self.separation, spread=self.spread,
+            )
         return hidden_node_scenario(
             self.num_stations, rng, radius=self.radius,
             require_hidden_pairs=self.require_hidden_pairs,
@@ -220,6 +258,12 @@ class TopologySpec:
                 radius=self.radius,
                 topology_seed=self.topology_seed,
                 require_hidden_pairs=self.require_hidden_pairs,
+            )
+        elif self.kind == "two-cluster":
+            payload.update(
+                separation=self.separation,
+                spread=self.spread,
+                topology_seed=self.topology_seed,
             )
         return payload
 

@@ -31,7 +31,7 @@ results independent of the composition of the batch.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -123,6 +123,16 @@ class BatchedPolicyBank(ABC):
         """Per-cell mean station-observed idle average (IdleSense only)."""
         return None
 
+    def probe_state(self) -> Dict[str, np.ndarray]:
+        """Controller-state snapshot for simulator probes (read-only).
+
+        2-D ``(cells, stations)`` arrays become per-station series, 1-D
+        ``(cells,)`` arrays cell-level series — see
+        :func:`repro.telemetry.probes.flatten_bank_state`.  Must never
+        mutate bank state or touch a random stream.
+        """
+        return {}
+
 
 class _ExponentialWindowBank(BatchedPolicyBank):
     """Shared per-station backoff-stage machinery of DCF and RandomReset.
@@ -151,6 +161,12 @@ class _ExponentialWindowBank(BatchedPolicyBank):
     def stages(self) -> np.ndarray:
         """Per-(cell, station) backoff stages (diagnostics/tests)."""
         return self._stage.copy()
+
+    def probe_state(self) -> Dict[str, np.ndarray]:
+        return {
+            "cw": np.minimum(self._cw_min << self._stage, self._cw_max),
+            "stage": self._stage.copy(),
+        }
 
 
 class BatchedDcfBank(_ExponentialWindowBank):
@@ -241,6 +257,12 @@ class BatchedIdleSenseBank(BatchedPolicyBank):
     def windows(self) -> np.ndarray:
         """Per-cell contention windows (diagnostics/tests)."""
         return self._window.copy()
+
+    def probe_state(self) -> Dict[str, np.ndarray]:
+        return {
+            "cw": self._window.copy(),
+            "idle_est": self.station_observed_idle(),
+        }
 
 
 class BatchedStationIdleSenseBank(BatchedPolicyBank):
@@ -353,6 +375,14 @@ class BatchedStationIdleSenseBank(BatchedPolicyBank):
         """Per-(cell, station) contention windows (diagnostics/tests)."""
         return self._window.copy()
 
+    def probe_state(self) -> Dict[str, np.ndarray]:
+        idle_est = np.where(
+            self._total_trans > 0,
+            self._total_idle / np.maximum(self._total_trans, 1),
+            np.nan,
+        )
+        return {"cw": self._window.copy(), "idle_est": idle_est}
+
 
 class BatchedPPersistentBank(BatchedPolicyBank):
     """p-persistent CSMA stations, batched.
@@ -427,6 +457,16 @@ class BatchedPPersistentBank(BatchedPolicyBank):
         return _geometric_draw(u[:, 0], self._log_q(cells))
 
     failure_draw = success_draw
+
+    def probe_state(self) -> Dict[str, np.ndarray]:
+        num_cells = self._log_q_cache.shape[0]
+        base_p = self._base_p(np.arange(num_cells))
+        if self._weights is None:
+            return {"attempt_p": base_p}
+        # Lemma 1 forward map per station, broadcast over all cells.
+        weight = self._weights[np.newaxis, :]
+        p = base_p[:, np.newaxis]
+        return {"attempt_p": weight * p / (1.0 + (weight - 1.0) * p)}
 
 
 class BatchedRandomResetBank(_ExponentialWindowBank):

@@ -37,6 +37,7 @@ in :mod:`repro.sim.conflict` vectorizes those (with the scalar event-driven
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -57,6 +58,7 @@ from ..mac.batched import (
 )
 from ..phy.constants import PhyParameters
 from ..telemetry import current as _telemetry
+from ..telemetry import probes as _probes
 from ..traffic import ArrivalProcess, BatchedArrivals
 from .dynamics import ActivitySchedule
 from .metrics import SimulationResult, StationStats
@@ -350,6 +352,70 @@ class BatchedSlottedSimulator:
         tel_on = tel.enabled
         t_iterations = t_idle_ffwd = t_slots = t_busy = t_discards = 0
 
+        # Simulator probes: per-cell boundary grids sampled retroactively
+        # after each time advance.  The snapshot reads bank/controller state
+        # only (never a random stream) and the probe boundaries never enter
+        # the fast-forward bound, so the trajectory is unchanged.
+        probe = _probes.current()
+        probe_bufs: Optional[List[_probes.ProbeBuffer]] = None
+        if probe is not None:
+            probe_interval = probe.interval
+            probe_bufs = [_probes.ProbeBuffer(probe.capacity)
+                          for _ in range(num_cells)]
+            probe_next = np.full(num_cells, probe_interval)
+            probe_t0 = time.time()
+            probe_bits = np.zeros((num_cells, max_n), dtype=np.int64)
+            probe_bits_prev = np.zeros((num_cells, max_n), dtype=np.int64)
+            probe_busy = np.zeros(num_cells)
+            probe_countdown = 0
+
+            def probe_drain(force: bool = False) -> None:
+                # Boundaries are half a second apart while the loop iterates
+                # every few microseconds of virtual time, so the vector due
+                # check runs on a small stride; a boundary is sampled at most
+                # a few slots late, far inside one probe window.  The forced
+                # post-loop call catches boundaries the stride would strand.
+                nonlocal probe_countdown
+                probe_countdown -= 1
+                if probe_countdown > 0 and not force:
+                    return
+                probe_countdown = 4
+                due_mask = now >= probe_next
+                if not due_mask.any():
+                    return
+                due = np.flatnonzero(due_mask)
+                bank_state = bank.probe_state()
+                ctrl_state = controller.probe_state()
+                queues = (arrivals.queue_lengths
+                          if arrivals is not None else None)
+                for cell in due:
+                    cell = int(cell)
+                    stations = int(n[cell])
+                    while now[cell] >= probe_next[cell]:
+                        values = _probes.flatten_bank_state(
+                            bank_state, cell, stations)
+                        values.update(_probes.flatten_bank_state(
+                            ctrl_state, cell, stations))
+                        delta = probe_bits[cell] - probe_bits_prev[cell]
+                        for i in range(stations):
+                            values[f"tput_mbps[{i}]"] = (
+                                delta[i] / probe_interval / 1e6
+                            )
+                        values["throughput_mbps"] = (
+                            int(delta[:stations].sum()) / probe_interval / 1e6
+                        )
+                        values["busy_frac"] = (
+                            probe_busy[cell] / probe_interval
+                        )
+                        if queues is not None:
+                            for i in range(stations):
+                                values[f"queue[{i}]"] = float(queues[cell, i])
+                        probe_bufs[cell].sample(float(probe_next[cell]),
+                                                values)
+                        probe_bits_prev[cell] = probe_bits[cell]
+                        probe_busy[cell] = 0.0
+                        probe_next[cell] += probe_interval
+
         while True:
             alive = now < end_time
             if not alive.any():
@@ -471,6 +537,8 @@ class BatchedSlottedSimulator:
                 if tel_on:
                     t_idle_ffwd += 1
                     t_slots += int(advance.sum())
+                if probe_bufs is not None:
+                    probe_drain()
                 if observes:
                     idle_run += advance
                 if not none_measuring:
@@ -527,7 +595,10 @@ class BatchedSlottedSimulator:
                 bank.observe_transmission(tx, idle_run)
                 idle_run[tx] = 0
             slot_duration = np.where(success, ts, tc)
-            now += slot_duration * tx
+            busy_advance = slot_duration * tx
+            now += busy_advance
+            if probe_bufs is not None:
+                probe_busy += busy_advance
             if not none_measuring:
                 tx_measured = tx if all_measuring else tx & measuring
                 busy_periods += tx_measured
@@ -564,6 +635,8 @@ class BatchedSlottedSimulator:
                     successes[winners, winner_station] += measuring[winners]
                 if interval and not none_measuring:
                     cum_bits[winners] += payload * measuring[winners]
+                if probe_bufs is not None:
+                    probe_bits[winners, winner_station] += payload
                 if adaptive:
                     controller.on_packet_received(success, now)
                 if retry_cnt is not None:
@@ -627,6 +700,8 @@ class BatchedSlottedSimulator:
                 fire = tx_measured & (report_at <= 0.0)
                 if fire.any():
                     sample_reports(fire)
+            if probe_bufs is not None:
+                probe_drain()
 
         if traffic is not None:
             # Drain arrivals up to the horizon one last time: a solo cell's
@@ -645,6 +720,15 @@ class BatchedSlottedSimulator:
                 "cells": num_cells,
                 "max_stations": max_n,
             })
+        if probe_bufs is not None:
+            probe_drain(force=True)
+            for cell in range(num_cells):
+                record = _probes.probe_record(
+                    "batched", probe_bufs[cell], probe, probe_t0,
+                    seed=self._seeds[cell], cell=cell,
+                )
+                if record is not None:
+                    tel.emit(record)
         return self._build_results(successes, failures, idle_slots, busy_periods,
                                    throughput_tl, control_tl, arrivals,
                                    retry_disc)

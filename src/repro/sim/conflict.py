@@ -53,12 +53,14 @@ the random streams are consumed in a different order.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..phy.constants import NS_PER_SECOND, PhyParameters, seconds_to_ns
 from ..telemetry import current as _telemetry
+from ..telemetry import probes as _probes
 from ..topology.graph import ConnectivityGraph
 from ..traffic import ArrivalProcess, BatchedArrivals
 from .batched import CellStreams, batchable_scheme, make_batched_system
@@ -353,6 +355,69 @@ class BatchedConflictSimulator:
         tel_on = tel.enabled
         t_iterations = t_starts = t_ends = t_sense = t_discards = 0
 
+        # Simulator probes: boundaries are drained right after each event
+        # jump, *before* the instant's events are processed, so each sample
+        # sees the state the cell carried across the boundary.  Probe
+        # boundaries never enter the jump minimum and the channel-busy
+        # bookkeeping below is kept separate from the warm-up-reset
+        # measurement accounting, so trajectories are unchanged.
+        probe = _probes.current()
+        probe_bufs: Optional[List[_probes.ProbeBuffer]] = None
+        if probe is not None:
+            probe_interval_ns = np.int64(seconds_to_ns(probe.interval))
+            probe_bufs = [_probes.ProbeBuffer(probe.capacity)
+                          for _ in range(num_cells)]
+            probe_next = np.full(num_cells, probe_interval_ns, dtype=np.int64)
+            probe_t0 = time.time()
+            probe_bits = np.zeros((num_cells, max_n), dtype=np.int64)
+            probe_bits_prev = np.zeros((num_cells, max_n), dtype=np.int64)
+            p_busy_since = np.zeros(num_cells, dtype=np.int64)
+            p_busy_total = np.zeros(num_cells, dtype=np.int64)
+            p_busy_snap = np.zeros(num_cells, dtype=np.int64)
+
+            def probe_drain() -> None:
+                due_mask = now >= probe_next
+                if not due_mask.any():
+                    return
+                due = np.flatnonzero(due_mask)
+                bank_state = bank.probe_state()
+                ctrl_state = controller.probe_state()
+                queues = (arrivals.queue_lengths
+                          if arrivals is not None else None)
+                p_interval_s = probe_interval_ns / NS_PER_SECOND
+                for cell in due:
+                    cell = int(cell)
+                    stations = int(n[cell])
+                    while now[cell] >= probe_next[cell]:
+                        boundary = int(probe_next[cell])
+                        busy_at = int(p_busy_total[cell])
+                        if active_cnt[cell] > 0:
+                            busy_at += boundary - int(p_busy_since[cell])
+                        values = _probes.flatten_bank_state(
+                            bank_state, cell, stations)
+                        values.update(_probes.flatten_bank_state(
+                            ctrl_state, cell, stations))
+                        delta = probe_bits[cell] - probe_bits_prev[cell]
+                        for i in range(stations):
+                            values[f"tput_mbps[{i}]"] = (
+                                delta[i] / p_interval_s / 1e6
+                            )
+                        values["throughput_mbps"] = (
+                            int(delta[:stations].sum()) / p_interval_s / 1e6
+                        )
+                        values["busy_frac"] = (
+                            (busy_at - int(p_busy_snap[cell]))
+                            / float(probe_interval_ns)
+                        )
+                        if queues is not None:
+                            for i in range(stations):
+                                values[f"queue[{i}]"] = float(queues[cell, i])
+                        probe_bufs[cell].sample(boundary / NS_PER_SECOND,
+                                                values)
+                        p_busy_snap[cell] = busy_at
+                        probe_bits_prev[cell] = probe_bits[cell]
+                        probe_next[cell] += probe_interval_ns
+
         while True:
             if not (now < end_ns).any():
                 break
@@ -382,6 +447,8 @@ class BatchedConflictSimulator:
             np.minimum(t, end_ns, out=t)
             now = t
             now_col = now[:, None]
+            if probe_bufs is not None:
+                probe_drain()
 
             # -- warm-up crossing (exact, the boundary bounds the jump) ----
             if not all_measuring:
@@ -441,6 +508,11 @@ class BatchedConflictSimulator:
                 if tel_on:
                     t_ends += int(cnt_end.sum())
                 active_cnt -= cnt_end
+                if probe_bufs is not None:
+                    p_idle = (cnt_end > 0) & (active_cnt == 0)
+                    p_busy_total[p_idle] += (
+                        now[p_idle] - p_busy_since[p_idle]
+                    )
                 if not none_measuring:
                     idle_now = (cnt_end > 0) & (active_cnt == 0)
                     busy_total[idle_now] += (
@@ -550,6 +622,8 @@ class BatchedConflictSimulator:
                         # excluded from it and parks.
                         arrivals.pop_success(s_cells, s_st,
                                              now / NS_PER_SECOND)
+                    if probe_bufs is not None:
+                        probe_bits[s_cells, s_st] += payload
                     if not none_measuring:
                         meas = measuring[s_cells]
                         successes[s_cells, s_st] += meas
@@ -629,6 +703,9 @@ class BatchedConflictSimulator:
                 collide = (active_cnt + n_start >= 2) & (n_start > 0)
                 if collide.any():
                     corrupt |= txing & collide[:, None]
+                if probe_bufs is not None:
+                    p_fresh = (active_cnt == 0) & (n_start > 0)
+                    p_busy_since[p_fresh] = now[p_fresh]
                 if not none_measuring:
                     fresh = (active_cnt == 0) & (n_start > 0)
                     busy_since[fresh] = now[fresh]
@@ -736,6 +813,14 @@ class BatchedConflictSimulator:
                 "cells": num_cells,
                 "max_stations": max_n,
             })
+        if probe_bufs is not None:
+            for cell in range(num_cells):
+                record = _probes.probe_record(
+                    "conflict", probe_bufs[cell], probe, probe_t0,
+                    seed=self._seeds[cell], cell=cell,
+                )
+                if record is not None:
+                    tel.emit(record)
         return self._build_results(successes, failures, busy_total,
                                    busy_periods, throughput_tl, control_tl,
                                    arrivals, retry_disc)

@@ -21,6 +21,7 @@ Typical use::
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -32,6 +33,7 @@ from ..mac.schemes import Scheme
 from ..phy.constants import NS_PER_SECOND, PhyParameters, seconds_to_ns
 from ..phy.frame import FrameFactory
 from ..telemetry import current as _telemetry
+from ..telemetry import probes as _probes
 from ..topology.graph import ConnectivityGraph
 from ..traffic import ArrivalProcess, ArrivalStream, FrameQueue, station_arrival_rng
 from .dynamics import ActivitySchedule, constant_activity
@@ -212,6 +214,7 @@ class WlanSimulation:
         self._scheme = scheme
         self._connectivity = connectivity
         self._phy = phy or PhyParameters()
+        self._seed = int(seed)
         self._num_stations = connectivity.num_stations
         self._activity = activity or constant_activity(self._num_stations)
         if self._activity.max_active > self._num_stations:
@@ -295,6 +298,13 @@ class WlanSimulation:
         self._bits_at_last_report = 0
         self._measure_start_s = 0.0
 
+        # Probe state (installed per-run when a ProbeConfig is ambient).
+        self._probe_config: Optional[_probes.ProbeConfig] = None
+        self._probe_buffer: Optional[_probes.ProbeBuffer] = None
+        self._probe_bits_prev: List[int] = []
+        self._probe_busy_prev_ns = 0
+        self._probe_t0 = 0.0
+
     # ------------------------------------------------------------------
     @property
     def controller(self) -> AccessPointController:
@@ -361,6 +371,24 @@ class WlanSimulation:
                 seconds_to_ns(tick), self._controller_tick, tick
             )
 
+        # Simulator probes ride the event scheduler: a self-rescheduling
+        # read-only callback samples controller/queue/throughput state on the
+        # probe grid (from t = 0, so the warm-up transient is observed).  The
+        # callback never touches a random stream or simulation state, so the
+        # SimulationResult is bit-identical with probes on or off (the extra
+        # scheduler events only shift event sequence numbers).
+        probe = _probes.current()
+        self._probe_config = probe
+        if probe is not None:
+            self._probe_buffer = _probes.ProbeBuffer(probe.capacity)
+            self._probe_t0 = time.time()
+            self._probe_bits_prev = [0] * self._num_stations
+            self._probe_busy_prev_ns = 0
+            self._scheduler.schedule_at(
+                seconds_to_ns(probe.interval), self._sample_probe,
+                probe.interval,
+            )
+
         end_ns = seconds_to_ns(warmup + duration)
         if warmup > 0:
             self._scheduler.run_until(seconds_to_ns(warmup))
@@ -388,6 +416,13 @@ class WlanSimulation:
                 "events_pending_at_end": self._scheduler.pending_events,
                 "num_stations": self._num_stations,
             })
+        if self._probe_buffer is not None:
+            record = _probes.probe_record(
+                "event", self._probe_buffer, self._probe_config,
+                self._probe_t0, seed=self._seed,
+            )
+            if record is not None:
+                tel.emit(record)
         extra: Dict[str, object] = {
             "scheme": self._scheme.name,
             "simulator": "event-driven",
@@ -467,6 +502,47 @@ class WlanSimulation:
             self._metrics.record_drop()
         self._scheduler.schedule_at(
             seconds_to_ns(stream.next_time), self._on_arrival, station_id
+        )
+
+    def _sample_probe(self, probe_time: float) -> None:
+        """Read-only probe sample; self-reschedules on the probe grid.
+
+        Cumulative metrics (per-station bits, channel busy time) are turned
+        into windowed deltas against the previous boundary's snapshot; the
+        warm-up metric reset makes a cumulative value fall below its
+        snapshot, in which case the snapshot rebases to zero (the reset
+        instant starts a fresh accumulation epoch).
+        """
+        probe = self._probe_config
+        interval = probe.interval
+        payload = self._phy.payload_bits
+        values = _probes.controller_series(self._controller)
+        for i, policy in enumerate(self._policies):
+            values.update(_probes.station_series(i, policy))
+        total_delta = 0
+        for i in range(self._num_stations):
+            bits = self._metrics.successes(i) * payload
+            prev = self._probe_bits_prev[i]
+            if bits < prev:
+                prev = 0
+            delta = bits - prev
+            total_delta += delta
+            values[f"tput_mbps[{i}]"] = delta / interval / 1e6
+            self._probe_bits_prev[i] = bits
+        values["throughput_mbps"] = total_delta / interval / 1e6
+        busy_ns = self._medium.data_busy_total_ns
+        prev_busy = self._probe_busy_prev_ns
+        if busy_ns < prev_busy:
+            prev_busy = 0
+        values["busy_frac"] = (busy_ns - prev_busy) / seconds_to_ns(interval)
+        self._probe_busy_prev_ns = busy_ns
+        if self._traffic is not None:
+            for i, station in enumerate(self._stations):
+                values[f"queue[{i}]"] = float(station.queue_length)
+        self._probe_buffer.sample(probe_time, values)
+        next_time = probe_time + interval
+        self._scheduler.schedule_at(
+            seconds_to_ns(next_time), self._sample_probe, next_time
         )
 
     def _sample_report(self, report_time: float) -> None:

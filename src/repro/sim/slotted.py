@@ -25,6 +25,7 @@ checks their agreement).
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,6 +35,7 @@ from ..mac.backoff import BackoffPolicy
 from ..mac.schemes import Scheme
 from ..phy.constants import PhyParameters
 from ..telemetry import current as _telemetry
+from ..telemetry import probes as _probes
 from ..traffic import ArrivalProcess, ArrivalStream, FrameQueue, station_arrival_rng
 from .dynamics import ActivitySchedule, constant_activity
 from .metrics import MetricsCollector, SimulationResult
@@ -243,6 +245,41 @@ class SlottedSimulator:
         tel_on = tel.enabled
         t_virtual_slots = t_idle_ffwd = t_busy = t_discards = 0
 
+        # Simulator probes: sampled retroactively at crossed virtual-time
+        # boundaries, so they never change the fast-forward chunking, never
+        # touch the RNG and never run when no ProbeConfig is installed.
+        probe = _probes.current()
+        probe_buf = None
+        if probe is not None:
+            probe_buf = _probes.ProbeBuffer(probe.capacity)
+            probe_interval = probe.interval
+            probe_next = probe_interval
+            probe_t0 = time.time()
+            probe_bits = np.zeros(self._num_stations, dtype=np.int64)
+            probe_bits_prev = np.zeros(self._num_stations, dtype=np.int64)
+            probe_busy = 0.0
+
+            def probe_sample(boundary: float) -> None:
+                nonlocal probe_busy
+                values = _probes.controller_series(self._controller)
+                for i, policy in enumerate(self._policies):
+                    values.update(_probes.station_series(i, policy))
+                delta = probe_bits - probe_bits_prev
+                for i in range(self._num_stations):
+                    values[f"tput_mbps[{i}]"] = delta[i] / probe_interval / 1e6
+                values["throughput_mbps"] = (
+                    int(delta.sum()) / probe_interval / 1e6
+                )
+                # Busy time is attributed at slot granularity: the slot that
+                # crosses a boundary counts fully against the window it
+                # started in, so the fraction may slightly exceed 1.
+                values["busy_frac"] = probe_busy / probe_interval
+                for i, queue in enumerate(self._queues):
+                    values[f"queue[{i}]"] = float(len(queue))
+                probe_buf.sample(boundary, values)
+                probe_bits_prev[:] = probe_bits
+                probe_busy = 0.0
+
         now = 0.0
         measuring = warmup == 0.0
         idle_run = 0
@@ -351,6 +388,10 @@ class SlottedSimulator:
                 if tel_on:
                     t_idle_ffwd += 1
                     t_virtual_slots += advance
+                if probe_buf is not None:
+                    while now >= probe_next:
+                        probe_sample(probe_next)
+                        probe_next += probe_interval
                 if measuring:
                     metrics.record_idle_slots(advance)
                     report_at -= advance * sigma
@@ -389,6 +430,11 @@ class SlottedSimulator:
             if tel_on:
                 t_busy += 1
                 t_virtual_slots += 1
+            if probe_buf is not None:
+                probe_busy += slot_duration
+                while now >= probe_next:
+                    probe_sample(probe_next)
+                    probe_next += probe_interval
             if measuring:
                 metrics.record_busy_period()
                 report_at -= slot_duration
@@ -414,6 +460,8 @@ class SlottedSimulator:
                 if measuring:
                     metrics.record_success(station, payload)
                     cumulative_bits += payload
+                if probe_buf is not None:
+                    probe_bits[station] += payload
                 self._controller.on_packet_received(station, payload, now)
                 control = self._controller.control()
                 if control:
@@ -471,6 +519,11 @@ class SlottedSimulator:
                 "retry_discards": t_discards,
                 "num_stations": self._num_stations,
             })
+        if probe_buf is not None:
+            record = _probes.probe_record("slotted", probe_buf, probe,
+                                          probe_t0, seed=self._seed)
+            if record is not None:
+                tel.emit(record)
         extra: Dict[str, object] = {
             "scheme": self._scheme.name,
             "simulator": "slotted",

@@ -35,12 +35,16 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
+from .probes import ProbeBuffer, ProbeConfig
+
 __all__ = [
     "Telemetry",
     "NullTelemetry",
     "NULL",
     "current",
     "session",
+    "ProbeBuffer",
+    "ProbeConfig",
 ]
 
 

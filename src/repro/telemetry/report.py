@@ -1,14 +1,18 @@
-"""``trace-report``: summarise a JSONL campaign trace for humans.
+"""``trace-report``: summarise a JSONL campaign trace for humans and CI.
 
 ``python -m repro.experiments trace-report FILE.jsonl`` validates the trace
 against the schema (:func:`~repro.telemetry.trace.validate_trace_file`),
-prints a phase/task/counter summary table, and writes a Perfetto-loadable
-Chrome trace-event file next to the input (override with ``--out``).
+prints a phase/task/counter/probe summary table, and writes a
+Perfetto-loadable Chrome trace-event file next to the input (override with
+``--out``).  ``--json`` emits the same summary as one machine-readable JSON
+document (:func:`summarize_trace`) so CI smoke steps can assert on its
+structure instead of parsing the text tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import defaultdict
 from pathlib import Path
@@ -21,7 +25,11 @@ from .trace import (
     write_chrome_trace,
 )
 
-__all__ = ["render_report", "trace_report_main"]
+__all__ = ["summarize_trace", "render_report", "trace_report_main"]
+
+#: Livelock floor for probe throughput series, which are in Mbps (the
+#: analysis-module floor is in bps).
+_LIVELOCK_FLOOR_MBPS = 1.0
 
 
 def _fmt_s(seconds: Optional[float]) -> str:
@@ -51,81 +59,78 @@ def _mean(values: List[float]) -> Optional[float]:
     return sum(values) / len(values) if values else None
 
 
-def render_report(records: Sequence[Mapping[str, Any]]) -> str:
-    """Render the human summary of a record list (already validated)."""
-    sections: List[str] = []
+# ----------------------------------------------------------------------
+# Shared aggregation (feeds both the text report and --json)
+# ----------------------------------------------------------------------
+def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a validated record list into one JSON-able summary.
+
+    The returned document holds one list ("table") per record family —
+    ``phases``, ``backends``, ``fallbacks``, ``failures``, ``counters``,
+    ``probes``, ``stability``, ``profile`` — plus the campaign ``meta``
+    info.  Both the human text report and ``trace-report --json`` render
+    from this structure, so the two views can never drift apart.
+    """
+    summary: Dict[str, Any] = {}
 
     metas = [r for r in records if r.get("type") == "meta"]
     if metas:
-        info = metas[0].get("info", {})
-        pairs = ", ".join(f"{k}={v}" for k, v in sorted(info.items()))
-        sections.append(f"campaign: {pairs}" if pairs else "campaign: (no metadata)")
+        summary["meta"] = dict(metas[0].get("info", {}))
 
-    # Phases: one row per span name.
     spans: Dict[str, List[float]] = defaultdict(list)
     for record in records:
         if record.get("type") == "span":
             spans[record["name"]].append(float(record["dur"]))
-    if spans:
-        rows = [
-            (name, len(durs), _fmt_s(sum(durs)), _fmt_s(_mean(durs)))
-            for name, durs in sorted(spans.items(),
-                                     key=lambda item: -sum(item[1]))
-        ]
-        sections.append("phases (by total time)\n" + _table(
-            ("span", "count", "total", "mean"), rows))
+    summary["phases"] = [
+        {"span": name, "count": len(durs), "total_s": sum(durs),
+         "mean_s": _mean(durs)}
+        for name, durs in sorted(spans.items(), key=lambda item: -sum(item[1]))
+    ]
 
-    # Tasks: one row per backend.
     per_backend: Dict[str, List[Mapping[str, Any]]] = defaultdict(list)
     for record in records:
         if record.get("type") == "task":
             per_backend[record["backend"]].append(record)
-    if per_backend:
-        rows = []
-        for backend, tasks in sorted(per_backend.items()):
-            hits = sum(1 for t in tasks if t.get("cache_hit"))
-            rates = [t["cells_per_s"] for t in tasks
-                     if t.get("cells_per_s") is not None]
-            waits = [t["queue_wait_s"] for t in tasks
-                     if t.get("queue_wait_s") is not None]
-            execs = [t["execute_s"] for t in tasks
-                     if t.get("execute_s") is not None]
-            workers = {t["worker_pid"] for t in tasks
-                       if t.get("worker_pid") is not None}
-            rate = _mean(rates)
-            rows.append((
-                backend, len(tasks), hits,
-                f"{rate:.2f}" if rate is not None else "-",
-                _fmt_s(_mean(waits)), _fmt_s(_mean(execs)),
-                len(workers) or "-",
-            ))
-        sections.append("tasks (by backend)\n" + _table(
-            ("backend", "cells", "cache hits", "cells/s",
-             "mean queue wait", "mean execute", "workers"), rows))
+    backends = []
+    for backend, tasks in sorted(per_backend.items()):
+        rates = [t["cells_per_s"] for t in tasks
+                 if t.get("cells_per_s") is not None]
+        waits = [t["queue_wait_s"] for t in tasks
+                 if t.get("queue_wait_s") is not None]
+        execs = [t["execute_s"] for t in tasks
+                 if t.get("execute_s") is not None]
+        workers = {t["worker_pid"] for t in tasks
+                   if t.get("worker_pid") is not None}
+        backends.append({
+            "backend": backend,
+            "cells": len(tasks),
+            "cache_hits": sum(1 for t in tasks if t.get("cache_hit")),
+            "cells_per_s": _mean(rates),
+            "mean_queue_wait_s": _mean(waits),
+            "mean_execute_s": _mean(execs),
+            "workers": len(workers),
+        })
+    summary["backends"] = backends
 
     fallbacks: Dict[str, int] = defaultdict(int)
     for record in records:
         if record.get("type") == "task" and record.get("fallback_reason"):
             fallbacks[record["fallback_reason"]] += 1
-    if fallbacks:
-        rows = sorted(fallbacks.items(), key=lambda item: -item[1])
-        sections.append("backend fallbacks\n" + _table(
-            ("reason", "cells"), rows))
+    summary["fallbacks"] = [
+        {"reason": reason, "cells": count}
+        for reason, count in sorted(fallbacks.items(), key=lambda item: -item[1])
+    ]
 
-    failed = [r for r in records
-              if r.get("type") == "task" and r.get("source") == "failed"]
-    if failed:
-        rows = [
-            (r.get("label") or r["key"][:12], r.get("backend", "?"),
-             r.get("failure_reason", "?"), r.get("attempts", "?"),
-             r.get("error", "?"))
-            for r in failed
-        ]
-        sections.append("quarantined tasks (exhausted retry budget)\n"
-                        + _table(("task", "backend", "reason", "attempts",
-                                  "error"), rows))
+    summary["failures"] = [
+        {"task": r.get("label") or r["key"][:12],
+         "backend": r.get("backend"),
+         "reason": r.get("failure_reason"),
+         "attempts": r.get("attempts"),
+         "error": r.get("error")}
+        for r in records
+        if r.get("type") == "task" and r.get("source") == "failed"
+    ]
 
-    # Counters: summed per scope across runs.
     totals: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
     runs: Dict[str, int] = defaultdict(int)
     for record in records:
@@ -133,27 +138,150 @@ def render_report(records: Sequence[Mapping[str, Any]]) -> str:
             runs[record["scope"]] += 1
             for name, value in record["counters"].items():
                 totals[record["scope"]][name] += value
-    if totals:
+    summary["counters"] = [
+        {"scope": scope, "counter": name, "total": totals[scope][name],
+         "runs": runs[scope]}
+        for scope in sorted(totals)
+        for name in sorted(totals[scope])
+    ]
+
+    probes = [r for r in records if r.get("type") == "probe"]
+    summary["probes"] = [
+        {"scope": r["scope"],
+         "cell": r.get("cell"),
+         "seed": r.get("seed"),
+         "samples": len(r.get("t", [])),
+         "series": len(r.get("series", {})),
+         "interval_s": r.get("interval"),
+         "stride": r.get("stride")}
+        for r in probes
+    ]
+
+    stability = []
+    if probes:
+        from ..analysis.stability import stability_from_probe
+
+        for r in probes:
+            report = stability_from_probe(
+                r, "throughput_mbps", livelock_floor=_LIVELOCK_FLOOR_MBPS,
+            )
+            if report is None:
+                continue
+            stability.append({
+                "scope": r["scope"],
+                "cell": r.get("cell"),
+                "seed": r.get("seed"),
+                "classification": report.classification,
+                "tail_mean_mbps": report.tail_mean,
+                "tail_std_mbps": report.tail_std,
+                "oscillation_amplitude": report.oscillation_amplitude,
+                "settling_time_s": report.settling_time_s,
+            })
+    summary["stability"] = stability
+
+    profiles = [r for r in records if r.get("type") == "profile"]
+    summary["profile"] = list(profiles[-1].get("top", [])) if profiles else []
+
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def render_report(records: Sequence[Mapping[str, Any]]) -> str:
+    """Render the human summary of a record list (already validated)."""
+    summary = summarize_trace(records)
+    sections: List[str] = []
+
+    if "meta" in summary:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(summary["meta"].items()))
+        sections.append(f"campaign: {pairs}" if pairs else "campaign: (no metadata)")
+
+    if summary["phases"]:
+        rows = [
+            (row["span"], row["count"], _fmt_s(row["total_s"]),
+             _fmt_s(row["mean_s"]))
+            for row in summary["phases"]
+        ]
+        sections.append("phases (by total time)\n" + _table(
+            ("span", "count", "total", "mean"), rows))
+
+    if summary["backends"]:
         rows = []
-        for scope in sorted(totals):
-            for name in sorted(totals[scope]):
-                value = totals[scope][name]
-                rows.append((scope, name,
-                             f"{value:g}", runs[scope]))
+        for row in summary["backends"]:
+            rate = row["cells_per_s"]
+            rows.append((
+                row["backend"], row["cells"], row["cache_hits"],
+                f"{rate:.2f}" if rate is not None else "-",
+                _fmt_s(row["mean_queue_wait_s"]),
+                _fmt_s(row["mean_execute_s"]),
+                row["workers"] or "-",
+            ))
+        sections.append("tasks (by backend)\n" + _table(
+            ("backend", "cells", "cache hits", "cells/s",
+             "mean queue wait", "mean execute", "workers"), rows))
+
+    if summary["fallbacks"]:
+        rows = [(row["reason"], row["cells"]) for row in summary["fallbacks"]]
+        sections.append("backend fallbacks\n" + _table(
+            ("reason", "cells"), rows))
+
+    if summary["failures"]:
+        rows = [
+            (row["task"], row["backend"] or "?", row["reason"] or "?",
+             row["attempts"] if row["attempts"] is not None else "?",
+             row["error"] or "?")
+            for row in summary["failures"]
+        ]
+        sections.append("quarantined tasks (exhausted retry budget)\n"
+                        + _table(("task", "backend", "reason", "attempts",
+                                  "error"), rows))
+
+    if summary["counters"]:
+        rows = [
+            (row["scope"], row["counter"], f"{row['total']:g}", row["runs"])
+            for row in summary["counters"]
+        ]
         sections.append("simulator counters (summed over runs)\n" + _table(
             ("scope", "counter", "total", "runs"), rows))
 
-    profiles = [r for r in records if r.get("type") == "profile"]
-    if profiles:
+    if summary["probes"]:
+        rows = [
+            (row["scope"],
+             row["cell"] if row["cell"] is not None else "-",
+             row["seed"] if row["seed"] is not None else "-",
+             row["samples"], row["series"],
+             _fmt_s(row["interval_s"]), row["stride"])
+            for row in summary["probes"]
+        ]
+        sections.append("probes (one row per sampled cell)\n" + _table(
+            ("scope", "cell", "seed", "samples", "series",
+             "interval", "stride"), rows))
+
+    if summary["stability"]:
+        rows = [
+            (row["scope"],
+             row["cell"] if row["cell"] is not None else "-",
+             row["seed"] if row["seed"] is not None else "-",
+             row["classification"],
+             f"{row['tail_mean_mbps']:.2f}",
+             f"{row['oscillation_amplitude']:.2f}",
+             _fmt_s(row["settling_time_s"]))
+            for row in summary["stability"]
+        ]
+        sections.append("stability (windowed throughput per sampled cell)\n"
+                        + _table(("scope", "cell", "seed", "classification",
+                                  "tail Mbps", "amplitude", "settling"), rows))
+
+    if summary["profile"]:
         rows = [
             (row["func"], row["ncalls"],
              _fmt_s(row["tottime"]), _fmt_s(row["cumtime"]))
-            for row in profiles[-1].get("top", [])
+            for row in summary["profile"]
         ]
-        if rows:
-            sections.append("profile hotspots (aggregated, by cumulative time)\n"
-                            + _table(("function", "ncalls", "tottime",
-                                      "cumtime"), rows))
+        sections.append("profile hotspots (aggregated, by cumulative time)\n"
+                        + _table(("function", "ncalls", "tottime",
+                                  "cumtime"), rows))
 
     if not sections:
         return "trace contains no reportable records"
@@ -173,6 +301,13 @@ def trace_report_main(argv: Optional[Sequence[str]] = None) -> int:
         help="Chrome trace-event output path "
              "(default: <trace>.chrome.json; '-' to skip)",
     )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the summary as one machine-readable JSON document "
+             "(phase/backend/fallback/counter/probe/stability tables plus "
+             "record counts) instead of text tables; skips the Chrome "
+             "trace export unless --out is given",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -187,6 +322,16 @@ def trace_report_main(argv: Optional[Sequence[str]] = None) -> int:
               "was killed mid-write); summarising the valid prefix",
               file=sys.stderr)
     records = read_trace(args.trace, skip_torn_tail=True)
+
+    if args.as_json:
+        document = summarize_trace(records)
+        document["recordCounts"] = {t: n for t, n in sorted(counts.items())}
+        document["tornTail"] = bool(torn)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        if args.out is not None and args.out != Path("-"):
+            write_chrome_trace(records, args.out)
+        return 0
+
     print(render_report(records))
     total = sum(counts.values())
     breakdown = ", ".join(f"{n} {t}" for t, n in sorted(counts.items()) if n)
@@ -197,7 +342,13 @@ def trace_report_main(argv: Optional[Sequence[str]] = None) -> int:
     if args.out != Path("-"):
         out = args.out or args.trace.with_suffix(args.trace.suffix + ".chrome.json")
         write_chrome_trace(records, out)
-        events = len(chrome_trace(records)["traceEvents"])
-        print(f"[chrome trace: {out} ({events} events) — load in Perfetto "
-              f"or chrome://tracing]")
+        trace = chrome_trace(records)
+        events = len(trace["traceEvents"])
+        skipped = trace.get("skippedRecordTypes")
+        skip_note = ""
+        if skipped:
+            listing = ", ".join(f"{n} {t}" for t, n in sorted(skipped.items()))
+            skip_note = f"; skipped non-exportable records: {listing}"
+        print(f"[chrome trace: {out} ({events} events{skip_note}) — load in "
+              f"Perfetto or chrome://tracing]")
     return 0

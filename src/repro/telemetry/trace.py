@@ -1,7 +1,7 @@
 """Trace persistence: JSONL record streams, validation, Chrome export.
 
 A trace file is one JSON object per line (JSONL), each a record emitted by a
-:class:`~repro.telemetry.Telemetry` collector.  Five record types exist:
+:class:`~repro.telemetry.Telemetry` collector.  Six record types exist:
 
 ``meta``
     One per campaign invocation: CLI arguments, backend policy, job count.
@@ -13,6 +13,11 @@ A trace file is one JSON object per line (JSONL), each a record emitted by a
 ``counters``
     One simulator run's loop-level counters under a backend ``scope``
     (``slotted`` / ``event`` / ``batched`` / ``conflict`` / ``campaign``).
+``probe``
+    One simulated cell's windowed controller time series (schema v2,
+    additive): virtual-time sample grid ``t``, decimation ``stride`` and a
+    ``series`` mapping of per-station/per-cell value columns — see
+    :mod:`repro.telemetry.probes`.
 ``profile``
     Aggregated cProfile hotspots when ``--profile`` is active.
 
@@ -21,7 +26,8 @@ dependency-free on purpose (no jsonschema in the container).
 :func:`chrome_trace` converts a record list into the Chrome trace-event JSON
 that Perfetto / ``chrome://tracing`` load directly: spans and executed tasks
 become complete (``ph="X"``) events on their producing process's timeline,
-everything else becomes instant events.
+probe series become counter tracks (``ph="C"``), everything else becomes
+instant events.
 """
 
 from __future__ import annotations
@@ -41,10 +47,15 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
 ]
 
-#: Bumped when the record shapes below change incompatibly.
-TRACE_SCHEMA_VERSION = 1
+#: Bumped when the record shapes below change.  v2 added the ``probe``
+#: record type (additive — every v1 trace is a valid v2 trace, and the
+#: validator still accepts v1 ``meta`` records).
+TRACE_SCHEMA_VERSION = 2
 
-RECORD_TYPES = ("meta", "span", "task", "counters", "profile")
+#: Schema versions :func:`validate_record` accepts in a ``meta`` record.
+_COMPATIBLE_SCHEMAS = (1, TRACE_SCHEMA_VERSION)
+
+RECORD_TYPES = ("meta", "span", "task", "counters", "probe", "profile")
 
 #: How a campaign cell was satisfied: executed, served from the result
 #: cache, replayed from a resume journal, or quarantined after exhausting
@@ -152,8 +163,8 @@ def validate_record(record: Any) -> str:
         _require(_is_num(record.get("t0")), "'t0' must be a number")
         _require(isinstance(record.get("info"), dict),
                  "'info' must be an object")
-        _require(record.get("schema") == TRACE_SCHEMA_VERSION,
-                 f"'schema' must be {TRACE_SCHEMA_VERSION}")
+        _require(record.get("schema") in _COMPATIBLE_SCHEMAS,
+                 f"'schema' must be one of {_COMPATIBLE_SCHEMAS}")
     elif rtype == "span":
         name = record.get("name")
         _require(isinstance(name, str) and bool(name),
@@ -199,6 +210,35 @@ def validate_record(record: Any) -> str:
             _require(isinstance(name, str) and bool(name),
                      "counter names must be non-empty strings")
             _require(_is_num(value), f"counter '{name}' must be a number")
+    elif rtype == "probe":
+        scope = record.get("scope")
+        _require(isinstance(scope, str) and bool(scope),
+                 "'scope' must be a non-empty string")
+        _require(_is_num(record.get("t0")), "'t0' must be a number")
+        _require(_is_num(record.get("interval")) and record["interval"] > 0,
+                 "'interval' must be a positive number")
+        stride = record.get("stride")
+        _require(isinstance(stride, int) and stride >= 1,
+                 "'stride' must be an integer >= 1")
+        for field in ("cell", "seed"):
+            value = record.get(field)
+            _require(value is None or isinstance(value, int),
+                     f"'{field}' must be an integer or null")
+        times = record.get("t")
+        _require(isinstance(times, list) and times,
+                 "'t' must be a non-empty list")
+        for t in times:
+            _require(_is_num(t), "'t' entries must be numbers")
+        series = record.get("series")
+        _require(isinstance(series, dict), "'series' must be an object")
+        for name, column in series.items():
+            _require(isinstance(name, str) and bool(name),
+                     "series names must be non-empty strings")
+            _require(isinstance(column, list) and len(column) == len(times),
+                     f"series '{name}' must be a list of len(t) values")
+            for value in column:
+                _require(value is None or _is_num(value),
+                         f"series '{name}' values must be numbers or null")
     elif rtype == "profile":
         _require(_is_num(record.get("t0")), "'t0' must be a number")
         top = record.get("top")
@@ -266,7 +306,11 @@ def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     Timestamps are microseconds relative to the earliest record so the
     viewer's timeline starts at zero.  Spans and executed tasks become
     complete events (``ph="X"``); cache hits, counters and profiles become
-    instant events (``ph="i"``).
+    instant events (``ph="i"``); probe series become counter tracks
+    (``ph="C"``) with the virtual sample grid mapped onto the record's
+    wall-clock anchor.  Record types this exporter does not understand are
+    counted and reported under a top-level ``skippedRecordTypes`` key
+    instead of being dropped silently.
     """
     records = list(records)
     starts = []
@@ -283,6 +327,7 @@ def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         return (epoch - origin) * 1e6
 
     events: List[Dict[str, Any]] = []
+    skipped: Dict[str, int] = {}
     for record in records:
         rtype = record.get("type")
         pid = record.get("pid", 0)
@@ -321,6 +366,21 @@ def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
                 "ph": "i", "s": "p", "ts": us(record["t0"]),
                 "pid": pid, "tid": pid, "args": dict(record["counters"]),
             })
+        elif rtype == "probe":
+            cell = record.get("cell")
+            track = f"probe:{record['scope']}" + (
+                f"[{cell}]" if cell is not None else "")
+            t_values = record.get("t", [])
+            t_first = t_values[0] if t_values else 0.0
+            for name, column in record.get("series", {}).items():
+                for t, value in zip(t_values, column):
+                    if value is None:
+                        continue
+                    events.append({
+                        "name": f"{track}/{name}", "cat": "probe", "ph": "C",
+                        "ts": us(record["t0"] + (t - t_first)),
+                        "pid": pid, "tid": pid, "args": {"value": value},
+                    })
         elif rtype in ("meta", "profile"):
             events.append({
                 "name": rtype, "cat": rtype, "ph": "i", "s": "g",
@@ -329,7 +389,13 @@ def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
                     "top": record.get("top", []),
                 },
             })
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+        else:
+            key = rtype if isinstance(rtype, str) else repr(rtype)
+            skipped[key] = skipped.get(key, 0) + 1
+    trace: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if skipped:
+        trace["skippedRecordTypes"] = skipped
+    return trace
 
 
 def write_chrome_trace(records: Iterable[Mapping[str, Any]],

@@ -1,0 +1,106 @@
+"""Tests for the stability classifier (repro.analysis.stability)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    LIVELOCK_FLOOR_BPS,
+    StabilityReport,
+    classify_stability,
+    stability_from_probe,
+)
+
+
+def series(values, dt=0.25):
+    return [(dt * (i + 1), v) for i, v in enumerate(values)]
+
+
+class TestClassification:
+    def test_flat_high_series_converges_immediately(self):
+        report = classify_stability(series([20e6] * 8))
+        assert report.classification == "converged"
+        assert report.settling_time_s == 0.0
+        assert report.tail_mean == pytest.approx(20e6)
+        assert not report.is_livelock
+
+    def test_low_tail_mean_is_livelock(self):
+        report = classify_stability(series([30e6, 20e6, 0.3e6, 0.2e6]))
+        assert report.classification == "livelock"
+        assert report.is_livelock
+        assert report.settling_time_s is None
+
+    def test_floor_is_inclusive(self):
+        report = classify_stability(series([LIVELOCK_FLOOR_BPS] * 8))
+        assert report.classification == "livelock"
+
+    def test_large_tail_swings_are_oscillating(self):
+        values = [10e6 + 6e6 * (-1) ** i for i in range(8)]
+        report = classify_stability(series(values))
+        assert report.classification == "oscillating"
+        assert report.oscillation_amplitude > 0.25
+
+    def test_small_tail_ripple_still_converges(self):
+        values = [10e6 + 0.2e6 * (-1) ** i for i in range(8)]
+        report = classify_stability(series(values))
+        assert report.classification == "converged"
+
+    def test_short_series_is_inconclusive(self):
+        for n in range(4):
+            report = classify_stability(series([10e6] * n))
+            assert report.classification == "inconclusive"
+            assert report.settling_time_s is None
+
+    def test_settling_time_reflects_transient(self):
+        # Two low samples, then steady at 10 Mb/s: settles at the third
+        # sample (t = 0.75 s), measured from the first sample (t = 0.25 s).
+        values = [2e6, 4e6] + [10e6] * 6
+        report = classify_stability(series(values))
+        assert report.classification == "converged"
+        assert report.settling_time_s == pytest.approx(0.5)
+
+    def test_custom_floor_and_threshold(self):
+        values = [5.0] * 8
+        assert classify_stability(series(values),
+                                  livelock_floor=10.0).is_livelock
+        swings = [10.0 + 2.0 * (-1) ** i for i in range(8)]
+        report = classify_stability(series(swings), livelock_floor=1.0,
+                                    oscillation_threshold=0.5)
+        assert report.classification == "converged"
+
+    def test_report_is_frozen(self):
+        report = classify_stability(series([10e6] * 8))
+        assert isinstance(report, StabilityReport)
+        with pytest.raises(Exception):
+            report.classification = "other"
+
+
+class TestStabilityFromProbe:
+    def make_record(self, column, name="throughput_mbps"):
+        return {
+            "type": "probe",
+            "scope": "batched",
+            "t": [0.25 * (i + 1) for i in range(len(column))],
+            "series": {name: column},
+        }
+
+    def test_classifies_named_series(self):
+        record = self.make_record([20e6] * 8)
+        report = stability_from_probe(record, "throughput_mbps")
+        assert report.classification == "converged"
+
+    def test_none_samples_are_skipped(self):
+        record = self.make_record([20e6, None, 20e6, None, 20e6, 20e6])
+        report = stability_from_probe(record, "throughput_mbps")
+        assert report.classification == "converged"
+        assert report.tail_mean == pytest.approx(20e6)
+
+    def test_missing_series_returns_none(self):
+        record = self.make_record([20e6] * 8)
+        assert stability_from_probe(record, "busy_frac") is None
+
+    def test_kwargs_forwarded(self):
+        record = self.make_record([5.0] * 8)
+        report = stability_from_probe(record, "throughput_mbps",
+                                      livelock_floor=10.0)
+        assert report.is_livelock

@@ -130,9 +130,9 @@ class TestSimulationRunners:
         throughputs = result.column("throughput (no hidden)")
         assert all(t >= 0 for t in throughputs)
 
-    def test_registry_contains_all_sixteen_experiments(self):
+    def test_registry_contains_all_seventeen_experiments(self):
         assert set(EXPERIMENT_REGISTRY) == {
             "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "fig8_9", "fig10_11", "fig12", "fig13", "table2", "table3",
-            "fig_load_sweep", "fig_fct_sweep",
+            "fig_load_sweep", "fig_fct_sweep", "fig_stability_atlas",
         }

@@ -1,0 +1,206 @@
+"""Probes must observe, never perturb: bit-identity on every backend.
+
+Mirror of ``test_telemetry_differential.py`` for the simulator probe layer
+(PR 9): with a :class:`~repro.telemetry.probes.ProbeConfig` session active,
+every backend emits ``probe`` records with the documented series — and the
+:class:`~repro.sim.metrics.SimulationResult` stays **bit-identical** to a
+probe-less run.  Probe state never enters task hashes, cache keys or batch
+grouping keys.
+
+The event backend schedules extra (read-only) probe callbacks, which shifts
+its scheduler event counters; the differential therefore compares the
+simulation *results*, never the telemetry counters.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.campaign import RunTask, SchemeSpec, TopologySpec
+from repro.experiments.campaign.batching import batch_key, execute_batch
+from repro.experiments.campaign.executor import CampaignExecutor, execute_task
+from repro.telemetry import ProbeConfig, Telemetry, session
+from repro.telemetry import probes
+from repro.telemetry.trace import validate_record
+
+PROBE = ProbeConfig(interval=0.05)
+
+
+def connected_task(simulator, *, kind="idlesense", num_stations=5,
+                   seed=3, **params):
+    return RunTask(
+        scheme=SchemeSpec.make(kind, **params),
+        topology=TopologySpec.connected(num_stations),
+        seed=seed, duration=0.2, warmup=0.1, simulator=simulator,
+    )
+
+
+def hidden_task(simulator, *, num_stations=6, seed=3, kind="idlesense"):
+    return RunTask(
+        scheme=SchemeSpec.make(kind),
+        topology=TopologySpec.two_cluster(num_stations // 2, 28.0, 0,
+                                          spread=0.5),
+        seed=seed, duration=0.2, warmup=0.1, simulator=simulator,
+    )
+
+
+def run_plain(task):
+    if task.resolved_simulator() == "batched":
+        [result] = execute_batch([task])
+        return result
+    return execute_task(task)
+
+
+def run_probed(task, probe=PROBE):
+    """Execute under a probe + telemetry session; returns (result, records)."""
+    tel = Telemetry()
+    with session(tel), probes.session(probe):
+        result = run_plain(task)
+    return result, tel.records
+
+
+BACKEND_TASKS = {
+    "slotted": connected_task("slotted"),
+    "event": hidden_task("event"),
+    "batched": connected_task("batched"),
+    "conflict": hidden_task("batched"),
+}
+
+#: Series each backend samples for an IdleSense cell.  The batched renewal
+#: backend models IdleSense at cell level (every station shares the
+#: window/estimate), so its series are unindexed; the conflict backend uses
+#: the per-station bank and indexes them like the scalar simulators.
+_COMMON = {"throughput_mbps", "busy_frac", "tput_mbps[0]"}
+EXPECTED_SERIES = {
+    "slotted": _COMMON | {"cw[0]", "idle_est[0]", "attempt_p[0]"},
+    "event": _COMMON | {"cw[0]", "idle_est[0]", "attempt_p[0]"},
+    "batched": _COMMON | {"cw", "idle_est"},
+    "conflict": _COMMON | {"cw[0]", "idle_est[0]"},
+}
+
+
+class TestProbeRecords:
+    @pytest.mark.parametrize("scope", sorted(BACKEND_TASKS))
+    def test_probe_record_emitted_with_documented_series(self, scope):
+        _, records = run_probed(BACKEND_TASKS[scope])
+        matching = [r for r in records
+                    if r["type"] == "probe" and r["scope"] == scope]
+        assert len(matching) == 1, f"expected one '{scope}' probe record"
+        record = matching[0]
+        validate_record(record)
+        assert EXPECTED_SERIES[scope] <= set(record["series"])
+        # duration 0.3 s / interval 0.05 s -> 6 boundaries, uniform grid.
+        assert len(record["t"]) == 6
+        assert record["stride"] == 1
+        for column in record["series"].values():
+            assert len(column) == len(record["t"])
+
+    def test_no_probe_records_without_a_session(self):
+        tel = Telemetry()
+        with session(tel):
+            run_plain(BACKEND_TASKS["slotted"])
+        assert not any(r["type"] == "probe" for r in tel.records)
+
+    def test_one_record_per_cell_in_a_batch(self):
+        tasks = [connected_task("batched", num_stations=n, seed=s)
+                 for n, s in ((3, 1), (5, 2))]
+        tel = Telemetry()
+        with session(tel), probes.session(PROBE):
+            execute_batch(tasks)
+        probe_records = [r for r in tel.records if r["type"] == "probe"]
+        assert [(r["cell"], r["seed"]) for r in probe_records] == [(0, 1), (1, 2)]
+
+    def test_busy_frac_bounded_on_conflict_backend(self):
+        # The conflict backend accounts busy time in exact nanoseconds, so
+        # its windowed busy fraction can never exceed 1.
+        _, records = run_probed(BACKEND_TASKS["conflict"])
+        [record] = [r for r in records if r["type"] == "probe"]
+        for value in record["series"]["busy_frac"]:
+            assert value is None or 0.0 <= value <= 1.0
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("scope", sorted(BACKEND_TASKS))
+    def test_results_identical_with_and_without_probes(self, scope):
+        task = BACKEND_TASKS[scope]
+        plain = run_plain(task)
+        probed, records = run_probed(task)
+        assert any(r["type"] == "probe" for r in records)
+        assert probed == plain
+
+    @pytest.mark.parametrize("scope", sorted(BACKEND_TASKS))
+    def test_task_key_ignores_probe_session(self, scope):
+        task = BACKEND_TASKS[scope]
+        with probes.session(PROBE):
+            key = task.task_key()
+        assert key == task.task_key()
+
+    def test_batch_key_ignores_probe_session(self):
+        task = connected_task("batched")
+        with probes.session(PROBE):
+            key = batch_key(task)
+        assert key == batch_key(task)
+
+    def test_probe_capacity_never_changes_results(self):
+        # Decimation (tiny capacity) and dense sampling (tiny interval)
+        # exercise different buffer paths; neither may leak into results.
+        task = BACKEND_TASKS["slotted"]
+        plain = run_plain(task)
+        for probe in (ProbeConfig(0.001, capacity=2),
+                      ProbeConfig(0.001, capacity=4096),
+                      ProbeConfig(10.0)):
+            probed, _ = run_probed(task, probe)
+            assert probed == plain
+
+    def test_executor_serial_and_parallel_relay_probe_records(self):
+        tasks = [connected_task("batched", num_stations=n, seed=s)
+                 for n, s in ((3, 1), (4, 2), (5, 3))]
+        plain = CampaignExecutor(jobs=1).run(tasks)
+        for jobs in (1, 2):
+            tel = Telemetry()
+            executor = CampaignExecutor(jobs=jobs, telemetry=tel, probe=PROBE)
+            results = executor.run(tasks)
+            assert results == plain
+            probe_records = [r for r in tel.records if r["type"] == "probe"]
+            assert len(probe_records) == len(tasks)
+            assert {r["seed"] for r in probe_records} == {1, 2, 3}
+
+
+SCHEMES = ["standard-802.11", "idlesense", "wtop-csma", "fixed-p"]
+
+
+class TestBitIdentityProperty:
+    @given(
+        kind=st.sampled_from(SCHEMES),
+        num_stations=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+        simulator=st.sampled_from(["slotted", "event", "batched"]),
+        interval=st.sampled_from([0.01, 0.05, 0.17]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_connected_results_do_not_depend_on_probes(
+        self, kind, num_stations, seed, simulator, interval
+    ):
+        params = {"p": 0.05} if kind == "fixed-p" else {}
+        task = RunTask(
+            scheme=SchemeSpec.make(kind, **params),
+            topology=TopologySpec.connected(num_stations),
+            seed=seed, duration=0.15, warmup=0.05, simulator=simulator,
+        )
+        plain = run_plain(task)
+        probed, _ = run_probed(task, ProbeConfig(interval))
+        assert probed == plain
+
+    @given(
+        per_cluster=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+        simulator=st.sampled_from(["event", "batched"]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_hidden_results_do_not_depend_on_probes(self, per_cluster, seed,
+                                                    simulator):
+        task = hidden_task(simulator, num_stations=2 * per_cluster, seed=seed)
+        plain = run_plain(task)
+        probed, _ = run_probed(task)
+        assert probed == plain

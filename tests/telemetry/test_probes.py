@@ -1,0 +1,189 @@
+"""Unit tests for the simulator probe layer (repro.telemetry.probes).
+
+Covers the pieces the differential tests treat as a black box: config
+validation, ambient-session nesting, ring-buffer decimation (the uniform
+grid invariant), record construction (NaN -> None), schema-v2 round-trips
+through the JSONL writer/validator/reader, and the Chrome counter-track
+export with its skipped-record summary.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import ProbeBuffer, ProbeConfig
+from repro.telemetry import probes
+from repro.telemetry.trace import (
+    JsonlTraceWriter,
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    read_trace,
+    validate_record,
+    validate_trace_file,
+)
+
+
+def make_probe_record(**overrides):
+    record = {
+        "type": "probe",
+        "scope": "slotted",
+        "pid": 123,
+        "t0": 1000.0,
+        "interval": 0.5,
+        "stride": 1,
+        "seed": 7,
+        "cell": None,
+        "t": [0.5, 1.0, 1.5],
+        "series": {"cw[0]": [16.0, 32.0, 16.0],
+                   "busy_frac": [0.25, None, 0.75]},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestProbeConfig:
+    def test_validates_interval(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                ProbeConfig(bad)
+
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            ProbeConfig(0.5, capacity=1)
+
+    def test_session_nesting_restores_previous(self):
+        outer, inner = ProbeConfig(1.0), ProbeConfig(0.5)
+        assert probes.current() is None
+        with probes.session(outer):
+            assert probes.current() is outer
+            with probes.session(inner):
+                assert probes.current() is inner
+            assert probes.current() is outer
+        assert probes.current() is None
+
+
+class TestProbeBufferDecimation:
+    def test_uniform_grid_survives_decimation(self):
+        buffer = ProbeBuffer(capacity=8)
+        for tick in range(100):
+            buffer.sample(0.5 * (tick + 1), {"x": float(tick)})
+        times = buffer.times
+        assert len(times) <= 8
+        # Decimation must keep one uniform grid: equal consecutive spacing.
+        deltas = {round(b - a, 9) for a, b in zip(times, times[1:])}
+        assert len(deltas) == 1
+        # The stride is a power of two and matches the surviving spacing.
+        assert buffer.stride & (buffer.stride - 1) == 0
+        assert math.isclose(times[1] - times[0], 0.5 * buffer.stride)
+
+    def test_no_decimation_below_capacity(self):
+        buffer = ProbeBuffer(capacity=16)
+        for tick in range(10):
+            buffer.sample(float(tick + 1), {"x": 1.0})
+        assert buffer.stride == 1
+        assert len(buffer.times) == 10
+
+    def test_values_track_their_times_through_decimation(self):
+        buffer = ProbeBuffer(capacity=4)
+        for tick in range(32):
+            buffer.sample(float(tick + 1), {"x": float(tick + 1)})
+        assert buffer.times == pytest.approx(list(buffer.series["x"]))
+
+    def test_late_series_backfilled_with_nan(self):
+        buffer = ProbeBuffer(capacity=8)
+        buffer.sample(1.0, {"x": 1.0})
+        buffer.sample(2.0, {"x": 2.0, "y": 20.0})
+        y = buffer.series["y"]
+        assert math.isnan(y[0]) and y[1] == 20.0
+
+
+class TestProbeRecordConstruction:
+    def test_empty_buffer_yields_none(self):
+        buffer = ProbeBuffer(capacity=8)
+        config = ProbeConfig(0.5)
+        assert probes.probe_record("slotted", buffer, config, 0.0) is None
+
+    def test_nan_becomes_none(self):
+        buffer = ProbeBuffer(capacity=8)
+        buffer.sample(0.5, {"x": 1.0})
+        buffer.sample(1.0, {"x": 2.0, "y": 3.0})
+        record = probes.probe_record("slotted", buffer, ProbeConfig(0.5),
+                                     1000.0, seed=1)
+        assert record["series"]["y"] == [None, 3.0]
+        record["pid"] = 1  # Telemetry.emit stamps the pid on real records
+        validate_record(record)
+
+    def test_cell_and_seed_are_ints(self):
+        import numpy as np
+
+        buffer = ProbeBuffer(capacity=8)
+        buffer.sample(0.5, {"x": 1.0})
+        record = probes.probe_record("batched", buffer, ProbeConfig(0.5),
+                                     0.0, seed=np.int64(3), cell=np.int64(1))
+        assert type(record["seed"]) is int and type(record["cell"]) is int
+        record["pid"] = 1
+        validate_record(record)
+
+
+class TestSchemaV2RoundTrip:
+    def test_probe_record_round_trips_through_writer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            writer.write({"type": "meta", "pid": 1, "t0": 0.0,
+                          "schema": TRACE_SCHEMA_VERSION, "info": {}})
+            writer.write(make_probe_record())
+        counts = validate_trace_file(path)
+        assert counts["probe"] == 1
+        [_, record] = read_trace(path)
+        assert record["series"]["busy_frac"] == [0.25, None, 0.75]
+        assert record["stride"] == 1
+
+    def test_schema_v1_meta_still_validates(self):
+        validate_record({"type": "meta", "pid": 1, "t0": 0.0,
+                         "schema": 1, "info": {}})
+
+    @pytest.mark.parametrize("corruption", [
+        {"scope": ""},
+        {"interval": 0.0},
+        {"stride": 0},
+        {"t": []},
+        {"t": [0.5, "x"]},
+        {"series": {"cw[0]": [1.0]}},          # length mismatch with t
+        {"series": {"cw[0]": [1.0, "a", 2.0]}},
+        {"cell": 1.5},
+    ])
+    def test_invalid_probe_records_rejected(self, corruption):
+        with pytest.raises(ValueError):
+            validate_record(make_probe_record(**corruption))
+
+
+class TestChromeCounterExport:
+    def test_probe_series_become_counter_events(self):
+        trace = chrome_trace([make_probe_record()])
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        # 3 cw samples + 2 non-None busy_frac samples.
+        assert len(counters) == 5
+        names = {e["name"] for e in counters}
+        assert names == {"probe:slotted/cw[0]", "probe:slotted/busy_frac"}
+        assert all("value" in e["args"] for e in counters)
+
+    def test_cell_suffix_in_track_name(self):
+        trace = chrome_trace([make_probe_record(scope="batched", cell=2)])
+        names = {e["name"] for e in trace["traceEvents"] if e.get("ph") == "C"}
+        assert "probe:batched[2]/cw[0]" in names
+
+    def test_unknown_record_types_are_counted_not_dropped_silently(self):
+        trace = chrome_trace([
+            make_probe_record(),
+            {"type": "mystery", "pid": 1, "t0": 0.0},
+            {"type": "mystery", "pid": 1, "t0": 0.0},
+        ])
+        assert trace["skippedRecordTypes"] == {"mystery": 2}
+
+    def test_no_skipped_key_when_everything_exports(self):
+        trace = chrome_trace([make_probe_record()])
+        assert "skippedRecordTypes" not in trace
+
+    def test_chrome_trace_is_json_serialisable(self):
+        json.dumps(chrome_trace([make_probe_record()]))

@@ -153,7 +153,7 @@ class TestValidateTraceFile:
                                      task(), counters(), profile()])
         counts = validate_trace_file(path)
         assert counts == {"meta": 1, "span": 2, "task": 1, "counters": 1,
-                          "profile": 1}
+                          "profile": 1, "probe": 0}
 
     def test_empty_file_is_invalid(self, tmp_path):
         path = tmp_path / "empty.jsonl"
